@@ -1,0 +1,243 @@
+"""Ablation benches: remove one design mechanism, show why it exists.
+
+Four ablations, each isolating a mechanism the paper's experiments
+surfaced:
+
+1. **Karn's sample selection** -- feed a Jacobson estimator ambiguous
+   samples (the pre-Karn bug) under delayed ACKs: the RTO collapses below
+   the real RTT and every segment is retransmitted spuriously, forever.
+2. **The Solaris global fault counter** -- under a long transient outage,
+   the per-connection counter kills a connection that per-segment
+   counting would have carried through.
+3. **Out-of-order queueing (RFC-1122 SHOULD)** -- a receiver that drops
+   out-of-order segments forces retransmission of data it already saw.
+4. **Reliable-layer retransmissions under GMP** -- without them, lossy
+   links stall group formation.
+"""
+
+import dataclasses
+import random
+
+from repro.analysis.tables import render_table
+from repro.core import ScriptContext
+from repro.experiments.gmp_common import build_gmp_cluster
+from repro.experiments.tcp_common import (build_tcp_testbed,
+                                          open_connection,
+                                          stream_from_vendor)
+from repro.tcp import SOLARIS_23, SUNOS_413
+from repro.tcp.rtt import JacobsonKarnEstimator
+
+from conftest import emit
+
+
+# ----------------------------------------------------------------------
+# 1. Karn's rule
+# ----------------------------------------------------------------------
+
+class JacobsonWithoutKarn(JacobsonKarnEstimator):
+    """Jacobson smoothing, pre-Karn sample selection."""
+
+    karn = False
+
+
+def run_karn_ablation(use_karn: bool):
+    testbed = build_tcp_testbed(SUNOS_413, seed=1)
+    client, _server = open_connection(testbed)
+    if not use_karn:
+        ablated = JacobsonWithoutKarn(SUNOS_413)
+        client.estimator = ablated
+        client.retx.estimator = ablated
+
+    def delay_acks(ctx: ScriptContext) -> None:
+        if ctx.msg_type() == "ACK":
+            ctx.delay(3.0)
+
+    testbed.pfi.set_send_filter(delay_acks)
+    # stop-and-go traffic: one segment every 4 s, so every ACK arrives
+    # after the first retransmission and is ambiguous.  Karn retains the
+    # backed-off RTO and goes quiet; the pre-Karn estimator samples the
+    # ambiguous ACK against the *retransmission* time, underestimates the
+    # RTT, resets its backoff, and retransmits spuriously forever.
+    stream_from_vendor(testbed, client, segments=15, interval=4.0)
+    testbed.env.run_until(70.0)
+    retransmissions = testbed.trace.count("tcp.retransmit",
+                                          conn="vendor:5000")
+    return {
+        "karn": use_karn,
+        "retransmissions": retransmissions,
+        "final_rto": client.retx.current_rto(),
+        "survived": client.state != "CLOSED",
+    }
+
+
+def test_ablation_karn_rule(once_benchmark):
+    with_karn = once_benchmark(run_karn_ablation, True)
+    without = run_karn_ablation(False)
+    emit("Ablation 1: Karn's sample selection under 3 s delayed ACKs",
+         render_table("spurious retransmissions over an 80 s transfer",
+                      ["Estimator", "Retransmissions", "Final RTO",
+                       "Survived"],
+                      [["Jacobson + Karn", with_karn["retransmissions"],
+                        f"{with_karn['final_rto']:.2f} s",
+                        with_karn["survived"]],
+                       ["Jacobson, no Karn",
+                        without["retransmissions"],
+                        f"{without['final_rto']:.2f} s",
+                        without["survived"]]]))
+    # Karn retains its backoff above the delay and goes quiet; the
+    # ablated stack keeps retransmitting spuriously
+    assert with_karn["final_rto"] > 3.0
+    assert without["final_rto"] < with_karn["final_rto"]
+    assert without["retransmissions"] > 2 * max(1, with_karn["retransmissions"])
+
+
+# ----------------------------------------------------------------------
+# 2. the global fault counter
+# ----------------------------------------------------------------------
+
+def run_fault_counter_ablation(global_counter: bool):
+    profile = SOLARIS_23 if global_counter else dataclasses.replace(
+        SOLARIS_23, global_fault_threshold=None, max_retransmits=12)
+    testbed = build_tcp_testbed(profile, seed=2)
+    client, server = open_connection(testbed)
+
+    outage = {"active": False}
+
+    def outage_filter(ctx: ScriptContext) -> None:
+        if outage["active"]:
+            ctx.drop()
+
+    testbed.pfi.set_receive_filter(outage_filter)
+    client.send(b"B" * 512)
+    testbed.env.run_until(2.0)
+    # a 90-second transient outage, then the network heals
+    outage["active"] = True
+    client.send(b"C" * 512)
+    testbed.scheduler.schedule(90.0, outage.__setitem__, "active", False)
+    testbed.env.run_until(400.0)
+    return {
+        "global_counter": global_counter,
+        "survived": client.state != "CLOSED",
+        "close_reason": client.close_reason,
+        "delivered": len(server.delivered),
+    }
+
+
+def test_ablation_global_fault_counter(once_benchmark):
+    with_counter = once_benchmark(run_fault_counter_ablation, True)
+    without = run_fault_counter_ablation(False)
+    emit("Ablation 2: the Solaris global fault counter vs a 90 s outage",
+         render_table("connection fate across a transient outage",
+                      ["Counting", "Survived", "Bytes through"],
+                      [["global counter (9)", with_counter["survived"],
+                        with_counter["delivered"]],
+                       ["per-segment (12)", without["survived"],
+                        without["delivered"]]]))
+    assert not with_counter["survived"], \
+        "the global counter should kill the connection mid-outage"
+    assert without["survived"], \
+        "per-segment counting should ride out the outage"
+
+
+# ----------------------------------------------------------------------
+# 3. out-of-order queueing
+# ----------------------------------------------------------------------
+
+def run_ooo_ablation(queue_ooo: bool):
+    profile = dataclasses.replace(SUNOS_413, queue_out_of_order=queue_ooo)
+    testbed = build_tcp_testbed(profile, seed=3)
+    # the vendor is the receiver under test here: x-kernel sends
+    server = testbed.vendor_tcp.listen(80)
+    client = testbed.xkernel_tcp.open_connection(
+        local_port=6000, remote_address=1, remote_port=80)
+    client.connect()
+    testbed.env.run_until(0.5)
+
+    def swap_pairs(ctx: ScriptContext) -> None:
+        if ctx.msg_type() != "DATA":
+            return
+        seq = ctx.field("seq")
+        seen = ctx.state.setdefault("seen", set())
+        if seq in seen:
+            return  # retransmissions pass straight through
+        seen.add(seq)
+        if not ctx.state.get("holding"):
+            ctx.state["holding"] = True
+            ctx.hold("pair")
+        else:
+            ctx.state["holding"] = False
+            ctx.release("pair")
+
+    testbed.pfi.set_send_filter(swap_pairs)
+    payload = b"D" * (512 * 8)
+    client.send(payload)
+    # the drop-policy receiver recovers one gap per (backed-off) RTO
+    # cycle, so give the transfer plenty of virtual time
+    testbed.env.run_until(500.0)
+    return {
+        "queue_ooo": queue_ooo,
+        "retransmissions": testbed.trace.count("tcp.retransmit",
+                                               conn="xkernel:6000"),
+        "delivered_ok": bytes(server.delivered) == payload,
+        "ooo_dropped": testbed.trace.count("tcp.ooo_dropped",
+                                           conn="vendor:80"),
+    }
+
+
+def test_ablation_out_of_order_queueing(once_benchmark):
+    queueing = once_benchmark(run_ooo_ablation, True)
+    dropping = run_ooo_ablation(False)
+    emit("Ablation 3: queueing vs dropping out-of-order segments",
+         render_table("8-segment transfer with every pair swapped in flight",
+                      ["Receiver policy", "Sender retransmissions",
+                       "Delivered intact"],
+                      [["queue (RFC-1122 SHOULD)",
+                        queueing["retransmissions"],
+                        queueing["delivered_ok"]],
+                       ["drop", dropping["retransmissions"],
+                        dropping["delivered_ok"]]]))
+    assert queueing["delivered_ok"] and dropping["delivered_ok"]
+    assert dropping["ooo_dropped"] > 0
+    assert queueing["retransmissions"] == 0
+    assert dropping["retransmissions"] > queueing["retransmissions"], \
+        "dropping OOO segments must cost retransmissions (the RFC's point)"
+
+
+# ----------------------------------------------------------------------
+# 4. reliable-layer retransmissions under GMP
+# ----------------------------------------------------------------------
+
+def run_reliable_ablation(max_retries: int, seed: int = 5):
+    cluster = build_gmp_cluster([1, 2, 3], seed=seed)
+    rng = random.Random(seed)
+    for address in cluster.world:
+        channel = cluster.pfis[address].above  # the reliable layer
+        channel.max_retries = max_retries
+
+        def lossy(ctx: ScriptContext, _rng=rng) -> None:
+            if _rng.random() < 0.35:
+                ctx.drop()
+        cluster.pfis[address].set_send_filter(lossy)
+    cluster.start()
+    cluster.run_until(60.0)
+    return {
+        "max_retries": max_retries,
+        "converged": cluster.all_in_one_group(),
+        "views": {a: d.view.members for a, d in cluster.daemons.items()},
+    }
+
+
+def test_ablation_reliable_layer(once_benchmark):
+    with_retries = once_benchmark(run_reliable_ablation, 3)
+    trials_with = [with_retries] + [run_reliable_ablation(3, seed=s)
+                                    for s in (6, 7)]
+    trials_without = [run_reliable_ablation(0, seed=s) for s in (5, 6, 7)]
+    converged_with = sum(t["converged"] for t in trials_with)
+    converged_without = sum(t["converged"] for t in trials_without)
+    emit("Ablation 4: the GMP reliable layer under 35% send loss",
+         render_table("group convergence within 60 s (3 seeds)",
+                      ["Reliable-layer retries", "Converged"],
+                      [["3 (as built)", f"{converged_with}/3"],
+                       ["0 (ablated)", f"{converged_without}/3"]]))
+    assert converged_with > converged_without, \
+        "retransmissions must help convergence under loss"

@@ -1,0 +1,33 @@
+"""Regenerates paper §4.1 Experiment 5: reordering of messages.
+
+"The result was the same for [all four implementations].  The second
+packet (which actually arrived at the receiver first), was queued.  When
+the data from the first segment arrived at the receiver, the receiver
+acked the data from both segments."
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.tcp_reordering import run_all
+
+from conftest import emit
+
+
+def test_experiment5_reordering(once_benchmark):
+    results = once_benchmark(run_all)
+    rows = [[r.vendor,
+             "queued out-of-order segment" if r.second_segment_queued
+             else "DROPPED out-of-order segment",
+             "ACKed both segments at once" if r.acked_both_at_once
+             else "did NOT cumulatively ACK",
+             "delivered intact" if r.data_delivered_in_order
+             else "DATA CORRUPTED"]
+            for r in results.values()]
+    emit("Experiment 5: Reordering of messages",
+         render_table("(second segment overtakes a 3 s-delayed first)",
+                      ["Implementation", "Queueing", "Acknowledgement",
+                       "Integrity"], rows))
+    for result in results.values():
+        assert result.second_segment_queued
+        assert result.acked_both_at_once
+        assert result.data_delivered_in_order
+        assert result.duplicate_deliveries == 0

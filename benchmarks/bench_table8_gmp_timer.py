@@ -1,0 +1,41 @@
+"""Regenerates paper Table 8: the GMP timer test.
+
+A daemon that joins one group and then receives a second
+MEMBERSHIP_CHANGE must unset every timer except the membership-change
+timer.  The historical unregister procedure "worked the opposite of how it
+should have", leaving a heartbeat-expect timer armed: the daemon "timed
+out waiting for a heartbeat message from the leader" while IN_TRANSITION.
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.gmp_timer import run_all
+
+from conftest import emit
+
+
+def test_table8_timer_test(once_benchmark):
+    results = once_benchmark(run_all)
+    buggy, fixed = results["buggy"], results["fixed"]
+    rows = [
+        ["As delivered (inverted unregister)",
+         f"timers still armed while IN_TRANSITION: "
+         f"{', '.join(buggy.timers_armed_in_transition)}; a spurious "
+         f"heartbeat timeout fired for the leader",
+         "logic error in the unregister-timeouts procedure"],
+        ["After the fix",
+         f"timers armed while IN_TRANSITION: "
+         f"{', '.join(fixed.timers_armed_in_transition)} "
+         f"(the membership-change timer only)",
+         "behaved as specified"],
+    ]
+    emit("Table 8: GMP Timer Test",
+         render_table("(second MEMBERSHIP_CHANGE; incoming COMMITs and "
+                      "heartbeats dropped)",
+                      ["Implementation", "Results", "Comments"], rows))
+
+    assert buggy.second_change_received
+    assert buggy.spurious_heartbeat_timeout
+    assert "heartbeat_expect/1" in buggy.timers_armed_in_transition
+    assert not fixed.spurious_heartbeat_timeout
+    assert all(s.startswith("mc_timeout")
+               for s in fixed.timers_armed_in_transition)

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure from the paper's §4: it
+runs the experiment through ``pytest-benchmark`` (so regeneration cost is
+tracked), prints the paper-shaped rows, and asserts the qualitative shape
+so a regression in the protocol machinery fails the bench.
+
+Run them with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def emit(title: str, text: str) -> None:
+    """Print a regenerated table under a clear banner."""
+    banner = "=" * 72
+    print(f"\n{banner}\n{title}\n{banner}\n{text}\n")
+
+
+@pytest.fixture
+def once_benchmark(benchmark):
+    """A benchmark runner pinned to a single round.
+
+    Experiment runs are deterministic and take O(seconds); a single
+    measured round keeps ``--benchmark-only`` wall time sane while still
+    recording the regeneration cost.
+    """
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return run

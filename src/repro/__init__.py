@@ -1,0 +1,19 @@
+"""repro: script-driven probing and fault injection of protocol implementations.
+
+A full reproduction of Dawson & Jahanian, "Probing and Fault Injection of
+Protocol Implementations" (ICDCS 1995): the PFI tool, an x-Kernel-style
+protocol stack, a deterministic network simulator, a from-scratch TCP with
+four vendor behaviour profiles, a strong group membership protocol with its
+historical bugs, and the experiment harness that regenerates every table
+and figure in the paper's evaluation.
+
+Quick tour::
+
+    from repro.core import PFILayer, PythonFilter, make_env
+    from repro.tcp import TCPConnection, VENDORS
+    from repro.gmp import Daemon, BugFlags
+
+See ``examples/quickstart.py`` and README.md.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,37 @@
+"""Analysis helpers for turning traces into the paper's tables and figures.
+
+- :mod:`~repro.analysis.shape` -- detectors for the qualitative shapes the
+  paper reports: exponential backoff, upper-bound plateaus, interval
+  regularity.
+- :mod:`~repro.analysis.series` -- extraction of per-run interval series
+  (Figure 4's retransmission-timeout curves).
+- :mod:`~repro.analysis.tables` -- plain-text rendering of result rows in
+  the style of the paper's Tables 1-8.
+"""
+
+from repro.analysis.export import (VOLATILE_ATTRS, dump_trace, load_trace,
+                                   traces_equal)
+from repro.analysis.series import retransmission_series, transmissions_of_seq
+from repro.analysis.shape import (first_interval, intervals_plateau,
+                                  is_exponential_backoff, is_roughly_constant,
+                                  plateau_value)
+from repro.analysis.tables import render_table
+from repro.analysis.timeline import SequenceDiagram, gmp_sequence, tcp_sequence
+
+__all__ = [
+    "VOLATILE_ATTRS",
+    "dump_trace",
+    "first_interval",
+    "load_trace",
+    "traces_equal",
+    "intervals_plateau",
+    "is_exponential_backoff",
+    "is_roughly_constant",
+    "plateau_value",
+    "SequenceDiagram",
+    "gmp_sequence",
+    "tcp_sequence",
+    "render_table",
+    "retransmission_series",
+    "transmissions_of_seq",
+]

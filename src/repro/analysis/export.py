@@ -1,0 +1,107 @@
+"""Trace export/import: JSON-lines dumps for external analysis.
+
+Experiments produce :class:`~repro.netsim.trace.TraceRecorder` objects;
+this module serializes them to the JSON-lines format (one entry per line)
+so runs can be archived, diffed between versions, or analyzed with
+external tooling, and loads them back for offline queries.
+
+Non-JSON-native attribute values (tuples, sets, bytes) are converted to
+JSON-friendly forms on export; tuples come back as lists, which the
+comparison helpers normalize.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, Optional, Union
+
+from repro.netsim.trace import TraceEntry, TraceRecorder
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool, type(None))):
+        return value
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def _from_jsonable(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"__bytes__"}:
+            return bytes.fromhex(value["__bytes__"])
+        return {k: _from_jsonable(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_from_jsonable(v) for v in value]
+    return value
+
+
+#: attributes that are process-global bookkeeping rather than experiment
+#: state: message uids keep counting across runs in one process, so two
+#: otherwise-identical runs differ in them
+VOLATILE_ATTRS = ("uid", "original")
+
+
+def entry_to_dict(entry: TraceEntry, *,
+                  exclude_attrs: Iterable[str] = ()) -> Dict[str, Any]:
+    """One trace entry as a plain JSON-compatible dict."""
+    excluded = set(exclude_attrs)
+    return {"t": entry.time, "kind": entry.kind,
+            "attrs": {k: _jsonable(v) for k, v in entry.attrs.items()
+                      if k not in excluded}}
+
+
+def dump_trace(trace: Iterable[TraceEntry],
+               fp: Optional[IO[str]] = None, *,
+               exclude_attrs: Iterable[str] = ()) -> str:
+    """Serialize a trace to JSON lines; returns the text (and writes to
+    ``fp`` if given).
+
+    ``exclude_attrs`` drops named attributes from every entry; pass
+    :data:`VOLATILE_ATTRS` when the dump is for run-to-run comparison.
+    """
+    exclude = tuple(exclude_attrs)
+    lines = [json.dumps(entry_to_dict(entry, exclude_attrs=exclude),
+                        sort_keys=True)
+             for entry in trace]
+    text = "\n".join(lines)
+    if fp is not None:
+        fp.write(text)
+        if lines:
+            fp.write("\n")
+    return text
+
+
+def load_trace(source: Union[str, IO[str]]) -> TraceRecorder:
+    """Parse JSON lines back into a queryable TraceRecorder."""
+    if hasattr(source, "read"):
+        text = source.read()
+    else:
+        text = source
+    trace = TraceRecorder(clock=lambda: 0.0)
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        attrs = {k: _from_jsonable(v)
+                 for k, v in record.get("attrs", {}).items()}
+        trace.record(record["kind"], t=record["t"], **attrs)
+    return trace
+
+
+def traces_equal(a: Iterable[TraceEntry], b: Iterable[TraceEntry]) -> bool:
+    """Compare two traces modulo JSON round-trip normalization.
+
+    Useful for regression pinning: run an experiment twice (or across
+    versions) and assert the traces match exactly.
+    """
+    norm_a = [json.dumps(entry_to_dict(e), sort_keys=True) for e in a]
+    norm_b = [json.dumps(entry_to_dict(e), sort_keys=True) for e in b]
+    return norm_a == norm_b

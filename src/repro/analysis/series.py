@@ -1,0 +1,56 @@
+"""Figure-series extraction from traces.
+
+Figure 4 of the paper plots retransmission-timeout values (the interval
+before each successive retransmission of the same segment) for the
+no-delay, three-second-delay, and eight-second-delay experiments.  These
+helpers pull that series out of a run's trace.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.netsim.trace import TraceRecorder
+
+
+def transmissions_of_seq(trace: TraceRecorder, conn: str,
+                         seq: int) -> List[float]:
+    """Timestamps of every transmission of one sequence number."""
+    return [entry.time for entry in trace.entries("tcp.transmit", conn=conn)
+            if entry.get("seq") == seq]
+
+
+def retransmission_series(trace: TraceRecorder, conn: str,
+                          seq: Optional[int] = None) -> List[float]:
+    """Interval before each retransmission of the most-retransmitted
+    segment of a connection (or of an explicit ``seq``).
+
+    This is one curve of Figure 4: ``series[i]`` is the timeout that
+    expired before retransmission ``i+1``.
+    """
+    if seq is None:
+        seq = most_retransmitted_seq(trace, conn)
+        if seq is None:
+            return []
+    times = transmissions_of_seq(trace, conn, seq)
+    return [b - a for a, b in zip(times, times[1:])]
+
+
+def most_retransmitted_seq(trace: TraceRecorder, conn: str) -> Optional[int]:
+    """The sequence number with the most retransmit events, or None."""
+    counts = {}
+    for entry in trace.entries("tcp.retransmit", conn=conn):
+        seq = entry.get("seq")
+        counts[seq] = counts.get(seq, 0) + 1
+    if not counts:
+        return None
+    return max(counts, key=lambda s: (counts[s], -s))
+
+
+def retransmit_counts_by_seq(trace: TraceRecorder, conn: str) -> dict:
+    """Map of seq -> number of retransmissions for a connection."""
+    counts: dict = {}
+    for entry in trace.entries("tcp.retransmit", conn=conn):
+        seq = entry.get("seq")
+        counts[seq] = counts.get(seq, 0) + 1
+    return counts

@@ -1,0 +1,96 @@
+"""Shape detectors.
+
+The reproduction's benchmarks assert *shapes* -- who backs off
+exponentially, where intervals plateau, who probes forever -- rather than
+absolute timings, because the substrate is a simulator rather than the
+authors' testbed.  These helpers define those shapes precisely so every
+bench and test uses the same notion.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def is_exponential_backoff(intervals: Sequence[float], *,
+                           ratio_low: float = 1.5, ratio_high: float = 3.0,
+                           cap: Optional[float] = None,
+                           floor: Optional[float] = None,
+                           tolerance: float = 0.15) -> bool:
+    """True if successive intervals roughly double until an optional cap.
+
+    Each ratio of successive intervals must fall within
+    ``[ratio_low, ratio_high]`` (doubling with timer-tick slop), with two
+    clamping exceptions:
+
+    - once the series reaches ``cap`` (within ``tolerance`` relative), it
+      may stay flat at the cap -- including the first, partial step onto
+      the cap (48 -> 64 in the BSD series);
+    - while the series sits at ``floor`` it may stay flat there (the
+      Solaris minimum-RTO floor produces 0.33, 0.33, 0.66, ...).
+    """
+    if len(intervals) < 2:
+        return True
+    for prev, cur in zip(intervals, intervals[1:]):
+        if prev <= 0:
+            return False
+        if cap is not None and cur >= prev * (1 - tolerance) and \
+                abs(cur - cap) <= tolerance * cap:
+            continue  # stepping onto, or sitting at, the cap
+        if floor is not None and \
+                abs(prev - floor) <= tolerance * floor and \
+                abs(cur - floor) <= tolerance * floor:
+            continue  # flat at the minimum-RTO floor
+        ratio = cur / prev
+        if not ratio_low <= ratio <= ratio_high:
+            return False
+    return True
+
+
+def plateau_value(intervals: Sequence[float], *,
+                  tolerance: float = 0.1,
+                  min_run: int = 2) -> Optional[float]:
+    """The value the tail of the series flattens at, or None.
+
+    A plateau is ``min_run`` or more trailing intervals within
+    ``tolerance`` (relative) of their mean.
+    """
+    if len(intervals) < min_run:
+        return None
+    tail = list(intervals[-min_run:])
+    mean = sum(tail) / len(tail)
+    if mean <= 0:
+        return None
+    if all(abs(v - mean) <= tolerance * mean for v in tail):
+        return mean
+    return None
+
+
+def intervals_plateau(intervals: Sequence[float], at: float, *,
+                      tolerance: float = 0.1, min_run: int = 2) -> bool:
+    """True if the series flattens at roughly ``at``."""
+    value = plateau_value(intervals, tolerance=tolerance, min_run=min_run)
+    return value is not None and abs(value - at) <= tolerance * at
+
+
+def is_roughly_constant(intervals: Sequence[float], *,
+                        tolerance: float = 0.1) -> bool:
+    """True if every interval is within tolerance of the series mean."""
+    if not intervals:
+        return True
+    mean = sum(intervals) / len(intervals)
+    if mean <= 0:
+        return False
+    return all(abs(v - mean) <= tolerance * mean for v in intervals)
+
+
+def first_interval(times: Sequence[float]) -> Optional[float]:
+    """Gap between the first two timestamps, or None."""
+    if len(times) < 2:
+        return None
+    return times[1] - times[0]
+
+
+def intervals_of(times: Sequence[float]) -> List[float]:
+    """Successive differences of a timestamp series."""
+    return [b - a for a, b in zip(times, times[1:])]

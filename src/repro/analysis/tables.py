@@ -1,0 +1,59 @@
+"""Plain-text table rendering in the style of the paper's Tables 1-8.
+
+Each benchmark prints its table through :func:`render_table` so the output
+a user sees mirrors the rows the paper reports (implementation | results |
+comments).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import List, Sequence
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]], *,
+                 max_col_width: int = 48) -> str:
+    """Render a boxed, wrapped plain-text table."""
+    str_rows = [[_to_cell(cell) for cell in row] for row in rows]
+    wrapped_rows = [
+        [textwrap.wrap(cell, max_col_width) or [""] for cell in row]
+        for row in str_rows
+    ]
+    widths = []
+    for col, header in enumerate(headers):
+        cells = [len(line) for row in wrapped_rows
+                 for line in row[col]] if wrapped_rows else [0]
+        widths.append(min(max_col_width, max([len(header)] + cells)))
+
+    def rule(ch: str = "-") -> str:
+        return "+" + "+".join(ch * (w + 2) for w in widths) + "+"
+
+    def emit_row(lines_per_cell: List[List[str]]) -> List[str]:
+        height = max(len(lines) for lines in lines_per_cell)
+        out = []
+        for i in range(height):
+            cells = []
+            for col, lines in enumerate(lines_per_cell):
+                text = lines[i] if i < len(lines) else ""
+                cells.append(f" {text:<{widths[col]}} ")
+            out.append("|" + "|".join(cells) + "|")
+        return out
+
+    lines = [title, rule("=")]
+    lines.extend(emit_row([[h] for h in headers]))
+    lines.append(rule("="))
+    for row in wrapped_rows:
+        lines.extend(emit_row(row))
+        lines.append(rule())
+    return "\n".join(lines)
+
+
+def _to_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, (list, tuple)):
+        return ", ".join(_to_cell(v) for v in value)
+    return str(value)

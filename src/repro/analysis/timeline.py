@@ -1,0 +1,187 @@
+"""ASCII message-sequence diagrams from traces.
+
+The paper's Experiment 2 narrates its key discovery as a message-sequence
+ladder (A sends m1, B's ACK is delayed, the PFI starts dropping, ...).
+This module renders the same notation from a run's trace::
+
+        vendor                xkernel
+  0.000 |--------- SYN ----------->|
+  0.002 |<------- SYNACK ----------|
+  0.504 |-------- DATA ------x     |   (lost in flight)
+
+Build a :class:`SequenceDiagram` directly, or extract one from a trace
+with :func:`gmp_sequence` (GMP sends matched to receives, unmatched =
+lost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.netsim.trace import TraceRecorder
+
+
+@dataclass
+class SequenceEvent:
+    """One arrow of the ladder."""
+
+    time: float
+    src: str
+    dst: str
+    label: str
+    lost: bool = False
+
+
+class SequenceDiagram:
+    """Two-or-more participant ASCII ladder."""
+
+    def __init__(self, participants: Sequence[str], *, lane_width: int = 26):
+        if len(participants) < 2:
+            raise ValueError("a sequence diagram needs >= 2 participants")
+        self.participants = list(participants)
+        self.lane_width = lane_width
+        self.events: List[SequenceEvent] = []
+
+    def add(self, time: float, src: str, dst: str, label: str, *,
+            lost: bool = False) -> None:
+        """Record one message arrow."""
+        for name in (src, dst):
+            if name not in self.participants:
+                raise KeyError(f"unknown participant {name!r}")
+        self.events.append(SequenceEvent(time, src, dst, label, lost))
+
+    def render(self, *, max_events: Optional[int] = None) -> str:
+        """The ladder, one line per message, time-ordered."""
+        width = self.lane_width
+        header = " " * 9 + "".join(f"{name:^{width}}"
+                                   for name in self.participants)
+        lines = [header]
+        events = sorted(self.events, key=lambda e: e.time)
+        if max_events is not None and len(events) > max_events:
+            skipped = len(events) - max_events
+            events = events[:max_events]
+        else:
+            skipped = 0
+        for event in events:
+            lines.append(self._render_event(event))
+        if skipped:
+            lines.append(f"          ... {skipped} more message(s)")
+        return "\n".join(lines)
+
+    def _render_event(self, event: SequenceEvent) -> str:
+        width = self.lane_width
+        src_i = self.participants.index(event.src)
+        dst_i = self.participants.index(event.dst)
+        lo, hi = sorted((src_i, dst_i)) if src_i != dst_i \
+            else (src_i, src_i + 1 if src_i + 1 < len(self.participants)
+                  else src_i - 1)
+        lo, hi = min(lo, hi), max(lo, hi)
+        span = (hi - lo) * width - 2      # characters between the lanes
+        label = event.label
+        if len(label) > span - 8:
+            label = label[:max(1, span - 11)] + "..."
+        pad_total = max(0, span - len(label) - 2)
+        left_pad = pad_total // 2
+        right_pad = pad_total - left_pad
+        if event.src == event.dst:
+            arrow = "|" + f"(self: {label})".center(span) + "|"
+        elif src_i < dst_i:
+            body = "-" * left_pad + " " + label + " " + "-" * right_pad
+            arrow = "|" + (body[:-2] + "x " if event.lost
+                           else body[:-1] + ">") + "|"
+        else:
+            body = "-" * left_pad + " " + label + " " + "-" * right_pad
+            arrow = "|" + ("x" + body[2:] if event.lost
+                           else "<" + body[1:]) + "|"
+        # indent the arrow to sit between lane centrelines lo and hi
+        indent = lo * width + width // 2
+        return (f"{event.time:8.3f} " + " " * indent + arrow).rstrip()
+
+
+def tcp_sequence(trace: TraceRecorder, lanes: Dict[str, str], *,
+                 start: float = 0.0, end: float = float("inf"),
+                 lane_width: int = 26,
+                 include_acks: bool = True) -> SequenceDiagram:
+    """Extract a TCP segment ladder from a trace.
+
+    ``lanes`` maps connection names (the ``conn`` trace attribute) to lane
+    labels, e.g. ``{"vendor:5000": "vendor", "xkernel:80": "xkernel"}``.
+    A transmission with no matching ``tcp.receive`` on the peer lane is
+    drawn as lost.  Labels carry the segment type, sequence number, and a
+    retransmission marker.
+    """
+    if len(lanes) != 2:
+        raise ValueError("tcp_sequence draws exactly two connections")
+    (conn_a, name_a), (conn_b, name_b) = lanes.items()
+    peer = {conn_a: conn_b, conn_b: conn_a}
+    names = {conn_a: name_a, conn_b: name_b}
+    diagram = SequenceDiagram([name_a, name_b], lane_width=lane_width)
+    receives = list(trace.entries("tcp.receive"))
+    used = [False] * len(receives)
+    for sent in trace.entries("tcp.transmit"):
+        if not start <= sent.time <= end:
+            continue
+        conn = sent.get("conn")
+        if conn not in names:
+            continue
+        if not include_acks and sent.get("msg_type") == "ACK":
+            continue
+        delivered = False
+        for i, received in enumerate(receives):
+            if used[i]:
+                continue
+            if (received.get("conn") == peer[conn]
+                    and received.get("seq") == sent.get("seq")
+                    and received.get("msg_type") == sent.get("msg_type")
+                    and received.get("ack") == sent.get("ack")
+                    and received.time >= sent.time):
+                used[i] = True
+                delivered = True
+                break
+        label = f"{sent.get('msg_type')} seq={sent.get('seq')}"
+        if sent.get("retransmission"):
+            label += " (rtx)"
+        diagram.add(sent.time, names[conn], names[peer[conn]], label,
+                    lost=not delivered)
+    return diagram
+
+
+def gmp_sequence(trace: TraceRecorder, nodes: Sequence[int], *,
+                 kinds: Optional[Iterable[str]] = None,
+                 start: float = 0.0, end: float = float("inf"),
+                 lane_width: int = 26) -> SequenceDiagram:
+    """Extract a GMP message ladder from a trace.
+
+    A ``gmp.send`` with no matching ``gmp.receive`` (same kind, sender,
+    destination, at a later time) is drawn as lost.
+    """
+    wanted_kinds = set(kinds) if kinds is not None else None
+    node_names = {n: f"gmd{n}" for n in nodes}
+    diagram = SequenceDiagram([node_names[n] for n in nodes],
+                              lane_width=lane_width)
+    receives = list(trace.entries("gmp.receive"))
+    used = [False] * len(receives)
+    for send in trace.entries("gmp.send"):
+        if not start <= send.time <= end:
+            continue
+        kind = send.get("msg_kind")
+        src, dst = send.get("node"), send.get("dst")
+        if src not in node_names or dst not in node_names:
+            continue
+        if wanted_kinds is not None and kind not in wanted_kinds:
+            continue
+        delivered = False
+        for i, receive in enumerate(receives):
+            if used[i]:
+                continue
+            if (receive.get("msg_kind") == kind
+                    and receive.get("node") == dst
+                    and receive.get("src") == src
+                    and receive.time >= send.time):
+                used[i] = True
+                delivered = True
+                break
+        diagram.add(send.time, node_names[src], node_names[dst], kind,
+                    lost=not delivered)
+    return diagram

@@ -1,0 +1,320 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+The paper's §6 lists "development of a more elaborate tool" as ongoing
+work; this CLI is that tool's headless form.  Usage::
+
+    python -m repro table1            # Table 1: TCP retransmission
+    python -m repro table5            # Table 5: GMP packet interruption
+    python -m repro figure4           # Figure 4 series
+    python -m repro all               # everything
+    python -m repro campaign gmp      # auto-generated script battery
+    python -m repro campaign tcp --tclish   # show the tclish sources
+
+Each table command runs the live experiment (nothing is cached) and
+prints the paper-shaped rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.analysis.tables import render_table
+
+
+def _print(title: str, body: str) -> None:
+    bar = "=" * 72
+    print(f"{bar}\n{title}\n{bar}\n{body}\n")
+
+
+# ----------------------------------------------------------------------
+# table commands
+# ----------------------------------------------------------------------
+
+def cmd_table1(_args) -> None:
+    from repro.experiments.tcp_retransmission import run_all, table_rows
+    results = run_all()
+    _print("Table 1: TCP Retransmission Timeout Results",
+           render_table("(pass 30 packets, then drop all incoming)",
+                        ["Implementation", "Results", "Comments"],
+                        table_rows(results)))
+
+
+def cmd_table2(args) -> None:
+    from repro.experiments.tcp_delayed_ack import run_all, table_rows
+    delay = getattr(args, "delay", 3.0) or 3.0
+    results = run_all(delay)
+    _print(f"Table 2: RTO with {delay:.0f}-second delayed ACKs",
+           render_table("(delay 30 ACKs, then drop all incoming)",
+                        ["Implementation", "Results", "Comments"],
+                        table_rows(results)))
+
+
+def cmd_table3(_args) -> None:
+    from repro.experiments.tcp_keepalive import run_all, table_rows
+    _print("Table 3: TCP Keep-alive Results",
+           render_table("(idle connection, keep-alive enabled)",
+                        ["Implementation", "Results", "Comments"],
+                        table_rows(run_all())))
+
+
+def cmd_table4(_args) -> None:
+    from repro.experiments.tcp_zero_window import run_all, table_rows
+    for variant in ("acked", "unacked"):
+        _print(f"Table 4: Zero Window Probes (probes {variant})",
+               render_table("(receiver never consumes)",
+                            ["Implementation", "Results", "Comments"],
+                            table_rows(run_all(variant))))
+
+
+def cmd_exp5(_args) -> None:
+    from repro.experiments.tcp_reordering import run_all
+    rows = [[r.vendor,
+             "queued" if r.second_segment_queued else "dropped",
+             "cumulative ACK" if r.acked_both_at_once else "partial ACKs",
+             "intact" if r.data_delivered_in_order else "CORRUPTED"]
+            for r in run_all().values()]
+    _print("Experiment 5: Reordering of messages",
+           render_table("(second segment overtakes a delayed first)",
+                        ["Implementation", "OOO policy", "ACK", "Data"],
+                        rows))
+
+
+def cmd_figure4(_args) -> None:
+    from repro.experiments.tcp_delayed_ack import run_all as run_delayed
+    from repro.experiments.tcp_retransmission import run_all as run_nodelay
+    panels = {
+        "no delay": run_nodelay(),
+        "3 s ACK delay": run_delayed(3.0),
+        "8 s ACK delay": run_delayed(8.0),
+    }
+    for title, results in panels.items():
+        lines = []
+        for name, result in results.items():
+            series = " ".join(f"{v:7.2f}" for v in result.intervals)
+            lines.append(f"{name:<13s} {series}")
+        _print(f"Figure 4 panel: {title} (seconds before each "
+               f"retransmission)", "\n".join(lines))
+
+
+def cmd_table5(_args) -> None:
+    from repro.experiments.gmp_packet_interruption import run_all
+    results = run_all()
+    rows = []
+    for key, value in results.items():
+        attrs = ", ".join(f"{k}={v}" for k, v in vars(value).items()
+                          if not k.startswith("_"))
+        rows.append([key, attrs])
+    _print("Table 5: GMP Packet Interruption",
+           render_table("(three machines)", ["Experiment", "Findings"],
+                        rows))
+
+
+def cmd_table6(_args) -> None:
+    from repro.experiments.gmp_partition import run_all
+    results = run_all()
+    rows = [[key, ", ".join(f"{k}={v}" for k, v in vars(value).items())]
+            for key, value in results.items()]
+    _print("Table 6: Network Partition Experiment",
+           render_table("(five machines)", ["Experiment", "Findings"],
+                        rows))
+
+
+def cmd_table7(_args) -> None:
+    from repro.experiments.gmp_proclaim import run_all
+    results = run_all()
+    rows = [[key, ", ".join(f"{k}={v}" for k, v in vars(value).items())]
+            for key, value in results.items()]
+    _print("Table 7: Proclaim Forwarding Experiment",
+           render_table("(newcomer's proclaim to leader dropped)",
+                        ["Build", "Findings"], rows))
+
+
+def cmd_table8(_args) -> None:
+    from repro.experiments.gmp_timer import run_all
+    results = run_all()
+    rows = [[key, ", ".join(f"{k}={v}" for k, v in vars(value).items())]
+            for key, value in results.items()]
+    _print("Table 8: GMP Timer Test",
+           render_table("(second membership change; commits+heartbeats "
+                        "dropped)", ["Build", "Findings"], rows))
+
+
+def cmd_all(args) -> None:
+    for fn in (cmd_table1, cmd_table2, cmd_table3, cmd_table4, cmd_exp5,
+               cmd_figure4, cmd_table5, cmd_table6, cmd_table7, cmd_table8):
+        fn(args)
+
+
+def cmd_run_script(args) -> None:
+    """Run a user-supplied tclish filter file against a standard workload.
+
+    The TCP workload is the paper's default rig (vendor -> x-kernel,
+    steady data stream); the GMP workload is a three-machine group.  The
+    script is installed on the x-kernel machine's PFI layer (TCP) or on
+    machine 3's (GMP).
+    """
+    from repro.core import TclishFilter
+    with open(args.script_file) as fp:
+        source = fp.read()
+    script = TclishFilter(source, init_script=args.init or "",
+                          name=args.script_file)
+
+    if args.protocol == "tcp":
+        from repro.experiments.tcp_common import (build_tcp_testbed,
+                                                  open_connection,
+                                                  stream_from_vendor)
+        from repro.tcp import VENDORS
+        testbed = build_tcp_testbed(VENDORS[args.vendor])
+        client, server = open_connection(testbed)
+        if args.direction == "send":
+            testbed.pfi.set_send_filter(script)
+        else:
+            testbed.pfi.set_receive_filter(script)
+        stream_from_vendor(testbed, client,
+                           segments=int(args.duration), interval=0.5)
+        testbed.env.run_until(args.duration)
+        pfi = testbed.pfi
+        trace = testbed.trace
+        print(f"ran {args.script_file} for {args.duration:.0f} virtual "
+              f"seconds against {args.vendor}")
+        print(f"connection: {client.state}"
+              + (f" ({client.close_reason})" if client.close_reason else ""))
+        print(f"delivered: {len(server.delivered)} bytes; "
+              f"retransmissions: "
+              f"{trace.count('tcp.retransmit', conn='vendor:5000')}")
+    else:
+        from repro.experiments.gmp_common import build_gmp_cluster
+        cluster = build_gmp_cluster([1, 2, 3])
+        if args.direction == "send":
+            cluster.pfis[3].set_send_filter(script)
+        else:
+            cluster.pfis[3].set_receive_filter(script)
+        cluster.start()
+        cluster.run_until(args.duration)
+        pfi = cluster.pfis[3]
+        print(f"ran {args.script_file} for {args.duration:.0f} virtual "
+              f"seconds against a 3-machine GMP group")
+        for address, daemon in cluster.daemons.items():
+            print(f"  gmd{address}: {daemon.status} "
+                  f"view={list(daemon.view.members)}")
+
+    print(f"pfi stats: {pfi.stats}")
+    if script.output_lines:
+        print("script output:")
+        for line in script.output_lines[-20:]:
+            print(f"  | {line}")
+    if pfi.msglog.lines:
+        print("last log lines:")
+        for line in pfi.msglog.lines[-10:]:
+            print(f"  {line}")
+
+
+def cmd_sequence(args) -> None:
+    """Render a message-sequence ladder for a standard workload."""
+    if args.protocol == "tcp":
+        from repro.analysis.timeline import tcp_sequence
+        from repro.experiments.tcp_common import (build_tcp_testbed,
+                                                  open_connection)
+        from repro.tcp import VENDORS
+        testbed = build_tcp_testbed(VENDORS[args.vendor])
+        client, _server = open_connection(testbed)
+        client.send(b"L" * 512 * 3)
+        testbed.env.run_until(args.duration)
+        diagram = tcp_sequence(
+            testbed.trace,
+            {"vendor:5000": "vendor", "xkernel:80": "xkernel"})
+    else:
+        from repro.analysis.timeline import gmp_sequence
+        from repro.experiments.gmp_common import build_gmp_cluster
+        cluster = build_gmp_cluster([1, 2, 3])
+        cluster.start()
+        cluster.run_until(args.duration)
+        diagram = gmp_sequence(
+            cluster.trace, [1, 2, 3],
+            kinds={"PROCLAIM", "JOIN", "MEMBERSHIP_CHANGE", "ACK",
+                   "COMMIT"})
+    print(diagram.render(max_events=args.max_events))
+
+
+def cmd_campaign(args) -> None:
+    from repro.core.genscripts import (generate_campaign, gmp_spec,
+                                       tcp_spec)
+    spec = tcp_spec() if args.protocol == "tcp" else gmp_spec()
+    scripts = generate_campaign(spec)
+    print(f"{len(scripts)} scripts generated for {spec.name}:\n")
+    for script in scripts:
+        print(f"  [{script.failure_model.value:>16}] {script.name:<40} "
+              f"{script.description}")
+        if args.tclish:
+            for line in script.tclish_source.splitlines():
+                print(f"      | {line}")
+    print()
+
+
+COMMANDS: Dict[str, Callable] = {
+    "table1": cmd_table1, "table2": cmd_table2, "table3": cmd_table3,
+    "table4": cmd_table4, "exp5": cmd_exp5, "figure4": cmd_figure4,
+    "table5": cmd_table5, "table6": cmd_table6, "table7": cmd_table7,
+    "table8": cmd_table8, "all": cmd_all,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of Dawson & "
+                    "Jahanian, ICDCS 1995.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in COMMANDS:
+        cmd = sub.add_parser(name, help=f"regenerate {name}")
+        if name == "table2":
+            cmd.add_argument("--delay", type=float, default=3.0,
+                             help="ACK delay in seconds (default 3)")
+    campaign = sub.add_parser(
+        "campaign", help="auto-generate a test-script battery from a "
+                         "protocol spec (paper §6 future work)")
+    campaign.add_argument("protocol", choices=["tcp", "gmp"])
+    campaign.add_argument("--tclish", action="store_true",
+                          help="print the generated tclish sources")
+    runner = sub.add_parser(
+        "run-script", help="run a tclish filter file against a standard "
+                           "TCP or GMP workload")
+    runner.add_argument("script_file", help="path to the tclish source")
+    runner.add_argument("--protocol", choices=["tcp", "gmp"],
+                        default="tcp")
+    runner.add_argument("--direction", choices=["send", "receive"],
+                        default="receive")
+    runner.add_argument("--vendor", default="SunOS 4.1.3",
+                        help="TCP vendor profile name")
+    runner.add_argument("--duration", type=float, default=120.0,
+                        help="virtual seconds to run")
+    runner.add_argument("--init", default="",
+                        help="init script (e.g. 'set n 0')")
+    sequence = sub.add_parser(
+        "sequence", help="render a message-sequence ladder for a "
+                         "standard TCP or GMP run")
+    sequence.add_argument("--protocol", choices=["tcp", "gmp"],
+                          default="gmp")
+    sequence.add_argument("--vendor", default="SunOS 4.1.3")
+    sequence.add_argument("--duration", type=float, default=5.0)
+    sequence.add_argument("--max-events", type=int, default=30)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "campaign":
+        cmd_campaign(args)
+    elif args.command == "run-script":
+        cmd_run_script(args)
+    elif args.command == "sequence":
+        cmd_sequence(args)
+    else:
+        COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""Probability distribution utilities for probabilistic fault injection.
+
+The paper: "a set of procedures which allow the user to generate
+probability distributions.  For example, a call such as
+``dst_normal mean var`` will produce numbers with a normal distribution
+around mean with variance var.  In this way, it is possible for the script
+writer to perform actions on messages in a probabilistic manner."
+
+:class:`DistributionSet` wraps a seeded PRNG and exposes the draw functions
+under their paper-style names.  Each PFI layer owns one, derived
+deterministically from the experiment seed and the node name, so runs are
+reproducible while nodes stay decorrelated.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+
+class DistributionSet:
+    """Seeded random draws for filter scripts."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    @property
+    def rng(self) -> random.Random:
+        """The underlying PRNG (for APIs that want a random.Random)."""
+        return self._rng
+
+    def dst_normal(self, mean: float, var: float) -> float:
+        """Normal draw with the paper's (mean, variance) signature."""
+        if var < 0:
+            raise ValueError("variance must be non-negative")
+        return self._rng.gauss(mean, math.sqrt(var))
+
+    def dst_uniform(self, low: float, high: float) -> float:
+        """Uniform draw in [low, high]."""
+        return self._rng.uniform(low, high)
+
+    def dst_exponential(self, rate: float) -> float:
+        """Exponential draw with the given rate (lambda)."""
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        return self._rng.expovariate(rate)
+
+    def dst_bernoulli(self, p: float) -> bool:
+        """True with probability p."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability must be within [0, 1], got {p}")
+        return self._rng.random() < p
+
+    def chance(self, p: float) -> bool:
+        """Alias of :meth:`dst_bernoulli` reading better in scripts."""
+        return self.dst_bernoulli(p)
+
+    def dst_geometric(self, p: float) -> int:
+        """Number of Bernoulli(p) trials until the first success (>= 1)."""
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"probability must be within (0, 1], got {p}")
+        count = 1
+        while self._rng.random() >= p:
+            count += 1
+        return count
+
+    def choice(self, items: Sequence):
+        """Uniform choice from a non-empty sequence."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return self._rng.choice(items)
+
+    def fork(self, label: str) -> "DistributionSet":
+        """Derive an independent, deterministic child stream."""
+        return DistributionSet(hash((self._rng.random(), label)) & 0x7FFFFFFF)
+
+
+def derive_seed(base_seed: int, *labels) -> int:
+    """Stable seed derivation from a base seed and string/int labels."""
+    value = base_seed & 0xFFFFFFFF
+    for label in labels:
+        for ch in str(label):
+            value = (value * 1000003 + ord(ch)) & 0xFFFFFFFF
+    return value

@@ -1,0 +1,103 @@
+"""The driver layer.
+
+"The driver layer is responsible for generating messages and running the
+test. ... most message generation [is done by the driver] so that data
+structures in the target protocol will be updated correctly."
+
+The PFI layer can forge stateless messages (a spurious ACK), but messages
+that consume protocol state -- a TCP data segment with a real sequence
+number -- must come from *above* the target protocol so the target updates
+its own bookkeeping.  :class:`Driver` is that layer: it sits at the top of
+a stack, originates application payloads on a schedule or on demand, and
+records everything delivered up to it.
+
+For protocols exposing a connection API rather than a push/pop interface
+(our TCP), the experiment code uses :class:`AppSink`-style recording
+against the protocol object directly; the Driver remains the generic
+xkernel form.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.netsim.scheduler import Scheduler
+from repro.netsim.trace import TraceRecorder
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol
+
+
+class Driver(Protocol):
+    """Top-of-stack test driver: traffic source and delivery sink."""
+
+    def __init__(self, name: str, scheduler: Scheduler, *,
+                 trace: Optional[TraceRecorder] = None):
+        super().__init__(name)
+        self.scheduler = scheduler
+        self.trace = trace
+        self.received: List[Tuple[float, Message]] = []
+        self.on_deliver: Optional[Callable[[Message], None]] = None
+        self._consume = True
+        self.backlog: List[Message] = []
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def send(self, payload: Any, **meta: Any) -> Message:
+        """Originate one message immediately."""
+        msg = payload if isinstance(payload, Message) else Message(payload)
+        msg.meta.update(meta)
+        self.send_down(msg)
+        return msg
+
+    def send_at(self, time: float, payload: Any, **meta: Any) -> None:
+        """Originate one message at an absolute virtual time."""
+        def fire() -> None:
+            self.send(payload, **meta)
+        self.scheduler.schedule_at(time, fire)
+
+    def send_burst(self, payloads: List[Any], interval: float,
+                   start_delay: float = 0.0) -> None:
+        """Originate a list of messages spaced ``interval`` apart."""
+        for i, payload in enumerate(payloads):
+            self.scheduler.schedule(start_delay + i * interval, self.send, payload)
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+
+    def pop(self, msg: Message) -> None:
+        if not self._consume:
+            self.backlog.append(msg)
+            return
+        self._deliver(msg)
+
+    def _deliver(self, msg: Message) -> None:
+        self.received.append((self.scheduler.now, msg))
+        if self.trace is not None:
+            self.trace.record("driver.deliver", t=self.scheduler.now,
+                              node=self.name, uid=msg.uid)
+        if self.on_deliver is not None:
+            self.on_deliver(msg)
+
+    def pause_consuming(self) -> None:
+        """Stop accepting deliveries; they accumulate in a backlog.
+
+        This is the driver-side trick behind the zero-window experiment:
+        "the driver layer ... did not reset the receive buffer space inside
+        the TCP layer", forcing the advertised window to zero.
+        """
+        self._consume = False
+
+    def resume_consuming(self) -> None:
+        """Accept deliveries again, draining the backlog in order."""
+        self._consume = True
+        backlog, self.backlog = self.backlog, []
+        for msg in backlog:
+            self._deliver(msg)
+
+    @property
+    def received_payloads(self) -> List[Any]:
+        """Payloads of everything delivered, in delivery order."""
+        return [msg.payload for _, msg in self.received]

@@ -1,0 +1,244 @@
+"""Failure-model fault injectors (paper §2.2).
+
+Each factory below builds a filter script (or filter pair) that makes a
+protocol participant misbehave according to one of the classic distributed
+failure models.  The models, in the paper's order of increasing severity:
+
+1. **process crash** -- halt prematurely, then do nothing;
+2. **link crash** -- a link stops transporting messages (no corruption);
+3. **send omission** -- intermittently omit sends;
+4. **receive omission** -- intermittently omit receives;
+5. **general omission** -- send and/or receive omission;
+6. **timing/performance** -- violate timing bounds (too slow or too fast);
+7. **arbitrary/byzantine** -- anything: spurious messages, corruption,
+   reordering, false claims.
+
+The severity lattice ("Model B is more severe than model A if the set of
+faulty behavior allowed by A is a proper subset allowed by B") is encoded
+in :data:`SEVERITY_ORDER` / :func:`is_at_least_as_severe` and
+property-tested in ``tests/core/test_faults.py``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.context import ScriptContext
+from repro.core.script import PythonFilter
+
+
+class FailureModel(enum.Enum):
+    """The failure models of paper §2.2."""
+
+    PROCESS_CRASH = "process_crash"
+    LINK_CRASH = "link_crash"
+    SEND_OMISSION = "send_omission"
+    RECEIVE_OMISSION = "receive_omission"
+    GENERAL_OMISSION = "general_omission"
+    TIMING = "timing"
+    BYZANTINE = "byzantine"
+
+
+#: Total severity order, least to most severe (the paper presents the
+#: models "in the order of severity").
+SEVERITY_ORDER = (
+    FailureModel.PROCESS_CRASH,
+    FailureModel.LINK_CRASH,
+    FailureModel.SEND_OMISSION,
+    FailureModel.RECEIVE_OMISSION,
+    FailureModel.GENERAL_OMISSION,
+    FailureModel.TIMING,
+    FailureModel.BYZANTINE,
+)
+
+#: Strict subset relations between behaviour sets: each model maps to the
+#: models whose faulty behaviours it includes.  Tolerating the superset
+#: model implies tolerating every model it covers.
+COVERS: Dict[FailureModel, Tuple[FailureModel, ...]] = {
+    FailureModel.PROCESS_CRASH: (),
+    FailureModel.LINK_CRASH: (),
+    FailureModel.SEND_OMISSION: (FailureModel.PROCESS_CRASH,),
+    FailureModel.RECEIVE_OMISSION: (FailureModel.PROCESS_CRASH,),
+    FailureModel.GENERAL_OMISSION: (
+        FailureModel.SEND_OMISSION, FailureModel.RECEIVE_OMISSION,
+        FailureModel.LINK_CRASH, FailureModel.PROCESS_CRASH),
+    FailureModel.TIMING: (
+        FailureModel.GENERAL_OMISSION, FailureModel.SEND_OMISSION,
+        FailureModel.RECEIVE_OMISSION, FailureModel.LINK_CRASH,
+        FailureModel.PROCESS_CRASH),
+    FailureModel.BYZANTINE: (
+        FailureModel.TIMING, FailureModel.GENERAL_OMISSION,
+        FailureModel.SEND_OMISSION, FailureModel.RECEIVE_OMISSION,
+        FailureModel.LINK_CRASH, FailureModel.PROCESS_CRASH),
+}
+
+
+def is_at_least_as_severe(a: FailureModel, b: FailureModel) -> bool:
+    """True if model ``a`` covers all the faulty behaviours of ``b``."""
+    return a == b or b in COVERS[a]
+
+
+def tolerance_implied(tolerated: FailureModel) -> Tuple[FailureModel, ...]:
+    """Models a protocol provably tolerates given it tolerates ``tolerated``.
+
+    "A protocol implementation that tolerates failures of type B also
+    tolerates those of type A" when A's behaviours are a subset of B's.
+    """
+    return (tolerated,) + COVERS[tolerated]
+
+
+# ----------------------------------------------------------------------
+# fault factories
+# ----------------------------------------------------------------------
+
+Predicate = Callable[[ScriptContext], bool]
+
+
+def _always(_ctx: ScriptContext) -> bool:
+    return True
+
+
+def crash_after(n_messages: int = 0, *,
+                when: Optional[Predicate] = None) -> PythonFilter:
+    """Process/link crash: behave correctly, then drop everything forever.
+
+    The crash trips after ``n_messages`` have passed (or when the optional
+    predicate first holds), matching "before stopping, however, it behaves
+    correctly".
+    """
+    def fn(ctx: ScriptContext) -> None:
+        if ctx.state.get("crashed"):
+            ctx.drop()
+            return
+        seen = ctx.state.get("seen", 0) + 1
+        ctx.state["seen"] = seen
+        triggered = (when(ctx) if when is not None else seen > n_messages)
+        if triggered:
+            ctx.state["crashed"] = True
+            ctx.drop()
+    return PythonFilter(fn, name=f"crash_after_{n_messages}")
+
+
+def crash_at(time: float) -> PythonFilter:
+    """Crash at a fixed virtual time instead of a message count."""
+    def fn(ctx: ScriptContext) -> None:
+        if ctx.now >= time:
+            ctx.drop()
+    return PythonFilter(fn, name=f"crash_at_{time}")
+
+
+def send_omission(p: float) -> PythonFilter:
+    """Send omission: each outgoing message is dropped with probability p.
+
+    Install as a **send filter**.
+    """
+    def fn(ctx: ScriptContext) -> None:
+        if ctx.dist.chance(p):
+            ctx.drop()
+    return PythonFilter(fn, name=f"send_omission_{p}")
+
+
+def receive_omission(p: float) -> PythonFilter:
+    """Receive omission: each incoming message dropped with probability p.
+
+    Install as a **receive filter**.
+    """
+    def fn(ctx: ScriptContext) -> None:
+        if ctx.dist.chance(p):
+            ctx.drop()
+    return PythonFilter(fn, name=f"receive_omission_{p}")
+
+
+def general_omission(p_send: float, p_receive: float) -> Tuple[PythonFilter, PythonFilter]:
+    """General omission: a (send_filter, receive_filter) pair."""
+    return send_omission(p_send), receive_omission(p_receive)
+
+
+def timing_failure(delay: float = 0.0, *,
+                   jitter_var: float = 0.0,
+                   when: Optional[Predicate] = None) -> PythonFilter:
+    """Timing failure: messages are transported slower than specified.
+
+    Adds ``delay`` (plus an optional normal jitter) to each message for
+    which ``when`` holds (all messages by default).
+    """
+    def fn(ctx: ScriptContext) -> None:
+        if when is not None and not when(ctx):
+            return
+        extra = delay
+        if jitter_var > 0:
+            extra = max(0.0, extra + ctx.dist.dst_normal(0.0, jitter_var))
+        if extra > 0:
+            ctx.delay(extra)
+    return PythonFilter(fn, name=f"timing_{delay}s")
+
+
+def byzantine_corruption(mutate: Callable[[ScriptContext], None], *,
+                         p: float = 1.0) -> PythonFilter:
+    """Byzantine fault: arbitrarily modify message content.
+
+    ``mutate(ctx)`` performs the corruption (usually via
+    ``ctx.set_field``); it runs on each message with probability ``p``.
+    """
+    def fn(ctx: ScriptContext) -> None:
+        if p >= 1.0 or ctx.dist.chance(p):
+            mutate(ctx)
+    return PythonFilter(fn, name="byzantine_corruption")
+
+
+def byzantine_spurious(type_name: str, *, every_n: int = 1,
+                       direction: Optional[str] = None,
+                       **fields) -> PythonFilter:
+    """Byzantine fault: generate spurious messages of a stub type.
+
+    Injects one generated message per ``every_n`` intercepted messages.
+    """
+    def fn(ctx: ScriptContext) -> None:
+        count = ctx.state.get("count", 0) + 1
+        ctx.state["count"] = count
+        if count % every_n == 0:
+            ctx.inject(type_name, direction=direction, **fields)
+    return PythonFilter(fn, name=f"byzantine_spurious_{type_name}")
+
+
+def byzantine_reorder(window: int = 2) -> PythonFilter:
+    """Byzantine fault: reorder messages by holding then releasing batches.
+
+    Every ``window`` messages, the held batch is released after the newest
+    message, inverting arrival order pairwise.
+    """
+    if window < 2:
+        raise ValueError("reorder window must be >= 2")
+
+    def fn(ctx: ScriptContext) -> None:
+        pending = ctx.state.get("pending", 0)
+        if pending < window - 1:
+            ctx.state["pending"] = pending + 1
+            ctx.hold("reorder")
+        else:
+            ctx.state["pending"] = 0
+            ctx.release("reorder", delay=0.0)
+            # current message passes immediately; held ones follow, so the
+            # receiver observes the last-sent message first
+    return PythonFilter(fn, name=f"byzantine_reorder_{window}")
+
+
+def drop_by_type(*type_names: str) -> PythonFilter:
+    """Deterministic filter dropping every message of the given types."""
+    wanted = set(type_names)
+
+    def fn(ctx: ScriptContext) -> None:
+        if ctx.msg_type() in wanted:
+            ctx.drop()
+    return PythonFilter(fn, name=f"drop_{'_'.join(sorted(wanted))}")
+
+
+def delay_by_type(seconds: float, *type_names: str) -> PythonFilter:
+    """Deterministic filter delaying every message of the given types."""
+    wanted = set(type_names)
+
+    def fn(ctx: ScriptContext) -> None:
+        if ctx.msg_type() in wanted:
+            ctx.delay(seconds)
+    return PythonFilter(fn, name=f"delay_{seconds}s")

@@ -1,0 +1,277 @@
+"""Automatic generation of test scripts from a protocol specification.
+
+The paper's §6 names this as future work: "automatic generation of test
+scripts from a protocol specification".  This module implements it: given
+a :class:`ProtocolSpec` -- the protocol's message types, their fields, and
+which types are control-critical -- :func:`generate_campaign` derives a
+systematic battery of filter scripts covering the §2.2 failure models:
+
+- per-type **drop** scripts (omission of each message kind),
+- per-type **delay** scripts (timing failures),
+- per-type **duplicate** scripts,
+- per-type **reorder** scripts (hold one, release after the next),
+- per-field **corruption** scripts (byzantine),
+- probabilistic **omission** scripts,
+- a **crash** script (correct prefix, then silence).
+
+Every generated script exists in both backends: a Python
+:class:`~repro.core.script.PythonFilter` ready to install, and equivalent
+tclish source (the paper's "scripts are inputs" form), so the generated
+campaign is inspectable and editable by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.context import ScriptContext
+from repro.core.faults import FailureModel
+from repro.core.script import PythonFilter, TclishFilter
+
+
+@dataclass(frozen=True)
+class MessageTypeSpec:
+    """One message type of the target protocol."""
+
+    name: str
+    #: header fields a corruption script may mutate, with a sample
+    #: corrupted value per field
+    mutable_fields: Tuple[Tuple[str, Any], ...] = ()
+    #: control messages get reorder/duplicate coverage; bulk data types
+    #: can opt out to keep campaigns focused
+    control: bool = True
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """What the generator needs to know about a protocol."""
+
+    name: str
+    message_types: Tuple[MessageTypeSpec, ...]
+
+    def type_names(self) -> List[str]:
+        return [t.name for t in self.message_types]
+
+
+@dataclass
+class GeneratedScript:
+    """One generated test: metadata plus both script backends."""
+
+    name: str
+    description: str
+    direction: str                  # "send" or "receive"
+    failure_model: FailureModel
+    python_filter: PythonFilter
+    tclish_source: str
+    tclish_init: str = ""
+
+    def tclish_filter(self) -> TclishFilter:
+        """Instantiate the tclish form (fresh interpreter per call)."""
+        return TclishFilter(self.tclish_source, init_script=self.tclish_init,
+                            name=self.name)
+
+    def __repr__(self) -> str:
+        return (f"GeneratedScript({self.name}, {self.direction}, "
+                f"{self.failure_model.value})")
+
+
+# ----------------------------------------------------------------------
+# individual generators
+# ----------------------------------------------------------------------
+
+def _drop_type(type_name: str, direction: str) -> GeneratedScript:
+    def fn(ctx: ScriptContext) -> None:
+        if ctx.msg_type() == type_name:
+            ctx.drop()
+    model = (FailureModel.SEND_OMISSION if direction == "send"
+             else FailureModel.RECEIVE_OMISSION)
+    return GeneratedScript(
+        name=f"drop_{type_name.lower()}_{direction}",
+        description=f"drop every {type_name} on the {direction} path",
+        direction=direction, failure_model=model,
+        python_filter=PythonFilter(fn, name=f"drop_{type_name}"),
+        tclish_source=(
+            f'if {{[msg_type cur_msg] eq "{type_name}"}} '
+            f'{{ xDrop cur_msg }}'))
+
+
+def _delay_type(type_name: str, seconds: float,
+                direction: str) -> GeneratedScript:
+    def fn(ctx: ScriptContext) -> None:
+        if ctx.msg_type() == type_name:
+            ctx.delay(seconds)
+    return GeneratedScript(
+        name=f"delay_{type_name.lower()}_{direction}",
+        description=f"delay every {type_name} by {seconds}s "
+                    f"({direction} path)",
+        direction=direction, failure_model=FailureModel.TIMING,
+        python_filter=PythonFilter(fn, name=f"delay_{type_name}"),
+        tclish_source=(
+            f'if {{[msg_type cur_msg] eq "{type_name}"}} '
+            f'{{ xDelay {seconds} }}'))
+
+
+def _duplicate_type(type_name: str, direction: str) -> GeneratedScript:
+    def fn(ctx: ScriptContext) -> None:
+        if ctx.msg_type() == type_name:
+            ctx.duplicate()
+    return GeneratedScript(
+        name=f"duplicate_{type_name.lower()}_{direction}",
+        description=f"duplicate every {type_name} ({direction} path)",
+        direction=direction, failure_model=FailureModel.BYZANTINE,
+        python_filter=PythonFilter(fn, name=f"duplicate_{type_name}"),
+        tclish_source=(
+            f'if {{[msg_type cur_msg] eq "{type_name}"}} '
+            f'{{ xDuplicate cur_msg 1 }}'))
+
+
+def _reorder_type(type_name: str, direction: str) -> GeneratedScript:
+    def fn(ctx: ScriptContext) -> None:
+        if ctx.msg_type() != type_name:
+            return
+        if not ctx.state.get("holding"):
+            ctx.state["holding"] = True
+            ctx.hold("reorder")
+        else:
+            ctx.state["holding"] = False
+            ctx.release("reorder")
+    return GeneratedScript(
+        name=f"reorder_{type_name.lower()}_{direction}",
+        description=f"swap each consecutive pair of {type_name} messages "
+                    f"({direction} path)",
+        direction=direction, failure_model=FailureModel.BYZANTINE,
+        python_filter=PythonFilter(fn, name=f"reorder_{type_name}"),
+        tclish_source=(
+            f'if {{[msg_type cur_msg] eq "{type_name}"}} {{\n'
+            f'    if {{!$holding}} {{\n'
+            f'        set holding 1\n'
+            f'        xHold cur_msg reorder\n'
+            f'    }} else {{\n'
+            f'        set holding 0\n'
+            f'        xRelease reorder\n'
+            f'    }}\n'
+            f'}}'),
+        tclish_init="set holding 0")
+
+
+def _corrupt_field(type_name: str, field_name: str, bad_value: Any,
+                   direction: str) -> GeneratedScript:
+    def fn(ctx: ScriptContext) -> None:
+        if ctx.msg_type() == type_name:
+            ctx.set_field(field_name, bad_value)
+    return GeneratedScript(
+        name=f"corrupt_{type_name.lower()}_{field_name}_{direction}",
+        description=f"overwrite {type_name}.{field_name} with "
+                    f"{bad_value!r} ({direction} path)",
+        direction=direction, failure_model=FailureModel.BYZANTINE,
+        python_filter=PythonFilter(fn, name=f"corrupt_{field_name}"),
+        tclish_source=(
+            f'if {{[msg_type cur_msg] eq "{type_name}"}} '
+            f'{{ msg_set_field {field_name} {bad_value} }}'))
+
+
+def _omission(p: float, direction: str) -> GeneratedScript:
+    def fn(ctx: ScriptContext) -> None:
+        if ctx.dist.chance(p):
+            ctx.drop()
+    model = (FailureModel.SEND_OMISSION if direction == "send"
+             else FailureModel.RECEIVE_OMISSION)
+    return GeneratedScript(
+        name=f"omission_{int(p * 100)}pct_{direction}",
+        description=f"drop each message with probability {p} "
+                    f"({direction} path)",
+        direction=direction, failure_model=model,
+        python_filter=PythonFilter(fn, name=f"omission_{p}"),
+        tclish_source=f'if {{[chance {p}]}} {{ xDrop cur_msg }}')
+
+
+def _crash_after(n: int, direction: str) -> GeneratedScript:
+    def fn(ctx: ScriptContext) -> None:
+        seen = ctx.state.get("seen", 0) + 1
+        ctx.state["seen"] = seen
+        if seen > n:
+            ctx.drop()
+    return GeneratedScript(
+        name=f"crash_after_{n}_{direction}",
+        description=f"behave correctly for {n} messages, then crash "
+                    f"({direction} path)",
+        direction=direction, failure_model=FailureModel.PROCESS_CRASH,
+        python_filter=PythonFilter(fn, name=f"crash_after_{n}"),
+        tclish_source=(
+            f'incr seen\n'
+            f'if {{$seen > {n}}} {{ xDrop cur_msg }}'),
+        tclish_init="set seen 0")
+
+
+# ----------------------------------------------------------------------
+# campaign assembly
+# ----------------------------------------------------------------------
+
+def generate_campaign(spec: ProtocolSpec, *,
+                      directions: Sequence[str] = ("send", "receive"),
+                      delay_seconds: float = 3.0,
+                      omission_rates: Sequence[float] = (0.3,),
+                      crash_after_messages: int = 20) -> List[GeneratedScript]:
+    """Derive the systematic test battery for one protocol spec."""
+    scripts: List[GeneratedScript] = []
+    for direction in directions:
+        for mtype in spec.message_types:
+            scripts.append(_drop_type(mtype.name, direction))
+            scripts.append(_delay_type(mtype.name, delay_seconds, direction))
+            if mtype.control:
+                scripts.append(_duplicate_type(mtype.name, direction))
+                scripts.append(_reorder_type(mtype.name, direction))
+            for field_name, bad_value in mtype.mutable_fields:
+                scripts.append(_corrupt_field(mtype.name, field_name,
+                                              bad_value, direction))
+        for rate in omission_rates:
+            scripts.append(_omission(rate, direction))
+        scripts.append(_crash_after(crash_after_messages, direction))
+    return scripts
+
+
+def campaign_by_model(scripts: Iterable[GeneratedScript]
+                      ) -> Dict[FailureModel, List[GeneratedScript]]:
+    """Group a generated campaign by the failure model it exercises."""
+    grouped: Dict[FailureModel, List[GeneratedScript]] = {}
+    for script in scripts:
+        grouped.setdefault(script.failure_model, []).append(script)
+    return grouped
+
+
+# ----------------------------------------------------------------------
+# ready-made specs for the bundled protocols
+# ----------------------------------------------------------------------
+
+def tcp_spec() -> ProtocolSpec:
+    """Spec for the bundled TCP (types from the recognition stubs)."""
+    return ProtocolSpec(
+        name="tcp",
+        message_types=(
+            MessageTypeSpec("SYN"),
+            MessageTypeSpec("SYNACK"),
+            MessageTypeSpec("ACK", mutable_fields=(("ack", 0),)),
+            MessageTypeSpec("DATA", control=False,
+                            mutable_fields=(("seq", 0),)),
+            MessageTypeSpec("FIN"),
+            MessageTypeSpec("RST"),
+        ))
+
+
+def gmp_spec() -> ProtocolSpec:
+    """Spec for the bundled group membership protocol."""
+    return ProtocolSpec(
+        name="gmp",
+        message_types=(
+            MessageTypeSpec("HEARTBEAT", control=False),
+            MessageTypeSpec("PROCLAIM",
+                            mutable_fields=(("originator", 0),)),
+            MessageTypeSpec("JOIN"),
+            MessageTypeSpec("MEMBERSHIP_CHANGE",
+                            mutable_fields=(("group_id", 0),)),
+            MessageTypeSpec("ACK"),
+            MessageTypeSpec("NACK"),
+            MessageTypeSpec("COMMIT"),
+            MessageTypeSpec("DEAD_REPORT", mutable_fields=(("subject", 0),)),
+        ))

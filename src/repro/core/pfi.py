@@ -1,0 +1,236 @@
+"""The PFI layer: probe/fault injection as a protocol stack layer.
+
+"The PFI layer intercepts all messages coming into and leaving the target
+layer.  [It] can manipulate messages to/from the target layer as they pass
+through the protocol stack, and it can introduce spontaneous messages into
+the system to observe the behavior of target protocol participants on
+other nodes."
+
+Data path:
+
+- ``push`` (message travelling down, *leaving* the target layer) runs the
+  **send filter**;
+- ``pop`` (message travelling up, *entering* the target layer) runs the
+  **receive filter**.
+
+After a filter runs, the recorded actions are applied:
+
+- injections first (a probe may need to precede the triggering message);
+- ``drop`` discards the message;
+- ``hold`` parks it in a named queue until a later ``release``;
+- otherwise the message is forwarded, after ``delay`` seconds if
+  requested, along with any duplicates.
+
+Delayed/duplicated/released messages bypass the filters on re-emission, so
+a delayed message is not re-filtered (and re-delayed) when its timer fires.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.context import DROP, HOLD, ScriptContext
+from repro.core.distributions import DistributionSet
+from repro.core.msglog import MessageLog
+from repro.core.script import FilterScript, PythonFilter
+from repro.core.stubs import PacketStubs
+from repro.core.sync import ScriptSync
+from repro.netsim.scheduler import Scheduler
+from repro.netsim.trace import TraceRecorder
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol
+
+
+class PFILayer(Protocol):
+    """A probe/fault-injection layer spliced into a protocol stack."""
+
+    def __init__(self, name: str, scheduler: Scheduler, stubs: PacketStubs, *,
+                 trace: Optional[TraceRecorder] = None,
+                 sync: Optional[ScriptSync] = None,
+                 dist: Optional[DistributionSet] = None,
+                 node: str = ""):
+        super().__init__(name)
+        self.scheduler = scheduler
+        self.stubs = stubs
+        self.trace = trace
+        self.sync = sync or ScriptSync()
+        self.dist = dist or DistributionSet()
+        self.node = node or name
+        self.send_filter: Optional[FilterScript] = None
+        self.receive_filter: Optional[FilterScript] = None
+        self.send_state: Dict[str, Any] = {}
+        self.receive_state: Dict[str, Any] = {}
+        self.msglog = MessageLog(stubs, trace, node=self.node)
+        self._held: Dict[Tuple[str, str], List[Message]] = OrderedDict()
+        self._killed = False
+        self.stats = {"send_seen": 0, "receive_seen": 0, "dropped": 0,
+                      "delayed": 0, "duplicated": 0, "injected": 0,
+                      "held": 0, "released": 0}
+
+    # ------------------------------------------------------------------
+    # filter installation
+    # ------------------------------------------------------------------
+
+    def set_send_filter(self, script) -> None:
+        """Install the send filter (FilterScript or plain callable)."""
+        self.send_filter = _as_filter(script)
+
+    def set_receive_filter(self, script) -> None:
+        """Install the receive filter (FilterScript or plain callable)."""
+        self.receive_filter = _as_filter(script)
+
+    def clear_filters(self) -> None:
+        """Remove both filters; the layer becomes transparent."""
+        self.send_filter = None
+        self.receive_filter = None
+
+    def kill(self) -> None:
+        """Emulate a crash at this layer: drop everything from now on.
+
+        Used for the *process crash* and *link crash* failure models when
+        the crash must be local to one stack rather than the whole node.
+        """
+        self._killed = True
+
+    def revive(self) -> None:
+        """Undo :meth:`kill`."""
+        self._killed = False
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+
+    def push(self, msg: Message) -> None:
+        self._process(msg, "send")
+
+    def pop(self, msg: Message) -> None:
+        self._process(msg, "receive")
+
+    def _process(self, msg: Message, direction: str) -> None:
+        if self._killed:
+            self.stats["dropped"] += 1
+            self._record("pfi.killed_drop", direction=direction, uid=msg.uid)
+            return
+        self.stats[f"{direction}_seen"] += 1
+        script = self.send_filter if direction == "send" else self.receive_filter
+        if script is None:
+            self._forward(msg, direction)
+            return
+
+        state = self.send_state if direction == "send" else self.receive_state
+        peer = self.receive_state if direction == "send" else self.send_state
+        ctx = ScriptContext(
+            msg=msg, direction=direction, now=self.scheduler.now,
+            state=state, peer_state=peer, stubs=self.stubs, dist=self.dist,
+            sync=self.sync, node=self.node, pfi=self)
+        script.run(ctx)
+        self._apply(ctx)
+
+    def _apply(self, ctx: ScriptContext) -> None:
+        direction = ctx.direction
+        for injected, inj_direction, delay in ctx.injections:
+            self.inject(injected, inj_direction, delay=delay)
+
+        try:
+            self._apply_verdict(ctx)
+        finally:
+            # released messages follow the current one, so "pass this and
+            # release the held one" reorders exactly as scripts expect
+            for tag, delay in ctx.releases:
+                self._release(direction, tag, delay)
+
+    def _apply_verdict(self, ctx: ScriptContext) -> None:
+        direction = ctx.direction
+        if ctx.verdict == DROP:
+            self.stats["dropped"] += 1
+            self._record("pfi.drop", direction=direction, uid=ctx.msg.uid,
+                         msg_type=ctx.msg_type())
+            return
+        if ctx.verdict == HOLD:
+            self.stats["held"] += 1
+            self._held.setdefault((direction, ctx.hold_tag), []).append(ctx.msg)
+            self._record("pfi.hold", direction=direction, uid=ctx.msg.uid,
+                         tag=ctx.hold_tag)
+            return
+
+        if ctx.delay_s > 0:
+            self.stats["delayed"] += 1
+            self._record("pfi.delay", direction=direction, uid=ctx.msg.uid,
+                         seconds=ctx.delay_s, msg_type=ctx.msg_type())
+            self.scheduler.schedule(ctx.delay_s, self._forward, ctx.msg, direction)
+        else:
+            self._forward(ctx.msg, direction)
+
+        for extra_delay in ctx.duplicate_delays:
+            self.stats["duplicated"] += 1
+            copy = ctx.msg.copy()
+            self._record("pfi.duplicate", direction=direction, uid=copy.uid,
+                         original=ctx.msg.uid)
+            if extra_delay > 0:
+                self.scheduler.schedule(extra_delay, self._forward, copy, direction)
+            else:
+                self._forward(copy, direction)
+
+    def _forward(self, msg: Message, direction: str) -> None:
+        if self._killed:
+            self.stats["dropped"] += 1
+            return
+        if direction == "send":
+            self.send_down(msg)
+        else:
+            self.send_up(msg)
+
+    # ------------------------------------------------------------------
+    # injection / reordering helpers
+    # ------------------------------------------------------------------
+
+    def inject(self, msg: Message, direction: str, *, delay: float = 0.0) -> None:
+        """Introduce a spontaneous message, bypassing the filters.
+
+        ``direction='send'`` pushes toward the wire (probing remote
+        participants); ``direction='receive'`` delivers up into the target
+        layer (forging traffic the target believes it received).
+        """
+        self.stats["injected"] += 1
+        msg.meta["injected"] = True
+        self._record("pfi.inject", direction=direction, uid=msg.uid,
+                     msg_type=self.stubs.msg_type(msg))
+        if delay > 0:
+            self.scheduler.schedule(delay, self._forward, msg, direction)
+        else:
+            self._forward(msg, direction)
+
+    def _release(self, direction: str, tag: str, delay: float) -> None:
+        queue = self._held.pop((direction, tag), [])
+        for i, msg in enumerate(queue):
+            self.stats["released"] += 1
+            self._record("pfi.release", direction=direction, uid=msg.uid, tag=tag)
+            if delay > 0:
+                self.scheduler.schedule(delay, self._forward, msg, direction)
+            else:
+                self._forward(msg, direction)
+
+    def held_count(self, direction: str, tag: str = "default") -> int:
+        """Messages currently parked in a hold queue."""
+        return len(self._held.get((direction, tag), ()))
+
+    # ------------------------------------------------------------------
+    # logging
+    # ------------------------------------------------------------------
+
+    def log_message(self, msg: Message, *, direction: str, note: str = "") -> None:
+        """Record a message through the layer's :class:`MessageLog`."""
+        self.msglog.log(msg, t=self.scheduler.now, direction=direction, note=note)
+
+    def _record(self, kind: str, **attrs: Any) -> None:
+        if self.trace is not None:
+            self.trace.record(kind, t=self.scheduler.now, node=self.node, **attrs)
+
+
+def _as_filter(script) -> FilterScript:
+    if isinstance(script, FilterScript):
+        return script
+    if callable(script):
+        return PythonFilter(script)
+    raise TypeError(f"cannot use {script!r} as a filter script")

@@ -1,0 +1,136 @@
+"""Randomized campaign execution and scorecards.
+
+The paper positions its approach as supporting "deterministic and
+probabilistic testing": the deterministic side is the per-table
+experiments; this module is the probabilistic side.  It takes a generated
+script battery (:mod:`repro.core.genscripts`), samples (script, seed)
+trials, runs a caller-supplied trial function, and aggregates a
+pass/fail **scorecard** per failure model -- the statistical complement
+the related-work section contrasts with fault-coverage evaluation.
+
+The trial function owns all protocol knowledge::
+
+    def trial(script, seed) -> TrialOutcome:
+        ... build system, install script.python_filter, run, check ...
+
+Determinism: the runner's own sampling is seeded, and trial seeds are
+derived from (campaign seed, script name, repetition), so a scorecard is
+exactly reproducible and insensitive to script-list reordering.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import render_table
+from repro.core.distributions import derive_seed
+from repro.core.faults import FailureModel
+from repro.core.genscripts import GeneratedScript
+
+
+@dataclass
+class TrialOutcome:
+    """What one trial observed."""
+
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class TrialRecord:
+    """One executed trial."""
+
+    script: GeneratedScript
+    seed: int
+    outcome: TrialOutcome
+
+
+class Scorecard:
+    """Aggregated pass/fail results for a campaign run."""
+
+    def __init__(self):
+        self.records: List[TrialRecord] = []
+
+    def add(self, record: TrialRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for r in self.records if r.outcome.passed)
+
+    def pass_rate(self) -> float:
+        """Fraction of trials passed (1.0 for an empty campaign)."""
+        return self.passed / self.total if self.records else 1.0
+
+    def by_model(self) -> Dict[FailureModel, Tuple[int, int]]:
+        """Map failure model -> (passed, total)."""
+        counts: Dict[FailureModel, List[int]] = {}
+        for record in self.records:
+            entry = counts.setdefault(record.script.failure_model, [0, 0])
+            entry[1] += 1
+            if record.outcome.passed:
+                entry[0] += 1
+        return {model: (p, t) for model, (p, t) in counts.items()}
+
+    def failures(self) -> List[TrialRecord]:
+        """Trials that did not pass, in execution order."""
+        return [r for r in self.records if not r.outcome.passed]
+
+    def failing_scripts(self) -> List[str]:
+        """Distinct script names with at least one failing trial."""
+        names = []
+        for record in self.failures():
+            if record.script.name not in names:
+                names.append(record.script.name)
+        return names
+
+    def render(self, title: str = "campaign scorecard") -> str:
+        """A per-model summary table."""
+        rows = []
+        for model, (p, t) in sorted(self.by_model().items(),
+                                    key=lambda kv: kv[0].value):
+            rows.append([model.value, f"{p}/{t}",
+                         "all passed" if p == t else
+                         ", ".join(n for n in self.failing_scripts()
+                                   if _model_of(self, n) == model)])
+        rows.append(["TOTAL", f"{self.passed}/{self.total}", ""])
+        return render_table(title, ["Failure model", "Passed", "Failures"],
+                            rows)
+
+
+def _model_of(scorecard: Scorecard, script_name: str) -> FailureModel:
+    for record in scorecard.records:
+        if record.script.name == script_name:
+            return record.script.failure_model
+    raise KeyError(script_name)
+
+
+TrialFn = Callable[[GeneratedScript, int], TrialOutcome]
+
+
+def run_campaign(scripts: Sequence[GeneratedScript], trial: TrialFn, *,
+                 repetitions: int = 1, seed: int = 0,
+                 sample: Optional[int] = None) -> Scorecard:
+    """Run every script (or a random sample) ``repetitions`` times.
+
+    ``sample`` draws that many scripts (without replacement, seeded) for
+    quick probabilistic sweeps over large campaigns.
+    """
+    chosen: List[GeneratedScript] = list(scripts)
+    if sample is not None and sample < len(chosen):
+        rng = random.Random(seed)
+        chosen = rng.sample(chosen, sample)
+    scorecard = Scorecard()
+    for script in chosen:
+        for repetition in range(repetitions):
+            trial_seed = derive_seed(seed, script.name, repetition)
+            outcome = trial(script, trial_seed)
+            scorecard.add(TrialRecord(script=script, seed=trial_seed,
+                                      outcome=outcome))
+    return scorecard

@@ -1,0 +1,142 @@
+"""Declarative fault schedules.
+
+Experiments often follow a timeline: behave normally, inject a fault at
+t1, tighten it at t2, heal at t3, check the aftermath.  A
+:class:`FaultSchedule` expresses that timeline declaratively and arms it
+on the scheduler, replacing ad-hoc ``scheduler.schedule(...)`` sprinkled
+through experiment code:
+
+    schedule = (FaultSchedule(env.scheduler)
+                .at(10.0, "partition", lambda: net.partition([1], [2, 3]))
+                .at(40.0, "heal", net.heal)
+                .every(5.0, "probe", send_probe, until=40.0))
+    schedule.arm()
+
+Each step is recorded in the trace (kind ``fault.step``), so the injected
+timeline is part of the experiment's record -- and the schedule can be
+rendered as a runbook for the experiment writeup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.netsim.scheduler import Scheduler
+from repro.netsim.trace import TraceRecorder
+
+
+@dataclass
+class _Step:
+    time: float
+    label: str
+    action: Callable[[], None]
+    interval: Optional[float] = None
+    until: Optional[float] = None
+
+
+class FaultSchedule:
+    """A timeline of named fault-injection actions."""
+
+    def __init__(self, scheduler: Scheduler, *,
+                 trace: Optional[TraceRecorder] = None):
+        self._scheduler = scheduler
+        self._trace = trace
+        self._steps: List[_Step] = []
+        self._armed = False
+        self.fired: List[str] = []
+
+    # ------------------------------------------------------------------
+    # construction (chainable)
+    # ------------------------------------------------------------------
+
+    def at(self, time: float, label: str,
+           action: Callable[[], None]) -> "FaultSchedule":
+        """Run ``action`` once at absolute virtual time ``time``."""
+        self._ensure_not_armed()
+        self._steps.append(_Step(time, label, action))
+        return self
+
+    def after(self, delay: float, label: str,
+              action: Callable[[], None]) -> "FaultSchedule":
+        """Run ``action`` once, ``delay`` seconds after arming."""
+        self._ensure_not_armed()
+        self._steps.append(_Step(-delay, label, action))  # resolved on arm
+        return self
+
+    def every(self, interval: float, label: str,
+              action: Callable[[], None], *, start: float = 0.0,
+              until: Optional[float] = None) -> "FaultSchedule":
+        """Run ``action`` repeatedly from ``start``, every ``interval``,
+        stopping after ``until`` (absolute) when given."""
+        self._ensure_not_armed()
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self._steps.append(_Step(start, label, action,
+                                 interval=interval, until=until))
+        return self
+
+    def _ensure_not_armed(self) -> None:
+        if self._armed:
+            raise RuntimeError("schedule already armed")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def arm(self) -> "FaultSchedule":
+        """Install every step on the scheduler."""
+        self._ensure_not_armed()
+        self._armed = True
+        now = self._scheduler.now
+        for step in self._steps:
+            time = now - step.time if step.time < 0 else step.time
+            if step.interval is None:
+                self._scheduler.schedule_at(max(time, now),
+                                            self._fire_once, step)
+            else:
+                first = max(time, now)
+                self._scheduler.schedule_at(first, self._fire_repeating,
+                                            step)
+        return self
+
+    def _fire_once(self, step: _Step) -> None:
+        self.fired.append(step.label)
+        self._record(step)
+        step.action()
+
+    def _fire_repeating(self, step: _Step) -> None:
+        if step.until is not None and self._scheduler.now > step.until:
+            return
+        self.fired.append(step.label)
+        self._record(step)
+        step.action()
+        next_time = self._scheduler.now + step.interval
+        if step.until is None or next_time <= step.until:
+            self._scheduler.schedule_at(next_time, self._fire_repeating,
+                                        step)
+
+    def _record(self, step: _Step) -> None:
+        if self._trace is not None:
+            self._trace.record("fault.step", t=self._scheduler.now,
+                               label=step.label)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def runbook(self) -> str:
+        """Human-readable timeline of the planned steps."""
+        lines = []
+        for step in sorted(self._steps,
+                           key=lambda s: abs(s.time)):
+            when = (f"+{-step.time:.1f}s after arm" if step.time < 0
+                    else f"t={step.time:.1f}s")
+            if step.interval is not None:
+                until = (f" until t={step.until:.1f}s"
+                         if step.until is not None else "")
+                lines.append(f"{when} then every {step.interval:.1f}s"
+                             f"{until}: {step.label}")
+            else:
+                lines.append(f"{when}: {step.label}")
+        return "\n".join(lines)

@@ -1,0 +1,288 @@
+"""Filter scripts: the programmable half of the PFI layer.
+
+A filter script runs once per intercepted message.  Two backends implement
+the same contract:
+
+- :class:`PythonFilter` wraps a Python callable ``fn(ctx)`` -- the
+  ergonomic modern form;
+- :class:`TclishFilter` evaluates tclish source in a persistent
+  :class:`~repro.core.tclish.Interp`, faithfully reproducing the paper's
+  Tcl scripts ("each time a message passes into the PFI layer, the
+  appropriate (send or receive) script is interpreted in the appropriate
+  interpreter").
+
+Both persist state across invocations: PythonFilter via ``ctx.state``
+(one dict per filter), TclishFilter via the interpreter's variables.
+
+The tclish bridge registers the paper's utility commands:
+
+=====================  ====================================================
+``msg_type cur_msg``    type name of the current message
+``msg_log cur_msg``     log the message with a timestamp
+``msg_field f``         read header field ``f``
+``msg_set_field f v``   modify header field ``f``
+``xDrop cur_msg``       drop the message
+``xDelay sec``          delay the message
+``xDuplicate ?n?``      duplicate the message
+``xHold ?tag?``         park the message for reordering
+``xRelease ?tag?``      re-emit parked messages
+``inject type ?f v..?`` inject a generated message
+``now``                 virtual time
+``peer_set k v``        set a variable in the other interpreter
+``peer_get k ?def?``    read a variable from the other interpreter
+``sync_set k ?v?``      set a cross-node flag
+``sync_get k ?def?``    read a cross-node flag
+``dst_normal m v``      normal draw (paper naming)
+``dst_uniform a b``     uniform draw
+``dst_exponential r``   exponential draw
+``chance p``            1 with probability p else 0
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.context import ScriptContext
+from repro.core.tclish import Interp, TclError
+
+
+class FilterScript:
+    """Base class: something that can process one intercepted message."""
+
+    def run(self, ctx: ScriptContext) -> None:
+        raise NotImplementedError
+
+
+class PythonFilter(FilterScript):
+    """A filter implemented as a Python callable ``fn(ctx)``."""
+
+    def __init__(self, fn: Callable[[ScriptContext], None], name: str = ""):
+        self._fn = fn
+        self.name = name or getattr(fn, "__name__", "python_filter")
+
+    def run(self, ctx: ScriptContext) -> None:
+        self._fn(ctx)
+
+    def __repr__(self) -> str:
+        return f"PythonFilter({self.name})"
+
+
+class TclishFilter(FilterScript):
+    """A filter whose body is tclish source, evaluated per message.
+
+    The interpreter is created once and reused, so ``set count 0`` in
+    ``init_script`` followed by ``incr count`` in the body counts messages
+    across invocations exactly like the paper's Tcl interpreters.
+    """
+
+    def __init__(self, source: str, init_script: str = "", name: str = "tclish"):
+        self.source = source
+        self.name = name
+        self.interp = Interp()
+        self._ctx_cell: List[Optional[ScriptContext]] = [None]
+        _register_bridge(self.interp, self._ctx_cell)
+        if init_script:
+            self.interp.eval(init_script)
+
+    def run(self, ctx: ScriptContext) -> None:
+        self._ctx_cell[0] = ctx
+        try:
+            self.interp.eval(self.source)
+        finally:
+            self._ctx_cell[0] = None
+
+    @property
+    def output_lines(self) -> List[str]:
+        """Lines produced by ``puts`` across all invocations."""
+        return self.interp.output_lines
+
+    def __repr__(self) -> str:
+        return f"TclishFilter({self.name})"
+
+
+def _register_bridge(interp: Interp, cell: List[Optional[ScriptContext]]) -> None:
+    """Install the PFI utility commands on a tclish interpreter."""
+
+    def ctx() -> ScriptContext:
+        current = cell[0]
+        if current is None:
+            raise TclError("no message is being filtered right now")
+        return current
+
+    def cmd(name: str):
+        def decorator(fn):
+            interp.register_command(name, fn)
+            return fn
+        return decorator
+
+    @cmd("msg_type")
+    def _msg_type(_i, args):
+        return ctx().msg_type()
+
+    @cmd("msg_log")
+    def _msg_log(_i, args):
+        note = args[1] if len(args) > 1 else ""
+        ctx().log(note)
+        return ""
+
+    @cmd("msg_field")
+    def _msg_field(_i, args):
+        if not args:
+            raise TclError('usage: msg_field name')
+        value = ctx().field(args[0])
+        return _stringify(value)
+
+    @cmd("msg_set_field")
+    def _msg_set_field(_i, args):
+        if len(args) != 2:
+            raise TclError('usage: msg_set_field name value')
+        ctx().set_field(args[0], _parse_scalar(args[1]))
+        return ""
+
+    @cmd("msg_len")
+    def _msg_len(_i, args):
+        return str(len(ctx().msg))
+
+    @cmd("xDrop")
+    def _drop(_i, args):
+        ctx().drop()
+        return ""
+
+    @cmd("xDelay")
+    def _delay(_i, args):
+        seconds = float(args[0]) if args and _is_number(args[0]) else float(args[1])
+        ctx().delay(seconds)
+        return ""
+
+    @cmd("xDuplicate")
+    def _duplicate(_i, args):
+        numeric = [a for a in args if _is_number(a)]
+        copies = int(float(numeric[0])) if numeric else 1
+        ctx().duplicate(copies)
+        return ""
+
+    @cmd("xHold")
+    def _hold(_i, args):
+        tag = _tag_arg(args)
+        ctx().hold(tag)
+        return ""
+
+    @cmd("xRelease")
+    def _release(_i, args):
+        tag = _tag_arg(args)
+        ctx().release(tag)
+        return ""
+
+    @cmd("held_count")
+    def _held_count(_i, args):
+        tag = _tag_arg(args)
+        return str(ctx().held_count(tag))
+
+    @cmd("inject")
+    def _inject(_i, args):
+        if not args:
+            raise TclError("usage: inject type ?field value ...?")
+        type_name = args[0]
+        rest = args[1:]
+        direction = None
+        if rest and rest[0] in ("send", "receive"):
+            direction = rest[0]
+            rest = rest[1:]
+        if len(rest) % 2 != 0:
+            raise TclError("inject fields must come in name/value pairs")
+        fields = {rest[i]: _parse_scalar(rest[i + 1]) for i in range(0, len(rest), 2)}
+        ctx().inject(type_name, direction=direction, **fields)
+        return ""
+
+    @cmd("now")
+    def _now(_i, args):
+        return repr(ctx().now)
+
+    @cmd("peer_set")
+    def _peer_set(_i, args):
+        # write a variable into the *other* filter's state -- "the send
+        # filter might set a variable in the receive interpreter"
+        if len(args) != 2:
+            raise TclError("usage: peer_set key value")
+        ctx().set_peer(args[0], _parse_scalar(args[1]))
+        return ""
+
+    @cmd("peer_get")
+    def _peer_get(_i, args):
+        # read a variable the peer filter deposited for us (peer_set on
+        # their side lands in OUR state)
+        default = args[1] if len(args) > 1 else ""
+        value = ctx().state.get(args[0], default)
+        return _stringify(value)
+
+    @cmd("sync_set")
+    def _sync_set(_i, args):
+        value = _parse_scalar(args[1]) if len(args) > 1 else 1
+        ctx().sync.set_flag(args[0], value)
+        return ""
+
+    @cmd("sync_get")
+    def _sync_get(_i, args):
+        default = args[1] if len(args) > 1 else ""
+        return _stringify(ctx().sync.get_flag(args[0], default))
+
+    @cmd("dst_normal")
+    def _dst_normal(_i, args):
+        return repr(ctx().dist.dst_normal(float(args[0]), float(args[1])))
+
+    @cmd("dst_uniform")
+    def _dst_uniform(_i, args):
+        return repr(ctx().dist.dst_uniform(float(args[0]), float(args[1])))
+
+    @cmd("dst_exponential")
+    def _dst_exponential(_i, args):
+        return repr(ctx().dist.dst_exponential(float(args[0])))
+
+    @cmd("chance")
+    def _chance(_i, args):
+        return "1" if ctx().dist.chance(float(args[0])) else "0"
+
+    @cmd("node_name")
+    def _node_name(_i, args):
+        return ctx().node
+
+    @cmd("direction")
+    def _direction(_i, args):
+        return ctx().direction
+
+
+def _tag_arg(args) -> str:
+    """Pull the hold-queue tag out of args, ignoring a cur_msg handle."""
+    for arg in args:
+        if arg != "cur_msg":
+            return arg
+    return "default"
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def _parse_scalar(text: str):
+    """Best-effort string -> int/float passthrough for field values."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _stringify(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if value is None:
+        return ""
+    return str(value)

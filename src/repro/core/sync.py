@@ -1,0 +1,127 @@
+"""Cross-node script synchronization.
+
+The paper lists "synchronizing scripts executed by PFI layers running on
+different nodes" among the predefined library facilities.  In a
+single-process discrete-event simulation, synchronization cannot block --
+every filter invocation runs to completion -- so the primitives here are
+the non-blocking shapes that cover the paper's uses:
+
+- **flags**: named booleans/values any script can set and any script can
+  read ("the send filter might set a variable in the receive interpreter
+  which tells the receive filter to start dropping messages" -- across
+  nodes rather than across interpreters);
+- **mailboxes**: named FIFO queues of values;
+- **barriers**: named counters that trip a callback once N parties arrive,
+  used by experiments to coordinate phase changes across machines;
+- **waiters**: callbacks fired when a flag is first set to a given value.
+
+One :class:`ScriptSync` instance is shared by every PFI layer in an
+experiment.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+
+class ScriptSync:
+    """Shared synchronization state for all filter scripts in a run."""
+
+    def __init__(self):
+        self._flags: Dict[str, Any] = {}
+        self._mailboxes: Dict[str, Deque[Any]] = defaultdict(deque)
+        self._barriers: Dict[str, Tuple[int, set, List[Callable[[], None]]]] = {}
+        self._waiters: Dict[str, List[Tuple[Any, Callable[[], None]]]] = defaultdict(list)
+
+    # ------------------------------------------------------------------
+    # flags
+    # ------------------------------------------------------------------
+
+    def set_flag(self, name: str, value: Any = True) -> None:
+        """Set a named flag, firing any waiters registered for this value."""
+        self._flags[name] = value
+        pending = self._waiters.pop(name, [])
+        still_waiting = []
+        for expected, callback in pending:
+            if expected == value or expected is _ANY:
+                callback()
+            else:
+                still_waiting.append((expected, callback))
+        if still_waiting:
+            self._waiters[name] = still_waiting
+
+    def get_flag(self, name: str, default: Any = None) -> Any:
+        """Read a named flag."""
+        return self._flags.get(name, default)
+
+    def on_flag(self, name: str, callback: Callable[[], None],
+                value: Any = None) -> None:
+        """Invoke ``callback`` when the flag is next set (to ``value`` if
+        given, to anything otherwise).  Fires immediately if already set."""
+        expected = _ANY if value is None else value
+        current = self._flags.get(name, _UNSET)
+        if current is not _UNSET and (expected is _ANY or current == expected):
+            callback()
+            return
+        self._waiters[name].append((expected, callback))
+
+    # ------------------------------------------------------------------
+    # mailboxes
+    # ------------------------------------------------------------------
+
+    def put(self, mailbox: str, value: Any) -> None:
+        """Append a value to a named mailbox."""
+        self._mailboxes[mailbox].append(value)
+
+    def take(self, mailbox: str) -> Optional[Any]:
+        """Pop the oldest value from a mailbox, or None when empty."""
+        queue = self._mailboxes.get(mailbox)
+        if queue:
+            return queue.popleft()
+        return None
+
+    def mailbox_size(self, mailbox: str) -> int:
+        """Number of values waiting in a mailbox."""
+        return len(self._mailboxes.get(mailbox, ()))
+
+    # ------------------------------------------------------------------
+    # barriers
+    # ------------------------------------------------------------------
+
+    def barrier(self, name: str, parties: int,
+                callback: Optional[Callable[[], None]] = None) -> None:
+        """Create (or reset) a barrier expecting ``parties`` distinct arrivals."""
+        callbacks = [callback] if callback else []
+        self._barriers[name] = (parties, set(), callbacks)
+
+    def arrive(self, name: str, party: Any) -> bool:
+        """Register a party's arrival.  Returns True when the barrier trips."""
+        if name not in self._barriers:
+            raise KeyError(f"no barrier named {name!r}")
+        parties, arrived, callbacks = self._barriers[name]
+        arrived.add(party)
+        if len(arrived) >= parties:
+            for callback in callbacks:
+                callback()
+            self.set_flag(f"barrier:{name}", True)
+            return True
+        return False
+
+    def barrier_tripped(self, name: str) -> bool:
+        """True once the barrier has seen all its parties."""
+        return bool(self.get_flag(f"barrier:{name}", False))
+
+
+class _AnyType:
+    def __repr__(self):
+        return "<any>"
+
+
+class _UnsetType:
+    def __repr__(self):
+        return "<unset>"
+
+
+_ANY = _AnyType()
+_UNSET = _UnsetType()

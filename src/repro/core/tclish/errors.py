@@ -1,0 +1,28 @@
+"""Exceptions used by the tclish interpreter.
+
+``TclReturn``/``TclBreak``/``TclContinue`` implement non-local control flow
+the way Tcl's own core does (result codes threaded out of nested
+evaluation); Python exceptions are the natural encoding.
+"""
+
+from __future__ import annotations
+
+
+class TclError(Exception):
+    """A script error: unknown command, bad syntax, bad operand, ..."""
+
+
+class TclReturn(Exception):
+    """Raised by the ``return`` command; carries the return value."""
+
+    def __init__(self, value: str = ""):
+        super().__init__(value)
+        self.value = value
+
+
+class TclBreak(Exception):
+    """Raised by ``break`` inside a loop body."""
+
+
+class TclContinue(Exception):
+    """Raised by ``continue`` inside a loop body."""

@@ -1,0 +1,275 @@
+"""The tclish interpreter object.
+
+An :class:`Interp` owns a global variable table, a proc table, and a command
+registry.  Evaluating a script mutates interpreter state, which is exactly
+the persistence property the paper's filter scripts rely on: a receive
+filter can count messages across invocations because the count lives in the
+interpreter, not the script.
+
+Substitution rules follow Tcl: a braced word is passed verbatim; quoted and
+bare words undergo backslash, variable (``$name``/``${name}``) and command
+(``[script]``) substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.tclish import stdlib_loader
+from repro.core.tclish.errors import TclError, TclReturn
+from repro.core.tclish.lexer import split_commands, split_words
+
+CommandFn = Callable[["Interp", List[str]], str]
+
+
+class Proc:
+    """A user-defined procedure created by the ``proc`` command."""
+
+    def __init__(self, name: str, params: List[List[str]], body: str):
+        self.name = name
+        self.params = params  # each entry: [name] or [name, default]
+        self.body = body
+
+    def __call__(self, interp: "Interp", args: List[str]) -> str:
+        frame: Dict[str, str] = {}
+        params = list(self.params)
+        collects_args = bool(params) and params[-1][0] == "args"
+        fixed = params[:-1] if collects_args else params
+        if len(args) > len(fixed) and not collects_args:
+            raise TclError(f'too many args to proc "{self.name}"')
+        for i, param in enumerate(fixed):
+            if i < len(args):
+                frame[param[0]] = args[i]
+            elif len(param) > 1:
+                frame[param[0]] = param[1]
+            else:
+                raise TclError(
+                    f'missing argument "{param[0]}" to proc "{self.name}"')
+        if collects_args:
+            extra = args[len(fixed):]
+            frame["args"] = " ".join(extra)
+        interp._frames.append(frame)
+        try:
+            return interp.eval(self.body)
+        except TclReturn as ret:
+            return ret.value
+        finally:
+            interp._frames.pop()
+
+
+class Interp:
+    """A tclish interpreter with persistent state."""
+
+    def __init__(self, output: Optional[Callable[[str], None]] = None):
+        self.globals: Dict[str, str] = {}
+        self.procs: Dict[str, Proc] = {}
+        self.commands: Dict[str, CommandFn] = {}
+        self._frames: List[Dict[str, str]] = []
+        self._global_links: List[set] = []
+        self.output_lines: List[str] = []
+        self._output = output
+        stdlib_loader.install(self)
+
+    # ------------------------------------------------------------------
+    # variables
+    # ------------------------------------------------------------------
+
+    def _current_scope(self) -> Dict[str, str]:
+        return self._frames[-1] if self._frames else self.globals
+
+    def _resolve_scope(self, name: str) -> Dict[str, str]:
+        if self._frames and name in self._linked_globals():
+            return self.globals
+        return self._current_scope()
+
+    def _linked_globals(self) -> set:
+        return self._global_links[-1] if self._global_links else set()
+
+    def link_global(self, name: str) -> None:
+        """Make ``name`` refer to the global variable inside the current proc."""
+        if not self._frames:
+            return
+        while len(self._global_links) < len(self._frames):
+            self._global_links.append(set())
+        self._global_links[len(self._frames) - 1].add(name)
+
+    def set_var(self, name: str, value: Any) -> str:
+        """Set a variable in the current scope; returns the string value."""
+        text = value if isinstance(value, str) else _to_tcl_string(value)
+        self._resolve_scope(name)[name] = text
+        return text
+
+    def get_var(self, name: str) -> str:
+        """Read a variable, checking the current frame then globals."""
+        scope = self._resolve_scope(name)
+        if name in scope:
+            return scope[name]
+        if scope is not self.globals and name in self.globals:
+            return self.globals[name]
+        raise TclError(f'can\'t read "{name}": no such variable')
+
+    def has_var(self, name: str) -> bool:
+        """True if the variable is visible from the current scope."""
+        scope = self._resolve_scope(name)
+        return name in scope or name in self.globals
+
+    def unset_var(self, name: str) -> None:
+        """Remove a variable from whichever scope holds it."""
+        scope = self._resolve_scope(name)
+        if name in scope:
+            del scope[name]
+        elif name in self.globals:
+            del self.globals[name]
+        else:
+            raise TclError(f'can\'t unset "{name}": no such variable')
+
+    # ------------------------------------------------------------------
+    # commands
+    # ------------------------------------------------------------------
+
+    def register_command(self, name: str, fn: CommandFn) -> None:
+        """Install a command implemented in Python.
+
+        This is the bridge the paper describes: "user defined procedures ...
+        written in C and linked into the tool" -- here they are Python
+        callables registered on the interpreter.
+        """
+        self.commands[name] = fn
+
+    def register_function(self, name: str, fn: Callable[..., Any]) -> None:
+        """Install a plain Python function as a command.
+
+        Arguments arrive as strings; the return value is stringified.
+        """
+        def wrapper(_interp: "Interp", args: List[str]) -> str:
+            return _to_tcl_string(fn(*args))
+        self.commands[name] = wrapper
+
+    def write(self, text: str) -> None:
+        """Emit one line of script output (``puts``)."""
+        self.output_lines.append(text)
+        if self._output is not None:
+            self._output(text)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def eval(self, script: str) -> str:
+        """Evaluate a script; the result is the last command's result."""
+        result = ""
+        for command in split_commands(script):
+            result = self.eval_command(command)
+        return result
+
+    def eval_command(self, command: str) -> str:
+        """Evaluate a single command string."""
+        raw_words = split_words(command)
+        if not raw_words:
+            return ""
+        words = [self.substitute_word(w) for w in raw_words]
+        return self.call(words[0], words[1:])
+
+    def call(self, name: str, args: List[str]) -> str:
+        """Invoke a proc or registered command by name."""
+        proc = self.procs.get(name)
+        if proc is not None:
+            return proc(self, args)
+        command = self.commands.get(name)
+        if command is not None:
+            result = command(self, args)
+            return result if isinstance(result, str) else _to_tcl_string(result)
+        raise TclError(f'invalid command name "{name}"')
+
+    # ------------------------------------------------------------------
+    # substitution
+    # ------------------------------------------------------------------
+
+    def substitute_word(self, word: str) -> str:
+        """Apply Tcl substitution rules to one raw word."""
+        if len(word) >= 2 and word[0] == "{" and word[-1] == "}":
+            return word[1:-1]
+        if len(word) >= 2 and word[0] == '"' and word[-1] == '"':
+            return self.substitute(word[1:-1])
+        return self.substitute(word)
+
+    def substitute(self, text: str) -> str:
+        """Backslash, variable, and command substitution over a string."""
+        out: List[str] = []
+        i = 0
+        n = len(text)
+        while i < n:
+            ch = text[i]
+            if ch == "\\" and i + 1 < n:
+                out.append(_backslash(text[i + 1]))
+                i += 2
+            elif ch == "$":
+                name, i = _scan_varname(text, i)
+                if name is None:
+                    out.append("$")
+                else:
+                    out.append(self.get_var(name))
+            elif ch == "[":
+                depth = 0
+                j = i
+                while j < n:
+                    if text[j] == "\\" and j + 1 < n:
+                        j += 2
+                        continue
+                    if text[j] == "[":
+                        depth += 1
+                    elif text[j] == "]":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    j += 1
+                if depth != 0:
+                    raise TclError("unmatched open bracket in substitution")
+                out.append(self.eval(text[i + 1:j]))
+                i = j + 1
+            else:
+                out.append(ch)
+                i += 1
+        return "".join(out)
+
+
+def _scan_varname(text: str, i: int):
+    """Parse ``$name`` or ``${name}`` starting at index i (the '$')."""
+    n = len(text)
+    if i + 1 >= n:
+        return None, i + 1
+    if text[i + 1] == "{":
+        j = text.find("}", i + 2)
+        if j < 0:
+            raise TclError("unmatched ${")
+        return text[i + 2:j], j + 1
+    j = i + 1
+    while j < n and (text[j].isalnum() or text[j] == "_"):
+        j += 1
+    if j == i + 1:
+        return None, i + 1
+    return text[i + 1:j], j
+
+
+_BACKSLASH_MAP = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", '"': '"',
+                  "$": "$", "[": "[", "]": "]", "{": "{", "}": "}",
+                  ";": ";", " ": " ", "\n": ""}
+
+
+def _backslash(ch: str) -> str:
+    return _BACKSLASH_MAP.get(ch, ch)
+
+
+def _to_tcl_string(value: Any) -> str:
+    """Convert a Python value to its Tcl string form."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e16:
+            return f"{value:.1f}"
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return " ".join(_to_tcl_string(item) for item in value)
+    return str(value)

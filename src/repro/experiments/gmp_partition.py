@@ -1,0 +1,166 @@
+"""Experiment GMP-2 (paper Table 6): network partitions.
+
+Sub-experiment A -- oscillating two-way partition: five machines'
+send filters "oscillate between two states": full connectivity, and a
+state where compsun{1-3} only reach each other and compsun{4,5} are
+similarly isolated.  Expected: during partitioned phases, two separate but
+disjoint groups; after healing, one group of all five; repeat.
+
+Sub-experiment B -- leader/crown-prince separation: only the traffic
+between the leader and the crown prince is dropped.  Two event orderings
+are possible depending on who detects the loss first, but both end in the
+same state: "the crown prince was in a singleton group by itself, and
+everyone else was in a group with the leader."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.core import ScriptContext
+from repro.experiments.gmp_common import build_gmp_cluster
+
+WORLD5 = [1, 2, 3, 4, 5]
+GROUP_A = (1, 2, 3)
+GROUP_B = (4, 5)
+PHASE = 30.0  # seconds per oscillation phase
+
+
+@dataclass
+class PartitionResult:
+    """Oscillating partition sub-experiment."""
+
+    disjoint_groups_formed: bool
+    groups_during_partition: Tuple[Tuple[int, ...], Tuple[int, ...]]
+    merged_after_heal: bool
+    cycles_observed: int
+
+
+@dataclass
+class SeparationResult:
+    """Leader/crown-prince separation sub-experiment."""
+
+    first_mover: int                 # who sent the first MEMBERSHIP_CHANGE
+    crown_prince_singleton: bool
+    leader_group: Tuple[int, ...]
+    end_state_matches_paper: bool
+
+
+def partition_send_filter(my_side: Set[int]):
+    """Send filter: in odd phases, drop traffic leaving my side.
+
+    The phase is derived from virtual time, so all machines' scripts flip
+    state simultaneously without explicit synchronization -- scripts can
+    also coordinate through ``ctx.sync``, exercised elsewhere.
+    """
+    def send_filter(ctx: ScriptContext) -> None:
+        phase = int(ctx.now / PHASE) % 2
+        if phase == 0:
+            return
+        dst = ctx.msg.meta.get("dst")
+        if dst is not None and dst not in my_side:
+            ctx.drop()
+    return send_filter
+
+
+def run_oscillating_partition(*, seed: int = 0,
+                              cycles: int = 2) -> PartitionResult:
+    """Sub-experiment A."""
+    cluster = build_gmp_cluster(WORLD5, seed=seed)
+    cluster.start()
+    cluster.run_until(PHASE - 5.0)          # settle inside phase 0 (whole)
+    assert cluster.all_in_one_group(), "all five should group up first"
+
+    for address in WORLD5:
+        side = set(GROUP_A) if address in GROUP_A else set(GROUP_B)
+        cluster.pfis[address].set_send_filter(partition_send_filter(side))
+
+    snapshots: List[Dict[int, tuple]] = []
+    merged_ok = []
+    split_ok = []
+    for cycle in range(cycles):
+        # partitioned phase: sample views near its end
+        split_end = (2 * cycle + 2) * PHASE
+        cluster.run_until(split_end - 2.0)
+        views = cluster.views()
+        snapshots.append(views)
+        split_ok.append(
+            all(views[a] == GROUP_A for a in GROUP_A)
+            and all(views[a] == GROUP_B for a in GROUP_B))
+        # healed phase: sample near its end
+        heal_end = (2 * cycle + 3) * PHASE
+        cluster.run_until(heal_end - 2.0)
+        merged_ok.append(cluster.all_in_one_group())
+
+    return PartitionResult(
+        disjoint_groups_formed=all(split_ok),
+        groups_during_partition=(GROUP_A, GROUP_B),
+        merged_after_heal=all(merged_ok),
+        cycles_observed=sum(1 for s, w in zip(split_ok, merged_ok) if s and w),
+    )
+
+
+def separation_filter(other: int, start_at: float):
+    """Send filter: from ``start_at`` on, drop everything sent to ``other``."""
+    def send_filter(ctx: ScriptContext) -> None:
+        if ctx.now >= start_at and ctx.msg.meta.get("dst") == other:
+            ctx.drop()
+    return send_filter
+
+
+def run_leader_prince_separation(*, first_detector: str = "leader",
+                                 seed: int = 0) -> SeparationResult:
+    """Sub-experiment B, forcing one of the two event orderings.
+
+    ``first_detector`` controls who stops *receiving* first and therefore
+    who initiates the membership change first: cutting 2->1 early makes
+    the leader (1) miss heartbeats first; cutting 1->2 early favours the
+    crown prince (2).
+    """
+    if first_detector not in ("leader", "prince"):
+        raise ValueError("first_detector must be 'leader' or 'prince'")
+    cluster = build_gmp_cluster(WORLD5, seed=seed)
+    cluster.start()
+    cluster.run_until(12.0)
+    assert cluster.all_in_one_group()
+
+    now = cluster.scheduler.now
+    head_start = 1.2  # a heartbeat-and-a-bit: enough to order detection
+    if first_detector == "leader":
+        prince_cut, leader_cut = now, now + head_start
+    else:
+        prince_cut, leader_cut = now + head_start, now
+    # prince_cut: when 2 stops reaching 1; leader_cut: when 1 stops reaching 2
+    cluster.pfis[2].set_send_filter(separation_filter(1, prince_cut))
+    cluster.pfis[1].set_send_filter(separation_filter(2, leader_cut))
+
+    cluster.run_until(now + 60.0)
+
+    trace = cluster.trace
+    mc_events = [e for e in trace.entries("gmp.mc_sent") if e.time > now
+                 and e.get("node") in (1, 2)]
+    first_mover = mc_events[0].get("node") if mc_events else -1
+    prince_view = cluster.daemons[2].view.members
+    leader_view = cluster.daemons[1].view.members
+    expected_leader_group = (1, 3, 4, 5)
+    matches = (prince_view == (2,) and leader_view == expected_leader_group
+               and all(cluster.daemons[a].view.members == expected_leader_group
+                       for a in (3, 4, 5)))
+    return SeparationResult(
+        first_mover=first_mover,
+        crown_prince_singleton=prince_view == (2,),
+        leader_group=leader_view,
+        end_state_matches_paper=matches,
+    )
+
+
+def run_all(seed: int = 0) -> Dict[str, object]:
+    """Table 6: oscillating partition + both separation orderings."""
+    return {
+        "oscillating": run_oscillating_partition(seed=seed),
+        "leader_detects_first": run_leader_prince_separation(
+            first_detector="leader", seed=seed),
+        "prince_detects_first": run_leader_prince_separation(
+            first_detector="prince", seed=seed),
+    }

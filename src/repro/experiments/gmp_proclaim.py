@@ -1,0 +1,95 @@
+"""Experiment GMP-3 (paper Table 7): proclaim forwarding.
+
+"In this test, a machine sent a PROCLAIM to a machine which was not the
+group leader.  In order to do this, the send filter script of the machine
+compsun1 was configured to drop PROCLAIMs to the group leader so that only
+the PROCLAIM to non-leader machines were actually sent."
+
+With the historical bug, the leader answers the *forwarder* instead of the
+originator: "this created a vicious cycle of PROCLAIM sending between the
+forwarder (in this case the crown prince), and the leader", and the
+newcomer is never answered.  With the fix ("the group leader always
+responds to proclaim originator instead of the proclaim sender"), the
+newcomer joins normally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core import ScriptContext
+from repro.experiments.gmp_common import build_gmp_cluster
+from repro.gmp import BugFlags, FIXED
+
+WORLD = [1, 2, 3]
+LEADER = 1
+CROWN_PRINCE = 2
+NEWCOMER = 3
+LOOP_THRESHOLD = 20  # proclaims between leader and prince that count as a loop
+
+
+@dataclass
+class ProclaimResult:
+    """One Table 7 row (buggy or fixed)."""
+
+    bugs_on: bool
+    proclaim_loop_detected: bool
+    leader_prince_proclaims: int
+    newcomer_received_reply: bool
+    newcomer_admitted: bool
+
+
+def drop_proclaims_to_leader(ctx: ScriptContext) -> None:
+    """compsun1's send filter: its PROCLAIMs to the leader never leave."""
+    if (ctx.msg_type() == "PROCLAIM"
+            and ctx.msg.meta.get("dst") == LEADER
+            and ctx.field("originator") == NEWCOMER):
+        ctx.log("PROCLAIM to leader dropped")
+        ctx.drop()
+
+
+def run_proclaim_forwarding(*, bugs_on: bool, seed: int = 0,
+                            observe_for: float = 5.0) -> ProclaimResult:
+    """Run Table 7 with the forwarding bug on or off."""
+    flags = BugFlags(proclaim_reply_to_sender=True) if bugs_on else FIXED
+    cluster = build_gmp_cluster(WORLD, default_bugs=flags, seed=seed)
+    cluster.start(LEADER, CROWN_PRINCE)
+    cluster.run_until(8.0)
+    assert cluster.daemons[LEADER].view.members == (LEADER, CROWN_PRINCE)
+
+    cluster.pfis[NEWCOMER].set_send_filter(drop_proclaims_to_leader)
+    cluster.start(NEWCOMER)
+    start = cluster.scheduler.now
+    cluster.run_until(start + observe_for)
+
+    trace = cluster.trace
+    # proclaims flowing between leader and crown prince after the newcomer
+    # appeared: the loop signature
+    loop_msgs = [
+        e for e in trace.entries("gmp.send", msg_kind="PROCLAIM")
+        if e.time > start
+        and {e.get("node"), e.get("dst")} == {LEADER, CROWN_PRINCE}
+    ]
+    replies_to_newcomer = [
+        e for e in trace.entries("gmp.send")
+        if e.time > start and e.get("dst") == NEWCOMER
+        and e.get("msg_kind") in ("PROCLAIM", "JOIN")
+        and e.get("node") == LEADER
+    ]
+    admitted = NEWCOMER in cluster.daemons[LEADER].view.members
+    return ProclaimResult(
+        bugs_on=bugs_on,
+        proclaim_loop_detected=len(loop_msgs) >= LOOP_THRESHOLD,
+        leader_prince_proclaims=len(loop_msgs),
+        newcomer_received_reply=bool(replies_to_newcomer),
+        newcomer_admitted=admitted,
+    )
+
+
+def run_all(seed: int = 0) -> Dict[str, ProclaimResult]:
+    """Table 7: the bug as found, and the behaviour after the fix."""
+    return {
+        "buggy": run_proclaim_forwarding(bugs_on=True, seed=seed),
+        "fixed": run_proclaim_forwarding(bugs_on=False, seed=seed),
+    }

@@ -1,0 +1,107 @@
+"""Experiment GMP-4 (paper Table 8): the timer test.
+
+"It is important that during some phases of the protocol, all timers be
+unset.  ...  In the test, the receive filter for compsun1 was configured
+such that it was allowed to join one group.  After that, when it received
+a second MEMBERSHIP_CHANGE (when another group was formed) it started
+dropping all incoming COMMIT and heartbeat packets."
+
+With the inverted-unregister bug, entering IN_TRANSITION unsets only the
+*first* heartbeat-expect timer instead of all of them, so compsun1 "timed
+out waiting for a heartbeat message from the leader" while in a state
+where no such timer should exist.  Fixed, all expect timers are unset and
+compsun1 simply waits out its membership-change timer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core import ScriptContext
+from repro.experiments.gmp_common import build_gmp_cluster
+from repro.gmp import BugFlags, FIXED
+
+WORLD = [1, 2, 3]
+LEADER = 1
+THIRD_MACHINE = 2
+COMPSUN1 = 3
+
+
+@dataclass
+class TimerTestResult:
+    """One Table 8 row (buggy or fixed)."""
+
+    bugs_on: bool
+    second_change_received: bool
+    spurious_heartbeat_timeout: bool
+    timers_armed_in_transition: List[str]
+    mc_timer_survived: bool
+
+
+def drop_after_second_change():
+    """compsun1's receive filter for this experiment."""
+    def receive_filter(ctx: ScriptContext) -> None:
+        kind = ctx.msg_type()
+        if kind == "MEMBERSHIP_CHANGE":
+            changes = ctx.state.get("changes", 0) + 1
+            ctx.state["changes"] = changes
+            return
+        if ctx.state.get("changes", 0) >= 2 and kind in ("COMMIT",
+                                                         "HEARTBEAT"):
+            ctx.log(f"{kind} dropped after second membership change")
+            ctx.drop()
+    return receive_filter
+
+
+def run_timer_test(*, bugs_on: bool, seed: int = 0) -> TimerTestResult:
+    """Run Table 8 with the inverted-unregister bug on or off."""
+    flags = {COMPSUN1: BugFlags(inverted_timer_unregister=True)
+             if bugs_on else FIXED}
+    cluster = build_gmp_cluster(WORLD, bugs=flags, seed=seed)
+    compsun1 = cluster.daemons[COMPSUN1]
+    compsun1_pfi = cluster.pfis[COMPSUN1]
+    compsun1_pfi.set_receive_filter(drop_after_second_change())
+
+    # compsun1 and the leader form the initial group (first change)
+    cluster.start(LEADER, COMPSUN1)
+    cluster.run_until(8.0)
+    assert compsun1.view.members == (LEADER, COMPSUN1)
+
+    # a third machine triggers the second membership change
+    cluster.start(THIRD_MACHINE)
+    start = cluster.scheduler.now
+
+    # sample compsun1's armed timers the moment it sits IN_TRANSITION
+    armed_snapshot: List[str] = []
+
+    def sample_if_in_transition() -> None:
+        if compsun1.status == "IN_TRANSITION" and not armed_snapshot:
+            armed_snapshot.extend(
+                f"{kind}/{key}"
+                for kind in compsun1.timers.armed_kinds()
+                for key in compsun1.timers.armed_keys(kind))
+
+    for tick in range(1, 40):
+        cluster.scheduler.schedule(tick * 0.1, sample_if_in_transition)
+    cluster.run_until(start + 10.0)
+
+    trace = cluster.trace
+    return TimerTestResult(
+        bugs_on=bugs_on,
+        second_change_received=trace.count("gmp.in_transition",
+                                           node=COMPSUN1) >= 2,
+        spurious_heartbeat_timeout=trace.count("gmp.spurious_timeout",
+                                               node=COMPSUN1) > 0,
+        timers_armed_in_transition=armed_snapshot,
+        mc_timer_survived=any(s.startswith("mc_timeout")
+                              for s in armed_snapshot),
+    )
+
+
+def run_all(seed: int = 0) -> Dict[str, TimerTestResult]:
+    """Table 8: buggy and fixed."""
+    return {
+        "buggy": run_timer_test(bugs_on=True, seed=seed),
+        "fixed": run_timer_test(bugs_on=False, seed=seed),
+    }

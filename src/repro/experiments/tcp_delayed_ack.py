@@ -1,0 +1,192 @@
+"""Experiment TCP-2 (paper Table 2): RTO adaptation under delayed ACKs.
+
+Part one: "The send script of the fault injection layer was set up to
+delay each outgoing ACK for 30 ACKs in a row.  After doing this, the
+receive filter started dropping all incoming packets."  The send filter
+flips the receive filter's state through cross-interpreter communication
+("the send filter might set a variable in the receive interpreter which
+tells the receive filter to start dropping messages") -- here via
+``ctx.set_peer``.
+
+Expected shapes: the BSD-derived stacks adapt their RTO above the injected
+delay (paper: first retransmission at ~6.5 s SunOS / ~8 s AIX / ~5 s NeXT
+for a 3 s delay); Solaris barely adapts and retransmits *below* the delay
+(~2.4 s), timing connections out early.
+
+Part two, the global-fault-counter probe: pass 30 packets, then ACK the
+next segment (m1) with a 35-second delay while dropping everything else.
+Solaris retransmits m1 ~6 times before the delayed ACK lands; because the
+ACK is ambiguous (m1 was retransmitted), the fault counter is NOT reset,
+and the following segment m2 gets only the remaining ~3 attempts before
+the connection dies -- the behaviour that revealed the global counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.series import (most_retransmitted_seq,
+                                   retransmission_series,
+                                   retransmit_counts_by_seq)
+from repro.core import ScriptContext
+from repro.experiments.tcp_common import (build_tcp_testbed,
+                                          open_connection,
+                                          stream_from_vendor)
+from repro.tcp import VENDORS, VendorProfile
+
+ACKS_TO_DELAY = 30
+
+
+@dataclass
+class DelayedAckResult:
+    """One Table 2 row."""
+
+    vendor: str
+    ack_delay: float
+    first_retransmit_interval: Optional[float]
+    adapted_above_delay: Optional[bool]
+    retransmissions: int
+    intervals: List[float] = field(default_factory=list)
+    close_reason: Optional[str] = None
+
+
+@dataclass
+class GlobalCounterResult:
+    """The m1/m2 probe of the global fault counter."""
+
+    vendor: str
+    m1_retransmissions: int
+    m2_retransmissions: int
+    total: int
+    close_reason: Optional[str]
+
+
+def delay_acks_send_filter(delay: float, count: int = ACKS_TO_DELAY):
+    """Send filter: delay the first ``count`` pure ACKs, then arm the peer."""
+    def send_filter(ctx: ScriptContext) -> None:
+        if ctx.msg_type() != "ACK":
+            return
+        delayed = ctx.state.get("delayed", 0)
+        if delayed < count:
+            ctx.state["delayed"] = delayed + 1
+            ctx.delay(delay)
+            if delayed + 1 == count:
+                # cross-interpreter communication: tell the receive filter
+                # to start dropping everything
+                ctx.set_peer("dropping", True)
+    return send_filter
+
+
+def drop_when_armed_receive_filter():
+    """Receive filter: log and drop once the send filter arms us."""
+    def receive_filter(ctx: ScriptContext) -> None:
+        if ctx.state.get("dropping"):
+            ctx.log("dropped (post-delay phase)")
+            ctx.drop()
+    return receive_filter
+
+
+def run_delayed_ack_experiment(vendor: VendorProfile, ack_delay: float, *,
+                               seed: int = 0,
+                               max_time: float = 3000.0) -> DelayedAckResult:
+    """Run one (vendor, delay) cell of Table 2."""
+    testbed = build_tcp_testbed(vendor, seed=seed)
+    client, _server = open_connection(testbed)
+    # the vendor app writes briskly; ACK delays will throttle the window
+    stream_from_vendor(testbed, client, segments=60, interval=0.4)
+    testbed.pfi.set_send_filter(delay_acks_send_filter(ack_delay))
+    testbed.pfi.set_receive_filter(drop_when_armed_receive_filter())
+    testbed.env.run_until(max_time)
+
+    conn = "vendor:5000"
+    trace = testbed.trace
+    seq = most_retransmitted_seq(trace, conn)
+    intervals = retransmission_series(trace, conn, seq)
+    first = intervals[0] if intervals else None
+    dropped = trace.first("tcp.conn_dropped", conn=conn)
+    return DelayedAckResult(
+        vendor=vendor.name,
+        ack_delay=ack_delay,
+        first_retransmit_interval=first,
+        adapted_above_delay=None if first is None else first > ack_delay,
+        retransmissions=trace.count("tcp.retransmit", conn=conn, seq=seq),
+        intervals=intervals,
+        close_reason=dropped.get("reason") if dropped else None,
+    )
+
+
+def run_global_counter_probe(vendor: VendorProfile, *, seed: int = 0,
+                             ack_delay: float = 35.0,
+                             pass_count: int = 30,
+                             max_time: float = 3000.0) -> GlobalCounterResult:
+    """The 35-second-delayed-ACK experiment that exposed Solaris's counter."""
+    testbed = build_tcp_testbed(vendor, seed=seed)
+    client, _server = open_connection(testbed)
+    stream_from_vendor(testbed, client, segments=60, interval=0.4)
+
+    def receive_filter(ctx: ScriptContext) -> None:
+        if ctx.msg_type() != "DATA":
+            return
+        seen = ctx.state.get("seen", 0) + 1
+        ctx.state["seen"] = seen
+        if seen <= pass_count:
+            return
+        if seen == pass_count + 1:
+            # m1: let it through so the x-kernel TCP generates its ACK,
+            # but tell the send filter to delay that ACK 35 seconds
+            ctx.set_peer("delay_next_ack", True)
+            return
+        ctx.log("dropped after m1")
+        ctx.drop()
+
+    def send_filter(ctx: ScriptContext) -> None:
+        if ctx.msg_type() != "ACK":
+            return
+        # the receive filter armed this flag in OUR interpreter state
+        if ctx.state.get("delay_next_ack"):
+            ctx.state["delay_next_ack"] = False
+            ctx.delay(ack_delay)
+
+    testbed.pfi.set_receive_filter(receive_filter)
+    testbed.pfi.set_send_filter(send_filter)
+    testbed.env.run_until(max_time)
+
+    conn = "vendor:5000"
+    counts = retransmit_counts_by_seq(testbed.trace, conn)
+    ordered = sorted(counts.items(), key=lambda kv: kv[0])
+    m1_count = ordered[0][1] if ordered else 0
+    m2_count = ordered[1][1] if len(ordered) > 1 else 0
+    dropped = testbed.trace.first("tcp.conn_dropped", conn=conn)
+    return GlobalCounterResult(
+        vendor=vendor.name,
+        m1_retransmissions=m1_count,
+        m2_retransmissions=m2_count,
+        total=sum(counts.values()),
+        close_reason=dropped.get("reason") if dropped else None,
+    )
+
+
+def run_all(ack_delay: float, seed: int = 0) -> Dict[str, DelayedAckResult]:
+    """One Table 2 column (3 s or 8 s)."""
+    return {name: run_delayed_ack_experiment(profile, ack_delay, seed=seed)
+            for name, profile in VENDORS.items()}
+
+
+def table_rows(results: Dict[str, DelayedAckResult]) -> List[List[object]]:
+    rows = []
+    for name, r in results.items():
+        if r.first_retransmit_interval is None:
+            rows.append([name, "no retransmissions observed", ""])
+            continue
+        verdict = ("adapted above the injected delay"
+                   if r.adapted_above_delay
+                   else "did NOT adapt to the injected delay")
+        rows.append([
+            name,
+            f"started retransmitting at "
+            f"{r.first_retransmit_interval:.1f} s "
+            f"(ACK delay {r.ack_delay:.0f} s)",
+            f"{verdict}; {r.retransmissions} retransmissions before close",
+        ])
+    return rows

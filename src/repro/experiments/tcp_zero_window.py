@@ -1,0 +1,141 @@
+"""Experiment TCP-4 (paper Table 4): zero-window probing.
+
+"The machine running the x-Kernel was configured such that when the driver
+layer received data, it did not reset the receive buffer space inside the
+TCP layer.  The result was a full window after several segments were
+received."  Here that is ``TCPConnection.set_consuming(False)`` on the
+x-Kernel endpoint.
+
+Variant A ("acked"): zero-window probes are answered (window still 0);
+the probe interval backs off exponentially to a 60 s cap (56 s Solaris)
+and probing continues as long as the run lasts.
+
+Variant B ("unacked"): "as soon as x-injector advertised a zero window,
+the receive filter started dropping incoming packets" -- probes go
+unanswered, yet all four implementations keep probing at the capped
+interval "indefinitely".  The unplug/replug coda: the ethernet is pulled
+for two (virtual) days and the senders are still probing when it returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.shape import (intervals_of, is_exponential_backoff,
+                                  plateau_value)
+from repro.core import ScriptContext
+from repro.experiments.tcp_common import (VENDOR_ADDR, XKERNEL_ADDR,
+                                          build_tcp_testbed, open_connection)
+from repro.tcp import VENDORS, VendorProfile
+
+DAY = 86_400.0
+
+
+@dataclass
+class ZeroWindowResult:
+    """One Table 4 row."""
+
+    vendor: str
+    variant: str                      # "acked" / "unacked" / "unplugged"
+    probes_sent: int
+    intervals: List[float] = field(default_factory=list)
+    plateau: Optional[float] = None
+    backoff_exponential: bool = False
+    still_probing_at_end: bool = False
+    still_open: bool = False
+    probes_after_replug: int = 0
+
+
+def _fill_receiver_window(testbed, client, server) -> None:
+    """Send enough data to exhaust the non-consuming receiver's buffer."""
+    server.set_consuming(False)
+    # recv_buffer bytes fill the window exactly; a little extra stays
+    # queued at the sender and motivates the window probes
+    total = server.profile.recv_buffer + 3 * client.profile.mss
+    client.send(b"Z" * total)
+
+
+def run_zero_window(vendor: VendorProfile, *, variant: str = "acked",
+                    seed: int = 0, run_for: float = 1800.0) -> ZeroWindowResult:
+    """Run one Table 4 cell."""
+    if variant not in ("acked", "unacked", "unplugged"):
+        raise ValueError(f"unknown variant {variant!r}")
+    testbed = build_tcp_testbed(vendor, seed=seed)
+    client, server = open_connection(testbed)
+    _fill_receiver_window(testbed, client, server)
+
+    if variant != "acked":
+        def drop_after_zero_window(ctx: ScriptContext) -> None:
+            # arm once our side has advertised a zero window
+            if not ctx.state.get("armed"):
+                return
+            ctx.log("dropped (zero-window phase)")
+            ctx.drop()
+
+        def watch_for_zero_window(ctx: ScriptContext) -> None:
+            if ctx.msg_type() in ("ACK", "DATA") and ctx.field("window") == 0:
+                ctx.set_peer("armed", True)
+
+        testbed.pfi.set_receive_filter(drop_after_zero_window)
+        testbed.pfi.set_send_filter(watch_for_zero_window)
+        # note: watch_for_zero_window's set_peer writes into the receive
+        # filter's state, which is exactly what drop_after_zero_window reads
+
+    testbed.env.run_until(run_for)
+    probes_before_unplug = _probe_times(testbed)
+
+    probes_after_replug = 0
+    if variant == "unplugged":
+        testbed.env.network.set_link_down(VENDOR_ADDR, XKERNEL_ADDR)
+        testbed.env.run_until(run_for + 2 * DAY)
+        testbed.env.network.set_link_up(VENDOR_ADDR, XKERNEL_ADDR)
+        mark = len(_probe_times(testbed))
+        testbed.env.run_until(run_for + 2 * DAY + 600.0)
+        probes_after_replug = len(_probe_times(testbed)) - mark
+
+    probe_times = _probe_times(testbed)
+    intervals = intervals_of(probe_times)
+    recent = [t for t in probe_times
+              if t > testbed.scheduler.now - 2.5 * vendor.persist_max]
+    return ZeroWindowResult(
+        vendor=vendor.name,
+        variant=variant,
+        probes_sent=len(probe_times),
+        intervals=intervals,
+        plateau=plateau_value(intervals[:12], min_run=3),
+        backoff_exponential=is_exponential_backoff(
+            intervals[:8], cap=vendor.persist_max),
+        still_probing_at_end=bool(recent),
+        still_open=client.state != "CLOSED",
+        probes_after_replug=probes_after_replug,
+    )
+
+
+def _probe_times(testbed) -> List[float]:
+    probes = testbed.trace.entries("tcp.transmit", conn="vendor:5000",
+                                   purpose="zwp_probe")
+    return [p.time for p in probes]
+
+
+def run_all(variant: str = "acked", seed: int = 0) -> Dict[str, ZeroWindowResult]:
+    """One Table 4 column across vendors."""
+    return {name: run_zero_window(profile, variant=variant, seed=seed)
+            for name, profile in VENDORS.items()}
+
+
+def table_rows(results: Dict[str, ZeroWindowResult]) -> List[List[object]]:
+    rows = []
+    for name, r in results.items():
+        plateau = (f"levels off at {r.plateau:.0f} s"
+                   if r.plateau else "no plateau observed")
+        persistence = ("probing continued indefinitely"
+                       if r.still_probing_at_end else "probing stopped")
+        rows.append([
+            name,
+            f"{r.probes_sent} probes; exponential backoff "
+            f"{'yes' if r.backoff_exponential else 'NO'}; {plateau}",
+            f"{persistence}; connection "
+            f"{'open' if r.still_open else 'closed'} ({r.variant})",
+        ])
+    return rows

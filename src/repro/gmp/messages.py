@@ -1,0 +1,71 @@
+"""GMP message types.
+
+The strong group membership protocol exchanges seven message kinds:
+
+- ``HEARTBEAT`` -- periodic liveness, sent to every member of the current
+  view *including the local machine* (the loopback heartbeat is what made
+  the paper's self-death bug reachable);
+- ``PROCLAIM`` -- "machines which desire to be in a group send proclaim
+  messages to potential members"; carries the *originator* separately from
+  the immediate *sender* because group members forward proclaims to their
+  leader (the distinction the paper's forwarding bug confused);
+- ``JOIN`` -- sent to a lower-addressed machine to ask admission;
+- ``MEMBERSHIP_CHANGE`` -- phase one of the leader's two-phase commit,
+  proposing a new member list;
+- ``ACK`` / ``NACK`` -- member responses to a proposed change;
+- ``COMMIT`` -- phase two, finalizing the new view;
+- ``DEAD_REPORT`` -- a member telling the leader that some machine's
+  heartbeats stopped (also the message a buggy daemon sends about
+  *itself*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+HEARTBEAT = "HEARTBEAT"
+PROCLAIM = "PROCLAIM"
+JOIN = "JOIN"
+MEMBERSHIP_CHANGE = "MEMBERSHIP_CHANGE"
+ACK = "ACK"
+NACK = "NACK"
+COMMIT = "COMMIT"
+DEAD_REPORT = "DEAD_REPORT"
+
+ALL_KINDS = (HEARTBEAT, PROCLAIM, JOIN, MEMBERSHIP_CHANGE, ACK, NACK,
+             COMMIT, DEAD_REPORT)
+
+
+@dataclass
+class GmpMessage:
+    """One GMP protocol message."""
+
+    kind: str
+    sender: int
+    originator: int = -1
+    subject: int = -1          # DEAD_REPORT: who is being reported dead
+    group_id: int = 0          # incarnation of the group being formed/run
+    members: Tuple[int, ...] = ()
+    down: bool = False         # buggy self-death daemons mark themselves down
+
+    def __post_init__(self):
+        if self.kind not in ALL_KINDS:
+            raise ValueError(f"unknown GMP message kind {self.kind!r}")
+        if self.originator < 0:
+            self.originator = self.sender
+
+    def copy(self) -> "GmpMessage":
+        return GmpMessage(kind=self.kind, sender=self.sender,
+                          originator=self.originator, subject=self.subject,
+                          group_id=self.group_id, members=tuple(self.members),
+                          down=self.down)
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.kind == DEAD_REPORT:
+            extra = f" subject={self.subject}"
+        if self.members:
+            extra += f" members={list(self.members)}"
+        return (f"GmpMessage({self.kind} from={self.sender} "
+                f"orig={self.originator} gid={self.group_id}{extra})")

@@ -1,0 +1,62 @@
+"""Group views.
+
+A :class:`GroupView` is a consistent snapshot of the group: an incarnation
+number and a member list.  The protocol's structural rules live here:
+
+- the **leader** is the member with the lowest address (the paper's
+  implementation used lowest IP address);
+- the **crown prince** is "the machine which is next in line to be the
+  leader if the leader fails" -- the second-lowest address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class GroupView:
+    """An immutable group membership view."""
+
+    group_id: int
+    members: Tuple[int, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "members", tuple(sorted(set(self.members))))
+        if not self.members:
+            raise ValueError("a group view must have at least one member")
+
+    @property
+    def leader(self) -> int:
+        """Lowest-addressed member."""
+        return self.members[0]
+
+    @property
+    def crown_prince(self) -> Optional[int]:
+        """Second-lowest member, or None for a singleton group."""
+        return self.members[1] if len(self.members) > 1 else None
+
+    @property
+    def is_singleton(self) -> bool:
+        return len(self.members) == 1
+
+    def contains(self, address: int) -> bool:
+        return address in self.members
+
+    def without(self, *addresses: int) -> Tuple[int, ...]:
+        """Member list minus the given addresses."""
+        gone = set(addresses)
+        return tuple(m for m in self.members if m not in gone)
+
+    def with_added(self, *addresses: int) -> Tuple[int, ...]:
+        """Member list plus the given addresses."""
+        return tuple(sorted(set(self.members) | set(addresses)))
+
+    def __repr__(self) -> str:
+        return f"GroupView(gid={self.group_id}, members={list(self.members)})"
+
+
+def singleton_view(address: int, group_id: int = 0) -> GroupView:
+    """The view a daemon starts with: a group of one."""
+    return GroupView(group_id=group_id, members=(address,))

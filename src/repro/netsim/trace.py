@@ -1,0 +1,124 @@
+"""Timestamped experiment traces.
+
+Every experiment in the repository produces its results by querying a trace:
+the retransmission-interval tables come from filtering retransmit events,
+the GMP tables from membership-change events, and so on.  A trace entry is a
+(virtual time, kind, attributes) triple; kinds use dotted names
+("tcp.retransmit", "gmp.commit", "pfi.drop") so queries can match by prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded event."""
+
+    time: float
+    kind: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.attrs[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.attrs.get(key, default)
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(f"{k}={v!r}" for k, v in sorted(self.attrs.items()))
+        return f"[{self.time:10.3f}] {self.kind}({attrs})"
+
+
+class TraceRecorder:
+    """Append-only store of :class:`TraceEntry` objects.
+
+    The recorder is deliberately permissive about attribute payloads; shape
+    checking belongs to the analysis layer, not the capture path.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._entries: List[TraceEntry] = []
+        self._clock = clock
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the time source used when ``record`` is called without t."""
+        self._clock = clock
+
+    def record(self, kind: str, *, t: Optional[float] = None, **attrs: Any) -> TraceEntry:
+        """Append an entry.  Time defaults to the bound clock."""
+        if t is None:
+            if self._clock is None:
+                raise RuntimeError("TraceRecorder has no clock bound; pass t=")
+            t = self._clock()
+        entry = TraceEntry(t, kind, attrs)
+        self._entries.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self._entries)
+
+    def entries(self, kind: Optional[str] = None, **attr_filter: Any) -> List[TraceEntry]:
+        """Entries matching an exact kind and attribute equality filters."""
+        result = []
+        for entry in self._entries:
+            if kind is not None and entry.kind != kind:
+                continue
+            if all(entry.get(k) == v for k, v in attr_filter.items()):
+                result.append(entry)
+        return result
+
+    def entries_with_prefix(self, prefix: str, **attr_filter: Any) -> List[TraceEntry]:
+        """Entries whose kind starts with ``prefix`` ("tcp." etc.)."""
+        result = []
+        for entry in self._entries:
+            if not entry.kind.startswith(prefix):
+                continue
+            if all(entry.get(k) == v for k, v in attr_filter.items()):
+                result.append(entry)
+        return result
+
+    def times(self, kind: str, **attr_filter: Any) -> List[float]:
+        """Timestamps of matching entries, in capture order."""
+        return [entry.time for entry in self.entries(kind, **attr_filter)]
+
+    def intervals(self, kind: str, **attr_filter: Any) -> List[float]:
+        """Successive differences between matching entries' timestamps.
+
+        This is how retransmission-interval series (Figure 4) are derived
+        from raw retransmit events.
+        """
+        times = self.times(kind, **attr_filter)
+        return [b - a for a, b in zip(times, times[1:])]
+
+    def count(self, kind: str, **attr_filter: Any) -> int:
+        """Number of matching entries."""
+        return len(self.entries(kind, **attr_filter))
+
+    def first(self, kind: str, **attr_filter: Any) -> Optional[TraceEntry]:
+        """Earliest matching entry, or None."""
+        matches = self.entries(kind, **attr_filter)
+        return matches[0] if matches else None
+
+    def last(self, kind: str, **attr_filter: Any) -> Optional[TraceEntry]:
+        """Latest matching entry, or None."""
+        matches = self.entries(kind, **attr_filter)
+        return matches[-1] if matches else None
+
+    def clear(self) -> None:
+        """Drop all captured entries."""
+        self._entries.clear()
+
+    def dump(self, kind_prefix: str = "") -> str:
+        """Human-readable rendering, optionally restricted by kind prefix."""
+        lines = [repr(e) for e in self._entries if e.kind.startswith(kind_prefix)]
+        return "\n".join(lines)

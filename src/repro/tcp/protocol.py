@@ -1,0 +1,191 @@
+"""TCP as an x-Kernel protocol layer, plus the TCP packet stubs.
+
+:class:`TCPProtocol` owns this host's connections and adapts them to the
+stack: a connection's outbound segments become messages pushed down
+(through any spliced PFI layer), and inbound messages are demultiplexed by
+(local port, remote address, remote port) -- falling back to a listener
+bound to the local port -- and fed to :meth:`TCPConnection.on_segment`.
+
+:func:`tcp_stubs` builds the :class:`~repro.core.stubs.PacketStubs` for
+TCP: recognition by flags/payload (SYN, SYNACK, ACK, DATA, FIN, RST) and
+generators for the stateless probe messages a filter script may forge --
+"when generating a spurious ACK message in TCP, no data structures need to
+be updated".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.stubs import PacketStubs
+from repro.netsim.scheduler import Scheduler
+from repro.netsim.trace import TraceRecorder
+from repro.tcp.connection import TCPConnection
+from repro.tcp.segment import ACK, RST, SYN, Segment, classify
+from repro.tcp.vendors import VendorProfile
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol
+
+ConnKey = Tuple[int, int, int]  # local port, remote addr, remote port
+
+
+class TCPProtocol(Protocol):
+    """The TCP layer of one host's protocol stack."""
+
+    def __init__(self, scheduler: Scheduler, profile: VendorProfile, *,
+                 local_address: int, trace: Optional[TraceRecorder] = None,
+                 name: str = "tcp", host: str = ""):
+        super().__init__(name)
+        self.scheduler = scheduler
+        self.profile = profile
+        self.local_address = local_address
+        self.trace = trace
+        self.host = host or name
+        self._connections: Dict[ConnKey, TCPConnection] = {}
+        self._listeners: Dict[int, TCPConnection] = {}
+        self._next_iss = 1000
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+
+    def open_connection(self, *, local_port: int, remote_address: int,
+                        remote_port: int,
+                        iss: Optional[int] = None) -> TCPConnection:
+        """Create an active-open connection (does not send SYN yet)."""
+        conn = self._make_connection(local_port, remote_address, remote_port,
+                                     iss=iss)
+        self._connections[(local_port, remote_address, remote_port)] = conn
+        return conn
+
+    def listen(self, local_port: int,
+               iss: Optional[int] = None) -> TCPConnection:
+        """Create a passive-open connection bound to a local port."""
+        conn = self._make_connection(local_port, remote_address=None,
+                                     remote_port=0, iss=iss)
+        conn.listen()
+        self._listeners[local_port] = conn
+        return conn
+
+    def _make_connection(self, local_port: int,
+                         remote_address: Optional[int], remote_port: int,
+                         iss: Optional[int]) -> TCPConnection:
+        if iss is None:
+            iss = self._next_iss
+            self._next_iss += 100_000
+        conn = TCPConnection(
+            self.scheduler, self.profile,
+            local_port=local_port, remote_port=remote_port,
+            transmit=lambda seg, _c=None: None,  # replaced below
+            trace=self.trace,
+            name=f"{self.host}:{local_port}", iss=iss)
+        conn.remote_address = remote_address
+        conn._transmit = lambda seg, _conn=conn: self._transmit(_conn, seg)
+        return conn
+
+    def _transmit(self, conn: TCPConnection, seg: Segment) -> None:
+        if conn.remote_address is None:
+            return  # listener with no peer yet cannot transmit
+        msg = Message(payload=b"", headers=[seg])
+        msg.meta["dst"] = conn.remote_address
+        msg.meta["src"] = self.local_address
+        self.send_down(msg)
+
+    # ------------------------------------------------------------------
+    # stack interface
+    # ------------------------------------------------------------------
+
+    def pop(self, msg: Message) -> None:
+        header = msg.top_header
+        if not isinstance(header, Segment):
+            return
+        seg = msg.pop_header()
+        src_address = msg.meta.get("src")
+        key = (seg.dst_port, src_address, seg.src_port)
+        conn = self._connections.get(key)
+        if conn is None:
+            listener = self._listeners.get(seg.dst_port)
+            if listener is not None and seg.is_syn:
+                # bind the listener to this peer
+                listener.remote_port = seg.src_port
+                listener.remote_address = src_address
+                self._connections[key] = listener
+                del self._listeners[seg.dst_port]
+                conn = listener
+            elif listener is not None:
+                conn = listener
+        if conn is None:
+            self._refuse(seg, src_address)
+            return
+        conn.on_segment(seg)
+
+    def _refuse(self, seg: Segment, src_address: Optional[int]) -> None:
+        """No connection for this segment: answer with a RST."""
+        if seg.is_rst or src_address is None:
+            return
+        rst = Segment(src_port=seg.dst_port, dst_port=seg.src_port,
+                      seq=seg.ack, ack=seg.end_seq, flags=RST | ACK,
+                      window=0)
+        msg = Message(payload=b"", headers=[rst])
+        msg.meta["dst"] = src_address
+        msg.meta["src"] = self.local_address
+        self.send_down(msg)
+
+    def connection(self, local_port: int, remote_address: int,
+                   remote_port: int) -> Optional[TCPConnection]:
+        """Look up an established connection."""
+        return self._connections.get((local_port, remote_address, remote_port))
+
+
+def tcp_stubs() -> PacketStubs:
+    """Recognition/generation stubs for TCP segments."""
+    stubs = PacketStubs()
+
+    def recognize(msg: Message) -> Optional[str]:
+        for header in reversed(msg.headers):
+            if isinstance(header, Segment):
+                return classify(header)
+        return None
+
+    stubs.register_recognizer(recognize)
+
+    def gen_ack(*, src_port: int = 0, dst_port: int = 0, seq: int = 0,
+                ack: int = 0, window: int = 4096, dst: Optional[int] = None,
+                src: Optional[int] = None) -> Message:
+        seg = Segment(src_port=src_port, dst_port=dst_port, seq=seq, ack=ack,
+                      flags=ACK, window=window)
+        msg = Message(payload=b"", headers=[seg])
+        if dst is not None:
+            msg.meta["dst"] = dst
+        if src is not None:
+            msg.meta["src"] = src
+        return msg
+
+    def gen_rst(*, src_port: int = 0, dst_port: int = 0, seq: int = 0,
+                ack: int = 0, dst: Optional[int] = None,
+                src: Optional[int] = None) -> Message:
+        seg = Segment(src_port=src_port, dst_port=dst_port, seq=seq, ack=ack,
+                      flags=RST | ACK, window=0)
+        msg = Message(payload=b"", headers=[seg])
+        if dst is not None:
+            msg.meta["dst"] = dst
+        if src is not None:
+            msg.meta["src"] = src
+        return msg
+
+    def gen_syn(*, src_port: int = 0, dst_port: int = 0, seq: int = 0,
+                window: int = 4096, dst: Optional[int] = None,
+                src: Optional[int] = None) -> Message:
+        seg = Segment(src_port=src_port, dst_port=dst_port, seq=seq, ack=0,
+                      flags=SYN, window=window)
+        msg = Message(payload=b"", headers=[seg])
+        if dst is not None:
+            msg.meta["dst"] = dst
+        if src is not None:
+            msg.meta["src"] = src
+        return msg
+
+    stubs.register_generator("ACK", gen_ack)
+    stubs.register_generator("RST", gen_rst)
+    stubs.register_generator("SYN", gen_syn)
+    return stubs

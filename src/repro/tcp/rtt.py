@@ -1,0 +1,157 @@
+"""Round-trip-time estimation and retransmission-timeout computation.
+
+Two estimators implement the same interface:
+
+- :class:`JacobsonKarnEstimator` -- RFC-1122's required combination:
+  Jacobson's smoothed RTT/variance estimator for the RTO, with Karn's rule
+  for sample selection (never sample a retransmitted segment; retain the
+  backed-off RTO until a valid sample arrives).
+- :class:`NaiveEstimator` -- the Solaris 2.3 stand-in.  The paper found
+  Solaris "was not nearly as adaptable to a sudden slow network as the
+  other implementations" and inferred it "either did not use Jacobson's
+  algorithm, or did not select RTT measurements in the same way".  The
+  naive estimator uses a very small EWMA gain (so 30 delayed ACKs barely
+  move it) and reproduces the observed post-timeout shape: the first
+  retransmission fires at roughly twice the smoothed RTT, the second at
+  the smoothed RTT, "and exponential backoff started from there".
+
+``rto_for(shift)`` returns the timeout to use after ``shift`` consecutive
+timeouts of the oldest outstanding segment; the retransmission manager owns
+``shift`` and resets it per Karn's rule.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.tcp.vendors import VendorProfile
+
+
+def _quantize_up(value: float, tick: float) -> float:
+    """Round up to the timer tick, modelling coarse-grained kernel timers."""
+    if tick <= 0:
+        return value
+    return math.ceil(value / tick - 1e-9) * tick
+
+
+class RTTEstimatorBase:
+    """Interface shared by both estimators."""
+
+    #: Whether the estimator follows Karn's sample-selection rule.  When
+    #: False, the retransmission manager feeds it *ambiguous* samples too
+    #: (measured from the most recent transmission -- the classic pre-Karn
+    #: bug that systematically underestimates RTT) and resets backoff on
+    #: any ACK.
+    karn = True
+
+    def sample(self, rtt: float) -> None:
+        """Feed one valid (un-retransmitted, per Karn) RTT measurement."""
+        raise NotImplementedError
+
+    def rto_for(self, shift: int) -> float:
+        """RTO after ``shift`` consecutive timeouts (0 = first attempt)."""
+        raise NotImplementedError
+
+    @property
+    def srtt(self) -> Optional[float]:
+        """Smoothed RTT, or None before the first sample."""
+        raise NotImplementedError
+
+
+class JacobsonKarnEstimator(RTTEstimatorBase):
+    """RFC-1122 RTO: ``srtt + k * rttvar``, exponential backoff, clamped.
+
+    The variance term is floored at ``max(tick/2, srtt * var_floor_frac)``;
+    the fraction is the vendor-profile knob modelling the different timer
+    granularities that spread otherwise-identical BSD stacks apart in the
+    delayed-ACK experiment.
+    """
+
+    def __init__(self, profile: VendorProfile):
+        self._p = profile
+        self._srtt: Optional[float] = None
+        self._rttvar: float = 0.0
+        self.sample_count = 0
+
+    @property
+    def srtt(self) -> Optional[float]:
+        return self._srtt
+
+    @property
+    def rttvar(self) -> float:
+        return self._rttvar
+
+    def sample(self, rtt: float) -> None:
+        self.sample_count += 1
+        if self._srtt is None:
+            self._srtt = rtt
+            self._rttvar = rtt / 2.0
+            return
+        err = rtt - self._srtt
+        self._srtt += self._p.rtt_gain * err
+        self._rttvar += self._p.var_gain * (abs(err) - self._rttvar)
+
+    def base_rto(self) -> float:
+        """The un-backed-off RTO."""
+        if self._srtt is None:
+            base = self._p.initial_rto
+        else:
+            var_floor = max(self._p.timer_tick / 2.0,
+                            self._srtt * self._p.var_floor_frac)
+            base = self._srtt + self._p.rto_k * max(self._rttvar, var_floor)
+        base = _quantize_up(base, self._p.timer_tick)
+        return min(max(base, self._p.min_rto), self._p.max_rto)
+
+    def rto_for(self, shift: int) -> float:
+        return min(self.base_rto() * (2 ** shift), self._p.max_rto)
+
+
+class NaiveEstimator(RTTEstimatorBase):
+    """Weak-gain EWMA with the Solaris post-timeout reset quirk.
+
+    All samples are accepted (no Karn selection; ``karn = False`` makes
+    the retransmission manager feed ambiguous samples measured from the
+    most recent transmission, which systematically underestimates RTT) and
+    the gain is small, so a sudden network slowdown barely registers --
+    exactly the under-adaptation the paper measured (first retransmission
+    at ~2.4 s against a 3 s ACK delay).
+    """
+
+    karn = False
+
+    def __init__(self, profile: VendorProfile):
+        self._p = profile
+        self._srtt: Optional[float] = None
+        self.sample_count = 0
+
+    @property
+    def srtt(self) -> Optional[float]:
+        return self._srtt
+
+    def sample(self, rtt: float) -> None:
+        self.sample_count += 1
+        if self._srtt is None:
+            self._srtt = rtt
+        else:
+            self._srtt += self._p.naive_gain * (rtt - self._srtt)
+
+    def _clamp(self, value: float) -> float:
+        value = _quantize_up(value, self._p.timer_tick)
+        return min(max(value, self._p.min_rto), self._p.max_rto)
+
+    def rto_for(self, shift: int) -> float:
+        srtt = self._srtt if self._srtt is not None else self._p.initial_rto
+        if shift == 0 or not self._p.naive_timeout_resets_to_srtt:
+            base = self._clamp(2.0 * srtt)
+            return min(base * (2 ** shift), self._p.max_rto)
+        # after the first timeout the interval resets to srtt and doubles
+        # from there: 2*srtt, srtt, 2*srtt, 4*srtt, ...
+        return min(self._clamp(srtt) * (2 ** (shift - 1)), self._p.max_rto)
+
+
+def make_estimator(profile: VendorProfile) -> RTTEstimatorBase:
+    """Build the estimator a profile calls for."""
+    if profile.uses_jacobson:
+        return JacobsonKarnEstimator(profile)
+    return NaiveEstimator(profile)

@@ -1,0 +1,172 @@
+"""TCP segment wire format.
+
+A :class:`Segment` models the RFC-793 header fields the experiments
+exercise: ports, sequence/acknowledgement numbers, flags, and the receive
+window, plus the payload.  Segments serialize to a 20-byte header +
+payload with a 16-bit ones'-complement checksum so corruption faults are
+detectable, and deserialize back -- the PFI layer can therefore operate on
+either structured headers or raw bytes.
+
+Classification (:func:`classify`) maps a segment to the message-type names
+the recognition stubs report: SYN, SYNACK, FIN, RST, ACK (no payload),
+DATA (payload present).  Keep-alive and zero-window probes are DATA/ACK
+segments distinguishable only by context (seq relative to the receiver's
+window), so filter scripts that need them compare ``seq`` fields, exactly
+as the paper's scripts did.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+
+FIN = 0x01
+SYN = 0x02
+RST = 0x04
+PSH = 0x08
+ACK = 0x10
+URG = 0x20
+
+_FLAG_NAMES = [(SYN, "SYN"), (FIN, "FIN"), (RST, "RST"), (ACK, "ACK"),
+               (PSH, "PSH"), (URG, "URG")]
+
+_HEADER_FMT = "!HHIIBBHHH"  # ports, seq, ack, offset, flags, window, cksum, urg
+_HEADER_LEN = struct.calcsize(_HEADER_FMT)
+
+SEQ_MOD = 1 << 32
+
+
+@dataclass
+class Segment:
+    """A TCP segment header plus payload."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: int
+    window: int
+    payload: bytes = b""
+
+    def __post_init__(self):
+        self.seq %= SEQ_MOD
+        self.ack %= SEQ_MOD
+
+    # ------------------------------------------------------------------
+    # flag helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & SYN)
+
+    @property
+    def is_fin(self) -> bool:
+        return bool(self.flags & FIN)
+
+    @property
+    def is_rst(self) -> bool:
+        return bool(self.flags & RST)
+
+    @property
+    def is_ack(self) -> bool:
+        return bool(self.flags & ACK)
+
+    def flag_names(self) -> str:
+        names = [name for bit, name in _FLAG_NAMES if self.flags & bit]
+        return "|".join(names) if names else "NONE"
+
+    @property
+    def seg_len(self) -> int:
+        """Sequence space consumed: payload bytes, +1 each for SYN and FIN."""
+        length = len(self.payload)
+        if self.is_syn:
+            length += 1
+        if self.is_fin:
+            length += 1
+        return length
+
+    @property
+    def end_seq(self) -> int:
+        """First sequence number after this segment."""
+        return (self.seq + self.seg_len) % SEQ_MOD
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to header+payload with a valid checksum."""
+        header = struct.pack(
+            _HEADER_FMT, self.src_port, self.dst_port, self.seq, self.ack,
+            (_HEADER_LEN // 4) << 4, self.flags, self.window, 0, 0)
+        checksum = _checksum(header + self.payload)
+        header = header[:16] + struct.pack("!H", checksum) + header[18:]
+        return header + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes, *, verify: bool = True) -> "Segment":
+        """Parse bytes back into a segment, optionally verifying checksum."""
+        if len(data) < _HEADER_LEN:
+            raise ValueError(f"segment too short: {len(data)} bytes")
+        (src_port, dst_port, seq, ack, _offset, flags, window, checksum,
+         _urg) = struct.unpack(_HEADER_FMT, data[:_HEADER_LEN])
+        payload = data[_HEADER_LEN:]
+        if verify:
+            zeroed = data[:16] + b"\x00\x00" + data[18:_HEADER_LEN] + payload
+            if _checksum(zeroed) != checksum:
+                raise ValueError("segment checksum mismatch")
+        return cls(src_port=src_port, dst_port=dst_port, seq=seq, ack=ack,
+                   flags=flags, window=window, payload=payload)
+
+    def copy(self) -> "Segment":
+        """An independent copy (payload bytes are shared, immutable)."""
+        return replace(self)
+
+    def __repr__(self) -> str:
+        return (f"Segment({self.flag_names()} seq={self.seq} ack={self.ack} "
+                f"win={self.window} len={len(self.payload)})")
+
+
+def classify(segment: Segment) -> str:
+    """Message-type name for the recognition stubs."""
+    if segment.is_rst:
+        return "RST"
+    if segment.is_syn:
+        return "SYNACK" if segment.is_ack else "SYN"
+    if segment.is_fin:
+        return "FIN"
+    if len(segment.payload) > 0:
+        return "DATA"
+    return "ACK"
+
+
+def seq_lt(a: int, b: int) -> bool:
+    """Modular sequence comparison: a < b in 32-bit sequence space."""
+    return ((a - b) % SEQ_MOD) > (SEQ_MOD // 2)
+
+
+def seq_leq(a: int, b: int) -> bool:
+    """Modular sequence comparison: a <= b."""
+    return a == b or seq_lt(a, b)
+
+
+def seq_add(a: int, n: int) -> int:
+    """Modular sequence addition."""
+    return (a + n) % SEQ_MOD
+
+
+def seq_sub(a: int, b: int) -> int:
+    """Modular distance a - b (assumes a is at or after b)."""
+    return (a - b) % SEQ_MOD
+
+
+def _checksum(data: bytes) -> int:
+    """16-bit ones'-complement sum, the classic internet checksum."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF

@@ -1,0 +1,149 @@
+"""Vendor behaviour profiles.
+
+The paper tested four vendor TCPs -- SunOS 4.1.3, AIX 3.2.3, NeXT Mach,
+and Solaris 2.3 -- and attributed every observed difference to a small set
+of implementation choices.  A :class:`VendorProfile` encodes those choices
+as data; the same :class:`~repro.tcp.connection.TCPConnection` machinery
+runs all four, so every behavioural difference in the reproduced tables
+flows from profile parameters, not per-vendor code paths.
+
+Parameter provenance (paper section 4.1):
+
+- **retransmission**: BSD-derived stacks retransmit a segment 12 times,
+  back off exponentially to a 64 s cap, and send a RST when giving up;
+  Solaris retransmits 9 times (a *global* fault counter, the discovery of
+  Experiment 2), starts from a ~330 ms floor, and closes without a RST.
+- **RTT estimation**: the BSD stacks follow Jacobson + Karn; Solaris "did
+  not use Jacobson's algorithm, or did not select RTT measurements in the
+  same way" -- modelled as a weak-gain estimator that keeps under-
+  estimating a suddenly slow network (``uses_jacobson=False``).
+- ``var_floor_frac`` models the per-vendor coarse-timer floor on the RTT
+  variance term; it is what spreads the first retransmission of the
+  delayed-ACK experiment to ~6.5 s (SunOS), ~8 s (AIX), ~5 s (NeXT) while
+  all three use the same algorithm.
+- **keep-alive**: BSD probes at a 7200 s threshold, retransmits dropped
+  probes 8 times at fixed 75 s intervals, then RSTs; SunOS's probe carries
+  one garbage byte, AIX/NeXT's none.  Solaris probes at 6752 s (the paper
+  attributes the 6752/7200 == 56/60 ratio to a mis-calibrated clock tick),
+  retransmits with exponential backoff 7 times, then closes silently.
+- **zero-window probing**: persist interval doubles to a 60 s cap (56 s on
+  Solaris -- same skew) and continues forever whether or not probes are
+  ACKed.
+- **reordering**: all four queue out-of-order segments per RFC-1122.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class VendorProfile:
+    """Behavioural constants for one TCP implementation."""
+
+    name: str
+
+    # retransmission machinery
+    min_rto: float = 1.0
+    max_rto: float = 64.0
+    initial_rto: float = 3.0
+    timer_tick: float = 0.5
+    max_retransmits: int = 12
+    global_fault_threshold: Optional[int] = None
+    reset_on_timeout: bool = True
+
+    # RTT estimation
+    uses_jacobson: bool = True
+    rtt_gain: float = 0.125        # Jacobson g
+    var_gain: float = 0.25         # Jacobson h
+    rto_k: float = 4.0             # Jacobson k (rttvar multiplier)
+    var_floor_frac: float = 0.29   # per-vendor rttvar floor, fraction of srtt
+    naive_gain: float = 0.017      # EWMA gain when uses_jacobson=False
+    naive_timeout_resets_to_srtt: bool = False
+
+    # keep-alive
+    ka_idle: float = 7200.0
+    ka_probe_interval: float = 75.0
+    ka_probe_retransmits: int = 8
+    ka_backoff: bool = False
+    ka_garbage_byte: bool = False
+    ka_reset_on_fail: bool = True
+
+    # zero-window persist probing
+    persist_initial: float = 5.0
+    persist_max: float = 60.0
+
+    # receive side
+    queue_out_of_order: bool = True
+    mss: int = 512
+    recv_buffer: int = 4096
+    #: RFC-1122 delayed acknowledgements: hold a pure ACK up to
+    #: ``delayed_ack_timeout`` hoping to piggyback or coalesce ("the
+    #: receiving TCP was using delayed ACKs", paper §4.1).  Off by
+    #: default: the paper's experiments ACK immediately.
+    delayed_ack: bool = False
+    delayed_ack_timeout: float = 0.2
+
+    #: Tahoe-style congestion control (slow start, congestion avoidance,
+    #: fast retransmit on three duplicate ACKs).  The 1994 stacks had it;
+    #: it is off by default here because the paper's experiments are
+    #: flow-control and timer driven and never exercise it.
+    congestion_control: bool = False
+    initial_ssthresh: int = 65535
+    dupack_threshold: int = 3
+
+
+SUNOS_413 = VendorProfile(
+    name="SunOS 4.1.3",
+    var_floor_frac=0.29,
+    ka_garbage_byte=True,
+)
+
+AIX_323 = VendorProfile(
+    name="AIX 3.2.3",
+    var_floor_frac=0.42,
+    ka_garbage_byte=False,
+)
+
+NEXT_MACH = VendorProfile(
+    name="NeXT Mach",
+    var_floor_frac=0.17,
+    ka_garbage_byte=False,
+)
+
+SOLARIS_23 = VendorProfile(
+    name="Solaris 2.3",
+    min_rto=0.330,
+    initial_rto=0.330,
+    timer_tick=0.055,
+    max_retransmits=12,            # never reached: the global counter fires first
+    global_fault_threshold=9,
+    reset_on_timeout=False,
+    uses_jacobson=False,
+    naive_timeout_resets_to_srtt=True,
+    ka_idle=6752.0,
+    ka_probe_retransmits=7,
+    ka_backoff=True,
+    ka_reset_on_fail=False,
+    persist_max=56.0,
+)
+
+#: The reference stack running on the x-Kernel test machine itself.
+XKERNEL = VendorProfile(
+    name="x-Kernel",
+    var_floor_frac=0.25,
+)
+
+#: The four vendor implementations of the paper, in its reporting order.
+VENDORS: Dict[str, VendorProfile] = {
+    "SunOS 4.1.3": SUNOS_413,
+    "AIX 3.2.3": AIX_323,
+    "NeXT Mach": NEXT_MACH,
+    "Solaris 2.3": SOLARIS_23,
+}
+
+#: The BSD-derived subset ("The SunOS, AIX, and NeXT Mach implementations
+#: were all very similar, and seemed to have been based on the same
+#: release of BSD unix").
+BSD_DERIVED = ("SunOS 4.1.3", "AIX 3.2.3", "NeXT Mach")

@@ -1,0 +1,26 @@
+"""x-Kernel-style protocol stack framework.
+
+The paper models a distributed protocol "as an abstraction through which a
+collection of participants communicate by exchanging a set of messages, in
+the same spirit as the x-Kernel": every protocol -- device level, network,
+transport, or application -- is a layer that provides an abstract
+communication service to the layer above it.
+
+This package provides that abstraction:
+
+- :class:`~repro.xkernel.message.Message` -- a payload plus a stack of
+  headers that layers push on the way down and pop on the way up.
+- :class:`~repro.xkernel.protocol.Protocol` -- the layer base class with
+  ``push`` (send toward the wire) and ``pop`` (deliver toward the
+  application).
+- :class:`~repro.xkernel.stack.ProtocolStack` -- assembles layers top to
+  bottom and supports splicing a new layer between any two existing ones,
+  which is exactly the operation that inserts the PFI layer beneath a
+  target protocol.
+"""
+
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import PassthroughProtocol, Protocol
+from repro.xkernel.stack import ProtocolStack
+
+__all__ = ["Message", "PassthroughProtocol", "Protocol", "ProtocolStack"]

@@ -1,0 +1,95 @@
+"""Messages flowing through a protocol stack.
+
+A :class:`Message` carries an application payload plus a stack of headers.
+Each protocol layer pushes its header when the message travels down the
+stack and pops it when the message travels back up, mirroring the x-Kernel
+message model.  Headers are ordinary Python objects (usually dataclasses
+such as :class:`repro.tcp.segment.Segment`); the PFI layer's recognition
+stubs inspect them to classify messages by type.
+
+Messages also carry a free-form ``meta`` dictionary for bookkeeping that is
+not part of the wire format -- e.g. the PFI layer stamps injected messages,
+and experiments tag messages for later trace correlation.  ``meta`` is
+copied shallowly by :meth:`copy`, headers and payload deeply enough to make
+duplicate-and-modify fault injection safe.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+import itertools
+from typing import Any, Dict, List, Optional
+
+_message_ids = itertools.count(1)
+
+
+class Message:
+    """A payload with a header stack, travelling through protocol layers."""
+
+    __slots__ = ("payload", "headers", "meta", "uid")
+
+    def __init__(self, payload: Any = b"", headers: Optional[List[Any]] = None,
+                 meta: Optional[Dict[str, Any]] = None):
+        self.payload = payload
+        self.headers: List[Any] = list(headers) if headers else []
+        self.meta: Dict[str, Any] = dict(meta) if meta else {}
+        self.uid = next(_message_ids)
+
+    # ------------------------------------------------------------------
+    # header stack
+    # ------------------------------------------------------------------
+
+    def push_header(self, header: Any) -> "Message":
+        """Add a header on the way down the stack.  Returns self."""
+        self.headers.append(header)
+        return self
+
+    def pop_header(self) -> Any:
+        """Remove and return the outermost header on the way up the stack."""
+        if not self.headers:
+            raise IndexError("message has no headers to pop")
+        return self.headers.pop()
+
+    @property
+    def top_header(self) -> Any:
+        """The outermost header (most recently pushed), or None."""
+        return self.headers[-1] if self.headers else None
+
+    def find_header(self, header_type: type) -> Optional[Any]:
+        """The innermost-to-outermost search for a header of a given type."""
+        for header in reversed(self.headers):
+            if isinstance(header, header_type):
+                return header
+        return None
+
+    # ------------------------------------------------------------------
+    # copying / size
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "Message":
+        """Deep-enough copy for duplicate/modify fault injection.
+
+        Headers are deep-copied so mutating a duplicate's TCP header does
+        not corrupt the original; bytes payloads are immutable and shared,
+        other payloads are deep-copied.  The copy receives a fresh uid.
+        """
+        payload = self.payload
+        if not isinstance(payload, (bytes, str, int, float, type(None))):
+            payload = _copy.deepcopy(payload)
+        clone = Message(payload, headers=_copy.deepcopy(self.headers),
+                        meta=dict(self.meta))
+        clone.meta["copied_from"] = self.uid
+        return clone
+
+    def __len__(self) -> int:
+        """Payload length in bytes when the payload is bytes-like, else 0."""
+        if isinstance(self.payload, (bytes, bytearray)):
+            return len(self.payload)
+        if isinstance(self.payload, str):
+            return len(self.payload.encode())
+        return 0
+
+    def __repr__(self) -> str:
+        names = [type(h).__name__ for h in self.headers]
+        return (f"Message(uid={self.uid}, headers={names}, "
+                f"payload_len={len(self)})")

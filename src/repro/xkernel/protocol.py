@@ -1,0 +1,87 @@
+"""Protocol layer base classes.
+
+A layer receives messages from the layer above via :meth:`Protocol.push`
+(headed for the wire) and from the layer below via :meth:`Protocol.pop`
+(headed for the application).  The default implementations forward
+unchanged, so a subclass only overrides the directions it cares about --
+the PFI layer overrides both, a driver layer only originates pushes.
+
+The ``above``/``below`` references are wired by
+:class:`~repro.xkernel.stack.ProtocolStack`; layers must not assume who
+their neighbours are, which is what makes splicing a PFI layer between any
+two layers transparent to the target protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xkernel.message import Message
+
+
+class Protocol:
+    """Base class for a protocol stack layer."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.above: Optional["Protocol"] = None
+        self.below: Optional["Protocol"] = None
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+
+    def push(self, msg: Message) -> None:
+        """Handle a message travelling down (toward the network).
+
+        Default: forward to the layer below unchanged.
+        """
+        self.send_down(msg)
+
+    def pop(self, msg: Message) -> None:
+        """Handle a message travelling up (toward the application).
+
+        Default: forward to the layer above unchanged.
+        """
+        self.send_up(msg)
+
+    def send_down(self, msg: Message) -> None:
+        """Forward a message to the layer below (no-op at the bottom)."""
+        if self.below is not None:
+            self.below.push(msg)
+
+    def send_up(self, msg: Message) -> None:
+        """Forward a message to the layer above (no-op at the top)."""
+        if self.above is not None:
+            self.above.pop(msg)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def attached(self) -> None:
+        """Hook called once the layer's neighbours have been wired."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class PassthroughProtocol(Protocol):
+    """A layer that forwards in both directions while counting traffic.
+
+    Useful as a stand-in target layer in tests and as a template for
+    monitoring layers.
+    """
+
+    def __init__(self, name: str = "passthrough"):
+        super().__init__(name)
+        self.pushed_count = 0
+        self.popped_count = 0
+
+    def push(self, msg: Message) -> None:
+        self.pushed_count += 1
+        self.send_down(msg)
+
+    def pop(self, msg: Message) -> None:
+        self.popped_count += 1
+        self.send_up(msg)

@@ -1,0 +1,150 @@
+"""Protocol stack assembly and layer splicing.
+
+A :class:`ProtocolStack` holds layers ordered top (application side) to
+bottom (wire side) and keeps the ``above``/``below`` references consistent.
+Its distinguishing operation is :meth:`insert_below` /
+:meth:`insert_above`: splicing a new layer next to an existing one without
+the neighbours noticing, which is how a PFI layer is installed beneath a
+target protocol ("the PFI layer is inserted between any two consecutive
+layers in a protocol stack").
+
+The bottom of a stack is typically an adapter layer that hands messages to
+the network simulator (see :class:`NodeAnchor`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.netsim.node import Node
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol
+
+
+class ProtocolStack:
+    """An ordered stack of protocol layers."""
+
+    def __init__(self, name: str = "stack"):
+        self.name = name
+        self._layers: List[Protocol] = []
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+
+    def _rewire(self) -> None:
+        for i, layer in enumerate(self._layers):
+            layer.above = self._layers[i - 1] if i > 0 else None
+            layer.below = self._layers[i + 1] if i < len(self._layers) - 1 else None
+        for layer in self._layers:
+            layer.attached()
+
+    def build(self, *layers: Protocol) -> "ProtocolStack":
+        """Set the stack contents, top to bottom.  Returns self."""
+        self._layers = list(layers)
+        self._names_must_be_unique()
+        self._rewire()
+        return self
+
+    def _names_must_be_unique(self) -> None:
+        names = [layer.name for layer in self._layers]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate layer names in stack: {names}")
+
+    def insert_below(self, target_name: str, layer: Protocol) -> Protocol:
+        """Splice ``layer`` immediately below the named layer."""
+        index = self._index_of(target_name)
+        self._layers.insert(index + 1, layer)
+        self._names_must_be_unique()
+        self._rewire()
+        return layer
+
+    def insert_above(self, target_name: str, layer: Protocol) -> Protocol:
+        """Splice ``layer`` immediately above the named layer."""
+        index = self._index_of(target_name)
+        self._layers.insert(index, layer)
+        self._names_must_be_unique()
+        self._rewire()
+        return layer
+
+    def remove(self, name: str) -> Protocol:
+        """Remove and return a layer; its neighbours are re-joined."""
+        index = self._index_of(name)
+        layer = self._layers.pop(index)
+        layer.above = layer.below = None
+        self._rewire()
+        return layer
+
+    def _index_of(self, name: str) -> int:
+        for i, layer in enumerate(self._layers):
+            if layer.name == name:
+                return i
+        raise KeyError(f"no layer named {name!r} in stack {self.name!r}")
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+
+    def layer(self, name: str) -> Protocol:
+        """Look up a layer by name."""
+        return self._layers[self._index_of(name)]
+
+    def layers(self) -> List[Protocol]:
+        """Layers top to bottom (a copy)."""
+        return list(self._layers)
+
+    @property
+    def top(self) -> Protocol:
+        """The application-most layer."""
+        if not self._layers:
+            raise IndexError("empty stack")
+        return self._layers[0]
+
+    @property
+    def bottom(self) -> Protocol:
+        """The wire-most layer."""
+        if not self._layers:
+            raise IndexError("empty stack")
+        return self._layers[-1]
+
+    def __contains__(self, name: str) -> bool:
+        return any(layer.name == name for layer in self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __repr__(self) -> str:
+        names = " / ".join(layer.name for layer in self._layers)
+        return f"ProtocolStack({self.name}: {names})"
+
+
+class NodeAnchor(Protocol):
+    """Bottom-of-stack adapter connecting a stack to a simulated node.
+
+    Pushes become node transmissions; node receptions become pops.  The
+    destination address is read from ``msg.meta['dst']`` (set by whatever
+    network-level layer sits above, e.g. :class:`repro.tcp.ip.IPProtocol`),
+    and the source address of received messages is recorded into
+    ``msg.meta['src']``.
+    """
+
+    def __init__(self, node: Node, name: str = "anchor"):
+        super().__init__(name)
+        self.node = node
+        node.on_receive(self._on_node_receive)
+
+    def push(self, msg: Message) -> None:
+        dst = msg.meta.get("dst")
+        if dst is None:
+            raise ValueError("message reached the anchor without meta['dst']")
+        # the wire is a serialization boundary: the receiver must get its
+        # own copy, so that corrupting a received header (byzantine fault
+        # injection) can never reach back into the sender's state, e.g.
+        # its retransmission queue
+        self.node.transmit(msg.copy(), dst)
+
+    def _on_node_receive(self, payload: Any, src_address: int) -> None:
+        if not isinstance(payload, Message):
+            payload = Message(payload)
+        payload.meta["src"] = src_address
+        self.send_up(payload)

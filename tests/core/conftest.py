@@ -1,0 +1,75 @@
+"""Shared fixtures for core-layer tests: a tiny two-layer harness with a
+PFI layer in the middle."""
+
+import pytest
+
+from repro.core import PFILayer, PacketStubs, ScriptSync, make_env
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol
+from repro.xkernel.stack import ProtocolStack
+
+
+class CaptureTop(Protocol):
+    """Records everything popped up to it."""
+
+    def __init__(self):
+        super().__init__("top")
+        self.received = []
+
+    def pop(self, msg):
+        self.received.append(msg)
+
+
+class CaptureBottom(Protocol):
+    """Records everything pushed down to it."""
+
+    def __init__(self):
+        super().__init__("bottom")
+        self.received = []
+
+    def push(self, msg):
+        self.received.append(msg)
+
+
+def simple_stubs():
+    """Type = the message's meta['type'] (or payload dict 'type')."""
+    stubs = PacketStubs()
+    stubs.register_recognizer(lambda msg: msg.meta.get("type"))
+
+    def generate(**fields):
+        msg = Message(payload=dict(fields))
+        msg.meta["type"] = "PROBE"
+        return msg
+
+    stubs.register_generator("PROBE", generate)
+    return stubs
+
+
+class Harness:
+    def __init__(self, seed=0):
+        self.env = make_env(seed=seed)
+        self.stubs = simple_stubs()
+        self.top = CaptureTop()
+        self.bottom = CaptureBottom()
+        self.pfi = PFILayer("pfi", self.env.scheduler, self.stubs,
+                            trace=self.env.trace, sync=self.env.sync,
+                            node="testnode")
+        ProtocolStack().build(self.top, self.pfi, self.bottom)
+
+    def send_down(self, msg_type="DATA", **meta):
+        msg = Message(b"payload", meta={"type": msg_type, **meta})
+        self.pfi.push(msg)
+        return msg
+
+    def send_up(self, msg_type="DATA", **meta):
+        msg = Message(b"payload", meta={"type": msg_type, **meta})
+        self.pfi.pop(msg)
+        return msg
+
+    def run(self, until=10.0):
+        self.env.run_until(until)
+
+
+@pytest.fixture
+def harness():
+    return Harness()

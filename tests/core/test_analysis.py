@@ -1,0 +1,124 @@
+"""Unit tests for the analysis helpers (shape, series, tables)."""
+
+import pytest
+
+from repro.analysis.series import (most_retransmitted_seq,
+                                   retransmission_series,
+                                   retransmit_counts_by_seq,
+                                   transmissions_of_seq)
+from repro.analysis.shape import (first_interval, intervals_of,
+                                  intervals_plateau, is_exponential_backoff,
+                                  is_roughly_constant, plateau_value)
+from repro.analysis.tables import render_table
+from repro.netsim.trace import TraceRecorder
+
+
+class TestShape:
+    def test_exponential_pure_doubling(self):
+        assert is_exponential_backoff([1, 2, 4, 8, 16])
+
+    def test_exponential_with_cap(self):
+        assert is_exponential_backoff([1, 2, 4, 8, 10, 10, 10], cap=10)
+
+    def test_partial_step_onto_cap_allowed(self):
+        assert is_exponential_backoff([6, 12, 24, 48, 64, 64], cap=64)
+
+    def test_exponential_with_floor(self):
+        assert is_exponential_backoff([0.33, 0.33, 0.66, 1.32], floor=0.33)
+
+    def test_not_exponential_flat(self):
+        assert not is_exponential_backoff([5, 5, 5, 5])
+
+    def test_not_exponential_decreasing(self):
+        assert not is_exponential_backoff([8, 4, 2])
+
+    def test_short_series_trivially_exponential(self):
+        assert is_exponential_backoff([])
+        assert is_exponential_backoff([3.0])
+
+    def test_plateau_detection(self):
+        assert plateau_value([1, 2, 4, 8, 8, 8]) == pytest.approx(8.0)
+        assert plateau_value([1, 2, 4]) is None
+        assert plateau_value([]) is None
+
+    def test_plateau_with_tolerance(self):
+        assert plateau_value([10.0, 10.4], tolerance=0.05) == \
+            pytest.approx(10.2)
+        assert plateau_value([10.0, 14.0], tolerance=0.05) is None
+
+    def test_intervals_plateau_at_value(self):
+        assert intervals_plateau([2, 4, 60, 60, 60], 60.0)
+        assert not intervals_plateau([2, 4, 60, 60, 60], 30.0)
+
+    def test_roughly_constant(self):
+        assert is_roughly_constant([75.0, 75.0, 75.1])
+        assert not is_roughly_constant([75.0, 150.0])
+        assert is_roughly_constant([])
+
+    def test_first_interval(self):
+        assert first_interval([1.0, 4.0, 9.0]) == 3.0
+        assert first_interval([1.0]) is None
+
+    def test_intervals_of(self):
+        assert intervals_of([1, 3, 6]) == [2, 3]
+
+
+class TestSeries:
+    def make_trace(self):
+        trace = TraceRecorder(clock=lambda: 0.0)
+        # seq 100 transmitted at 0, retransmitted at 2, 6
+        for t, seq in [(0.0, 100), (1.0, 200), (2.0, 100), (6.0, 100)]:
+            trace.record("tcp.transmit", t=t, conn="c", seq=seq)
+        trace.record("tcp.retransmit", t=2.0, conn="c", seq=100)
+        trace.record("tcp.retransmit", t=6.0, conn="c", seq=100)
+        return trace
+
+    def test_transmissions_of_seq(self):
+        trace = self.make_trace()
+        assert transmissions_of_seq(trace, "c", 100) == [0.0, 2.0, 6.0]
+
+    def test_retransmission_series_explicit_seq(self):
+        trace = self.make_trace()
+        assert retransmission_series(trace, "c", 100) == [2.0, 4.0]
+
+    def test_retransmission_series_auto_picks_most_retransmitted(self):
+        trace = self.make_trace()
+        assert retransmission_series(trace, "c") == [2.0, 4.0]
+
+    def test_most_retransmitted_seq(self):
+        trace = self.make_trace()
+        assert most_retransmitted_seq(trace, "c") == 100
+        assert most_retransmitted_seq(trace, "other") is None
+
+    def test_counts_by_seq(self):
+        trace = self.make_trace()
+        assert retransmit_counts_by_seq(trace, "c") == {100: 2}
+
+    def test_empty_trace_gives_empty_series(self):
+        trace = TraceRecorder(clock=lambda: 0.0)
+        assert retransmission_series(trace, "c") == []
+
+
+class TestTables:
+    def test_renders_headers_and_rows(self):
+        text = render_table("My Title", ["A", "B"],
+                            [["one", "two"], ["three", "four"]])
+        assert "My Title" in text
+        assert "one" in text and "four" in text
+        assert text.count("+") > 4
+
+    def test_wraps_long_cells(self):
+        long = "word " * 30
+        text = render_table("t", ["col"], [[long]], max_col_width=20)
+        assert all(len(line) < 30 for line in text.splitlines())
+
+    def test_cell_formatting(self):
+        text = render_table("t", ["v"], [[True], [False], [3.14159],
+                                         [[1, 2]], [7]])
+        assert "yes" in text and "no" in text
+        assert "3.142" in text
+        assert "1, 2" in text
+
+    def test_empty_rows(self):
+        text = render_table("t", ["a", "b"], [])
+        assert "t" in text

@@ -1,0 +1,102 @@
+"""Tests for the CLI (fast commands only; table commands are exercised by
+the benchmarks)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_table_commands_registered(self):
+        parser = build_parser()
+        for name in ("table1", "table2", "table3", "table4", "exp5",
+                     "figure4", "table5", "table6", "table7", "table8",
+                     "all", "campaign"):
+            args = parser.parse_args(
+                [name, "gmp"] if name == "campaign" else [name])
+            assert args.command == name
+
+    def test_table2_delay_flag(self):
+        args = build_parser().parse_args(["table2", "--delay", "8"])
+        assert args.delay == 8.0
+
+    def test_campaign_requires_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_campaign_tcp(self, capsys):
+        assert main(["campaign", "tcp"]) == 0
+        out = capsys.readouterr().out
+        assert "drop_syn_send" in out
+        assert "scripts generated for tcp" in out
+
+    def test_campaign_gmp_with_tclish(self, capsys):
+        assert main(["campaign", "gmp", "--tclish"]) == 0
+        out = capsys.readouterr().out
+        assert "xDrop cur_msg" in out
+        assert "HEARTBEAT" in out
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "SunOS 4.1.3" in out
+        assert "Solaris 2.3" in out
+
+    def test_exp5_runs(self, capsys):
+        assert main(["exp5"]) == 0
+        out = capsys.readouterr().out
+        assert "Reordering" in out
+        assert "queued" in out
+
+
+class TestRunScript:
+    def test_tcp_run_script(self, tmp_path, capsys):
+        script = tmp_path / "drop.tcl"
+        script.write_text(
+            'incr seen\nif {$seen > 5} { xDrop cur_msg }\n')
+        assert main(["run-script", str(script), "--init", "set seen 0",
+                     "--duration", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "pfi stats" in out
+        assert "'dropped'" in out
+
+    def test_gmp_run_script(self, tmp_path, capsys):
+        script = tmp_path / "drophb.tcl"
+        script.write_text(
+            'if {[msg_type cur_msg] eq "HEARTBEAT"} { xDrop cur_msg }\n')
+        assert main(["run-script", str(script), "--protocol", "gmp",
+                     "--direction", "send", "--duration", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "gmd1" in out
+
+    def test_missing_script_file_raises(self):
+        import pytest as _pytest
+        with _pytest.raises(FileNotFoundError):
+            main(["run-script", "/nonexistent/x.tcl"])
+
+
+class TestSequenceCommand:
+    def test_gmp_sequence(self, capsys):
+        assert main(["sequence", "--protocol", "gmp",
+                     "--duration", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "gmd1" in out
+        assert "PROCLAIM" in out
+
+    def test_tcp_sequence(self, capsys):
+        assert main(["sequence", "--protocol", "tcp",
+                     "--duration", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "vendor" in out
+        assert "SYN" in out

@@ -1,0 +1,86 @@
+"""Tests for trace export/import and run-to-run determinism pinning."""
+
+import io
+
+from repro.analysis.export import (VOLATILE_ATTRS, dump_trace,
+                                   entry_to_dict, load_trace, traces_equal)
+from repro.netsim.trace import TraceEntry, TraceRecorder
+
+
+def make_trace():
+    trace = TraceRecorder(clock=lambda: 0.0)
+    trace.record("tcp.transmit", t=1.5, seq=100, msg_type="DATA")
+    trace.record("gmp.view_adopted", t=2.0, members=(1, 2, 3), leader=1)
+    trace.record("pfi.drop", t=3.0, payload=b"\x01\x02", note="bytes here")
+    return trace
+
+
+def test_roundtrip_preserves_entries():
+    trace = make_trace()
+    restored = load_trace(dump_trace(trace))
+    assert len(restored) == 3
+    assert restored.times("tcp.transmit") == [1.5]
+    assert restored.first("gmp.view_adopted")["leader"] == 1
+
+
+def test_bytes_roundtrip():
+    restored = load_trace(dump_trace(make_trace()))
+    assert restored.first("pfi.drop")["payload"] == b"\x01\x02"
+
+
+def test_tuples_become_lists_but_compare_equal():
+    trace = make_trace()
+    restored = load_trace(dump_trace(trace))
+    assert traces_equal(trace, restored)
+
+
+def test_file_like_io():
+    buffer = io.StringIO()
+    dump_trace(make_trace(), buffer)
+    buffer.seek(0)
+    restored = load_trace(buffer)
+    assert len(restored) == 3
+
+
+def test_empty_trace():
+    trace = TraceRecorder(clock=lambda: 0.0)
+    assert dump_trace(trace) == ""
+    assert len(load_trace("")) == 0
+
+
+def test_entry_to_dict_shape():
+    entry = TraceEntry(4.2, "k", {"a": 1})
+    assert entry_to_dict(entry) == {"t": 4.2, "kind": "k",
+                                    "attrs": {"a": 1}}
+
+
+def test_unserializable_attr_falls_back_to_repr():
+    class Opaque:
+        def __repr__(self):
+            return "<opaque>"
+
+    trace = TraceRecorder(clock=lambda: 0.0)
+    trace.record("x", t=0.0, thing=Opaque())
+    restored = load_trace(dump_trace(trace))
+    assert restored.first("x")["thing"] == "<opaque>"
+
+
+def test_experiment_runs_are_bit_identical():
+    """Determinism pinning: the same experiment twice -> the same trace."""
+    from repro.experiments.tcp_retransmission import (
+        run_retransmission_experiment)
+    from repro.tcp import SOLARIS_23
+
+    traces = []
+    for _ in range(2):
+        # re-run the full experiment and capture its trace text
+        from repro.experiments.tcp_common import (build_tcp_testbed,
+                                                  open_connection)
+        testbed = build_tcp_testbed(SOLARIS_23, seed=9)
+        client, _ = open_connection(testbed)
+        client.send(b"E" * 512)
+        testbed.pfi.set_receive_filter(lambda ctx: ctx.drop())
+        testbed.env.run_until(100.0)
+        traces.append(dump_trace(testbed.trace,
+                                 exclude_attrs=VOLATILE_ATTRS))
+    assert traces[0] == traces[1]

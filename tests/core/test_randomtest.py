@@ -1,0 +1,130 @@
+"""Tests for the randomized campaign runner, using ABP as the subject."""
+
+import pytest
+
+from repro.abp import AbpReceiver, AbpSender, abp_stubs
+from repro.core import PFILayer, make_env
+from repro.core.faults import FailureModel
+from repro.core.genscripts import (MessageTypeSpec, ProtocolSpec,
+                                   generate_campaign)
+from repro.core.randomtest import (Scorecard, TrialOutcome, TrialRecord,
+                                   run_campaign)
+from repro.xkernel.stack import NodeAnchor, ProtocolStack
+
+ABP_SPEC = ProtocolSpec(
+    name="abp",
+    message_types=(MessageTypeSpec("ABP_DATA"), MessageTypeSpec("ABP_ACK")))
+
+PAYLOADS = [f"p{i}".encode() for i in range(4)]
+
+
+def abp_trial_factory(*, check_bit: bool):
+    """Build a trial fn checking exactly-once in-order delivery."""
+    def trial(script, seed) -> TrialOutcome:
+        env = make_env(seed=seed)
+        n1 = env.network.add_node("s", 1)
+        n2 = env.network.add_node("r", 2)
+        stubs = abp_stubs()
+        sender = AbpSender(env.scheduler, peer_address=2, trace=env.trace)
+        spfi = PFILayer("ps", env.scheduler, stubs, trace=env.trace,
+                        sync=env.sync, dist=env.dist("s"), node="s")
+        ProtocolStack("s").build(sender, spfi, NodeAnchor(n1, "as"))
+        receiver = AbpReceiver(env.scheduler, peer_address=1,
+                               check_bit=check_bit, trace=env.trace)
+        rpfi = PFILayer("pr", env.scheduler, stubs, trace=env.trace,
+                        sync=env.sync, dist=env.dist("r"), node="r")
+        ProtocolStack("r").build(receiver, rpfi, NodeAnchor(n2, "ar"))
+        if script.direction == "send":
+            rpfi.set_send_filter(script.python_filter)
+        else:
+            rpfi.set_receive_filter(script.python_filter)
+        for payload in PAYLOADS:
+            sender.send(payload)
+        env.run_until(90.0)
+        if receiver.delivered == PAYLOADS:
+            return TrialOutcome(True)
+        return TrialOutcome(False,
+                            f"delivered {len(receiver.delivered)} frames")
+    return trial
+
+
+def abp_scripts():
+    # exclude the crash scripts: a killed channel legitimately prevents
+    # delivery for correct and buggy builds alike
+    return [s for s in generate_campaign(ABP_SPEC, omission_rates=(0.2,))
+            if s.failure_model is not FailureModel.PROCESS_CRASH
+            and not s.name.startswith("drop_abp_data")
+            and not s.name.startswith("drop_abp_ack")]
+
+
+class TestRunner:
+    def test_correct_receiver_passes_more_than_buggy(self):
+        scripts = abp_scripts()
+        good = run_campaign(scripts, abp_trial_factory(check_bit=True),
+                            seed=1)
+        bad = run_campaign(scripts, abp_trial_factory(check_bit=False),
+                           seed=1)
+        assert good.pass_rate() > bad.pass_rate()
+        assert bad.failing_scripts()
+
+    def test_scorecard_reproducible(self):
+        scripts = abp_scripts()
+        one = run_campaign(scripts, abp_trial_factory(check_bit=False),
+                           seed=4)
+        two = run_campaign(scripts, abp_trial_factory(check_bit=False),
+                           seed=4)
+        assert [r.outcome.passed for r in one.records] == \
+            [r.outcome.passed for r in two.records]
+
+    def test_sampling_limits_trials(self):
+        scripts = abp_scripts()
+        scorecard = run_campaign(scripts,
+                                 abp_trial_factory(check_bit=True),
+                                 seed=2, sample=3)
+        assert scorecard.total == 3
+
+    def test_repetitions_multiply_trials(self):
+        scripts = abp_scripts()[:2]
+        scorecard = run_campaign(scripts,
+                                 abp_trial_factory(check_bit=True),
+                                 seed=3, repetitions=3)
+        assert scorecard.total == 6
+
+    def test_trial_seeds_differ_across_repetitions(self):
+        scripts = abp_scripts()[:1]
+        scorecard = run_campaign(scripts,
+                                 abp_trial_factory(check_bit=True),
+                                 seed=3, repetitions=3)
+        seeds = [r.seed for r in scorecard.records]
+        assert len(set(seeds)) == 3
+
+
+class TestScorecard:
+    def make(self, outcomes):
+        scripts = abp_scripts()
+        scorecard = Scorecard()
+        for script, passed in zip(scripts, outcomes):
+            scorecard.add(TrialRecord(script=script, seed=0,
+                                      outcome=TrialOutcome(passed)))
+        return scorecard
+
+    def test_counts(self):
+        scorecard = self.make([True, False, True])
+        assert scorecard.total == 3
+        assert scorecard.passed == 2
+        assert scorecard.pass_rate() == pytest.approx(2 / 3)
+
+    def test_by_model_totals_match(self):
+        scorecard = self.make([True] * 5 + [False] * 3)
+        by_model = scorecard.by_model()
+        assert sum(t for _, t in by_model.values()) == scorecard.total
+        assert sum(p for p, _ in by_model.values()) == scorecard.passed
+
+    def test_empty_pass_rate(self):
+        assert Scorecard().pass_rate() == 1.0
+
+    def test_render_contains_models_and_total(self):
+        scorecard = self.make([True, False])
+        text = scorecard.render("test card")
+        assert "test card" in text
+        assert "TOTAL" in text

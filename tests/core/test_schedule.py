@@ -1,0 +1,110 @@
+"""Tests for declarative fault schedules."""
+
+import pytest
+
+from repro.core import make_env
+from repro.core.schedule import FaultSchedule
+from repro.experiments.gmp_common import build_gmp_cluster
+
+
+def make_schedule():
+    env = make_env()
+    return env, FaultSchedule(env.scheduler, trace=env.trace)
+
+
+class TestSteps:
+    def test_at_fires_at_absolute_time(self):
+        env, schedule = make_schedule()
+        fired = []
+        schedule.at(5.0, "boom", lambda: fired.append(env.scheduler.now))
+        schedule.arm()
+        env.run_until(10.0)
+        assert fired == [5.0]
+
+    def test_after_fires_relative_to_arm(self):
+        env, schedule = make_schedule()
+        env.run_until(3.0)
+        fired = []
+        schedule.after(2.0, "later", lambda: fired.append(env.scheduler.now))
+        schedule.arm()
+        env.run_until(10.0)
+        assert fired == [5.0]
+
+    def test_every_repeats_until(self):
+        env, schedule = make_schedule()
+        fired = []
+        schedule.every(1.0, "tick", lambda: fired.append(env.scheduler.now),
+                       start=2.0, until=5.0)
+        schedule.arm()
+        env.run_until(20.0)
+        assert fired == [2.0, 3.0, 4.0, 5.0]
+
+    def test_every_without_until_runs_on(self):
+        env, schedule = make_schedule()
+        fired = []
+        schedule.every(2.0, "tick", lambda: fired.append(1))
+        schedule.arm()
+        env.run_until(9.0)
+        assert len(fired) == 5  # t=0,2,4,6,8
+
+    def test_steps_in_the_past_fire_immediately_on_arm(self):
+        env, schedule = make_schedule()
+        env.run_until(10.0)
+        fired = []
+        schedule.at(5.0, "late", lambda: fired.append(env.scheduler.now))
+        schedule.arm()
+        env.run_until(11.0)
+        assert fired == [10.0]
+
+    def test_chaining_returns_self(self):
+        env, schedule = make_schedule()
+        assert schedule.at(1.0, "a", lambda: None) is schedule
+
+    def test_arm_twice_rejected(self):
+        env, schedule = make_schedule()
+        schedule.arm()
+        with pytest.raises(RuntimeError):
+            schedule.arm()
+        with pytest.raises(RuntimeError):
+            schedule.at(1.0, "x", lambda: None)
+
+    def test_bad_interval_rejected(self):
+        env, schedule = make_schedule()
+        with pytest.raises(ValueError):
+            schedule.every(0.0, "x", lambda: None)
+
+    def test_steps_recorded_in_trace(self):
+        env, schedule = make_schedule()
+        schedule.at(1.0, "partition", lambda: None)
+        schedule.arm()
+        env.run_until(2.0)
+        entries = env.trace.entries("fault.step")
+        assert entries and entries[0]["label"] == "partition"
+        assert schedule.fired == ["partition"]
+
+    def test_runbook_renders_timeline(self):
+        env, schedule = make_schedule()
+        schedule.at(10.0, "cut the link", lambda: None)
+        schedule.every(5.0, "probe", lambda: None, start=12.0, until=30.0)
+        text = schedule.runbook()
+        assert "t=10.0s: cut the link" in text
+        assert "every 5.0s until t=30.0s: probe" in text
+
+
+class TestDrivingAnExperiment:
+    def test_partition_heal_cycle_via_schedule(self):
+        """Rebuild the Table 6 oscillation with a declarative schedule."""
+        cluster = build_gmp_cluster([1, 2, 3, 4])
+        cluster.start()
+        net = cluster.env.network
+        schedule = (FaultSchedule(cluster.scheduler, trace=cluster.trace)
+                    .at(15.0, "partition", lambda: net.partition([1, 2],
+                                                                 [3, 4]))
+                    .at(45.0, "heal", net.heal))
+        schedule.arm()
+        cluster.run_until(40.0)
+        assert cluster.daemons[1].view.members == (1, 2)
+        assert cluster.daemons[3].view.members == (3, 4)
+        cluster.run_until(90.0)
+        assert cluster.all_in_one_group()
+        assert schedule.fired == ["partition", "heal"]

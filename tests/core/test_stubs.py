@@ -1,0 +1,113 @@
+"""Unit tests for packet recognition/generation stubs."""
+
+import pytest
+
+from repro.core.stubs import PacketStubs, StubError, UNKNOWN_TYPE
+from repro.xkernel.message import Message
+
+
+@pytest.fixture
+def stubs():
+    return PacketStubs()
+
+
+class TestRecognition:
+    def test_unknown_without_recognizers(self, stubs):
+        assert stubs.msg_type(Message()) == UNKNOWN_TYPE
+
+    def test_first_non_none_wins(self, stubs):
+        stubs.register_recognizer(lambda m: None)
+        stubs.register_recognizer(lambda m: "SECOND")
+        stubs.register_recognizer(lambda m: "THIRD")
+        assert stubs.msg_type(Message()) == "SECOND"
+
+    def test_recognizer_sees_message(self, stubs):
+        stubs.register_recognizer(
+            lambda m: "TAGGED" if m.meta.get("tag") else None)
+        assert stubs.msg_type(Message(meta={"tag": 1})) == "TAGGED"
+        assert stubs.msg_type(Message()) == UNKNOWN_TYPE
+
+
+class TestGeneration:
+    def test_generate_calls_factory(self, stubs):
+        stubs.register_generator(
+            "ACK", lambda **f: Message(payload=dict(f)))
+        msg = stubs.generate("ACK", seq=7)
+        assert msg.payload == {"seq": 7}
+
+    def test_generated_messages_marked(self, stubs):
+        stubs.register_generator("ACK", lambda **f: Message())
+        msg = stubs.generate("ACK")
+        assert msg.meta["injected"] is True
+        assert msg.meta["injected_type"] == "ACK"
+
+    def test_unknown_generator_raises_with_known_list(self, stubs):
+        stubs.register_generator("ACK", lambda **f: Message())
+        with pytest.raises(StubError, match="ACK"):
+            stubs.generate("NOPE")
+
+    def test_generator_names_sorted(self, stubs):
+        stubs.register_generator("ZZZ", lambda **f: Message())
+        stubs.register_generator("AAA", lambda **f: Message())
+        assert stubs.generator_names() == ["AAA", "ZZZ"]
+
+
+class ObjHeader:
+    def __init__(self, seq):
+        self.seq = seq
+
+
+class TestFieldAccess:
+    def test_get_from_dict_header(self, stubs):
+        msg = Message()
+        msg.push_header({"seq": 42})
+        assert stubs.get_field(msg, "seq") == 42
+
+    def test_get_from_object_header(self, stubs):
+        msg = Message()
+        msg.push_header(ObjHeader(seq=7))
+        assert stubs.get_field(msg, "seq") == 7
+
+    def test_outermost_header_wins(self, stubs):
+        msg = Message()
+        msg.push_header({"seq": 1})
+        msg.push_header({"seq": 2})
+        assert stubs.get_field(msg, "seq") == 2
+
+    def test_get_from_dict_payload(self, stubs):
+        msg = Message(payload={"window": 0})
+        assert stubs.get_field(msg, "window") == 0
+
+    def test_get_from_object_payload(self, stubs):
+        msg = Message(payload=ObjHeader(seq=3))
+        assert stubs.get_field(msg, "seq") == 3
+
+    def test_missing_field_raises(self, stubs):
+        with pytest.raises(StubError):
+            stubs.get_field(Message(), "nothing")
+
+    def test_set_on_dict_header(self, stubs):
+        msg = Message()
+        msg.push_header({"seq": 1})
+        stubs.set_field(msg, "seq", 9)
+        assert msg.headers[0]["seq"] == 9
+
+    def test_set_on_object_header(self, stubs):
+        msg = Message()
+        header = ObjHeader(seq=1)
+        msg.push_header(header)
+        stubs.set_field(msg, "seq", 9)
+        assert header.seq == 9
+
+    def test_set_on_object_payload(self, stubs):
+        payload = ObjHeader(seq=1)
+        stubs.set_field(Message(payload=payload), "seq", 5)
+        assert payload.seq == 5
+
+    def test_set_missing_raises(self, stubs):
+        with pytest.raises(StubError):
+            stubs.set_field(Message(), "ghost", 1)
+
+    def test_bytes_payload_not_probed(self, stubs):
+        with pytest.raises(StubError):
+            stubs.get_field(Message(b"raw"), "decode")

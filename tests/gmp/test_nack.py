@@ -1,0 +1,73 @@
+"""Tests for the NACK path of the two-phase membership change."""
+
+from repro.core import ScriptContext
+from repro.experiments.gmp_common import build_gmp_cluster
+from repro.gmp.messages import GmpMessage, MEMBERSHIP_CHANGE, NACK
+from repro.xkernel.message import Message
+
+
+def test_stale_membership_change_is_nacked():
+    cluster = build_gmp_cluster([1, 2])
+    cluster.start()
+    cluster.run_until(8.0)
+    assert cluster.all_in_one_group()
+    # forge a MEMBERSHIP_CHANGE with an already-committed (stale) gid and
+    # inject it into daemon 2's receive path via the PFI layer
+    stale_gid = cluster.daemons[2].view.group_id
+    forged = Message(payload=GmpMessage(
+        kind=MEMBERSHIP_CHANGE, sender=1, group_id=stale_gid,
+        members=(1, 2)))
+    forged.meta["dst"] = 2
+    forged.meta["src"] = 1
+    cluster.pfis[2].inject(forged, "receive")
+    cluster.run_until(cluster.scheduler.now + 2.0)
+    nacks = cluster.trace.entries("gmp.nack_sent", node=2)
+    assert nacks
+    assert nacks[0].get("reason") == "stale_gid"
+
+
+def test_nack_resolves_pending_change_early():
+    """A NACK lets the leader conclude phase one without waiting out the
+    full ACK-collection timeout for the refusing member."""
+    cluster = build_gmp_cluster([1, 2, 3])
+    cluster.start(1, 2)
+    cluster.run_until(8.0)
+
+    def rewrite_ack_to_nack(ctx: ScriptContext) -> None:
+        # byzantine: daemon 3's ACKs are flipped into NACKs in flight
+        if ctx.msg_type() == "ACK":
+            ctx.set_field("kind", NACK)
+
+    cluster.pfis[3].set_send_filter(rewrite_ack_to_nack)
+    cluster.start(3)
+    cluster.run_until(60.0)
+    # 3 is never committed (its acceptance always arrives as a refusal)
+    assert 3 not in cluster.daemons[1].view.members
+    # and the leader did receive the NACKs
+    assert cluster.trace.count("gmp.receive", node=1, msg_kind="NACK") > 0
+
+
+def test_in_transition_member_nacks_older_change():
+    cluster = build_gmp_cluster([1, 2])
+    cluster.start()
+    cluster.run_until(8.0)
+    daemon = cluster.daemons[2]
+    current_gid = daemon.view.group_id
+    # put 2 in transition for a high gid
+    in_transition = Message(payload=GmpMessage(
+        kind=MEMBERSHIP_CHANGE, sender=1, group_id=current_gid + 10,
+        members=(1, 2)))
+    in_transition.meta.update(dst=2, src=1)
+    cluster.pfis[2].inject(in_transition, "receive")
+    cluster.run_until(cluster.scheduler.now + 0.5)
+    assert daemon.status == "IN_TRANSITION"
+    # an older (but not stale-vs-view) change arrives: must be NACKed
+    older = Message(payload=GmpMessage(
+        kind=MEMBERSHIP_CHANGE, sender=1, group_id=current_gid + 5,
+        members=(1, 2)))
+    older.meta.update(dst=2, src=1)
+    cluster.pfis[2].inject(older, "receive")
+    cluster.run_until(cluster.scheduler.now + 0.5)
+    reasons = [e.get("reason")
+               for e in cluster.trace.entries("gmp.nack_sent", node=2)]
+    assert "in_transition" in reasons

@@ -1,0 +1,73 @@
+"""Unit tests for the UDP layer."""
+
+import pytest
+
+from repro.core import make_env
+from repro.gmp.udp import UDPHeader, UDPProtocol
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol
+from repro.xkernel.stack import NodeAnchor, ProtocolStack
+
+
+class TopSink(Protocol):
+    def __init__(self):
+        super().__init__("sink")
+        self.got = []
+
+    def pop(self, msg):
+        self.got.append(msg)
+
+
+class TestUDPExplicit:
+    def setup_method(self):
+        self.env = make_env()
+        self.tops = {}
+        self.udps = {}
+        for addr in (1, 2):
+            node = self.env.network.add_node(f"h{addr}", addr)
+            top = TopSink()
+            udp = UDPProtocol(addr)
+            ProtocolStack(f"s{addr}").build(top, udp, NodeAnchor(node))
+            self.tops[addr] = top
+            self.udps[addr] = udp
+
+    def push(self, src, dst, payload):
+        msg = Message(payload=payload)
+        msg.meta["dst"] = dst
+        self.udps[src].push(msg)
+
+    def test_delivery(self):
+        self.push(1, 2, "ping")
+        self.env.run_until(1.0)
+        assert [m.payload for m in self.tops[2].got] == ["ping"]
+
+    def test_header_stripped_on_delivery(self):
+        self.push(1, 2, "clean")
+        self.env.run_until(1.0)
+        assert self.tops[2].got[0].headers == []
+
+    def test_src_meta_set(self):
+        self.push(1, 2, "who")
+        self.env.run_until(1.0)
+        assert self.tops[2].got[0].meta["src"] == 1
+
+    def test_wrong_port_dropped(self):
+        msg = Message(payload="stray")
+        msg.push_header(UDPHeader(src_port=9, dst_port=9999))
+        self.udps[2].pop(msg)
+        assert self.tops[2].got == []
+
+    def test_push_without_dst_raises(self):
+        with pytest.raises(ValueError):
+            self.udps[1].push(Message(payload="lost"))
+
+    def test_counters(self):
+        self.push(1, 2, "a")
+        self.push(1, 2, "b")
+        self.env.run_until(1.0)
+        assert self.udps[1].sent_count == 2
+        assert self.udps[2].received_count == 2
+
+    def test_non_udp_message_ignored_on_pop(self):
+        self.udps[2].pop(Message(payload="raw, no header"))
+        assert self.tops[2].got == []

@@ -1,0 +1,79 @@
+"""Unit tests for GMP views and message types."""
+
+import pytest
+
+from repro.gmp.messages import (ACK, ALL_KINDS, COMMIT, DEAD_REPORT,
+                                HEARTBEAT, GmpMessage, PROCLAIM)
+from repro.gmp.views import GroupView, singleton_view
+
+
+class TestGroupView:
+    def test_members_sorted_and_deduped(self):
+        view = GroupView(1, (3, 1, 2, 1))
+        assert view.members == (1, 2, 3)
+
+    def test_leader_is_lowest(self):
+        assert GroupView(1, (5, 2, 9)).leader == 2
+
+    def test_crown_prince_is_second_lowest(self):
+        assert GroupView(1, (5, 2, 9)).crown_prince == 5
+
+    def test_singleton_has_no_crown_prince(self):
+        view = singleton_view(7)
+        assert view.is_singleton
+        assert view.crown_prince is None
+        assert view.leader == 7
+
+    def test_empty_view_rejected(self):
+        with pytest.raises(ValueError):
+            GroupView(1, ())
+
+    def test_contains(self):
+        view = GroupView(1, (1, 2))
+        assert view.contains(1)
+        assert not view.contains(3)
+
+    def test_without(self):
+        assert GroupView(1, (1, 2, 3)).without(2) == (1, 3)
+        assert GroupView(1, (1, 2, 3)).without(2, 3) == (1,)
+
+    def test_with_added(self):
+        assert GroupView(1, (1, 3)).with_added(2) == (1, 2, 3)
+        assert GroupView(1, (1,)).with_added(1) == (1,)
+
+    def test_immutable(self):
+        view = GroupView(1, (1, 2))
+        with pytest.raises(Exception):
+            view.group_id = 5
+
+    def test_equality(self):
+        assert GroupView(1, (1, 2)) == GroupView(1, (2, 1))
+        assert GroupView(1, (1, 2)) != GroupView(2, (1, 2))
+
+
+class TestGmpMessage:
+    def test_originator_defaults_to_sender(self):
+        msg = GmpMessage(kind=PROCLAIM, sender=4)
+        assert msg.originator == 4
+
+    def test_explicit_originator_preserved(self):
+        msg = GmpMessage(kind=PROCLAIM, sender=2, originator=5)
+        assert msg.originator == 5
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            GmpMessage(kind="GOSSIP", sender=1)
+
+    def test_all_kinds_constructible(self):
+        for kind in ALL_KINDS:
+            assert GmpMessage(kind=kind, sender=1).kind == kind
+
+    def test_copy_independent(self):
+        msg = GmpMessage(kind=COMMIT, sender=1, members=(1, 2))
+        clone = msg.copy()
+        assert clone.members == (1, 2)
+        assert clone is not msg
+
+    def test_repr_mentions_subject_for_dead_report(self):
+        msg = GmpMessage(kind=DEAD_REPORT, sender=1, subject=3)
+        assert "subject=3" in repr(msg)

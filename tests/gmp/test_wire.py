@@ -1,0 +1,81 @@
+"""Tests for the GMP wire format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gmp.messages import ALL_KINDS, GmpMessage
+from repro.gmp.wire import WireError, decode, encode
+
+addresses = st.integers(min_value=-1, max_value=2**31 - 1)
+
+
+def test_simple_roundtrip():
+    msg = GmpMessage(kind="COMMIT", sender=1, originator=1,
+                     group_id=7, members=(1, 2, 3))
+    parsed = decode(encode(msg))
+    assert parsed.kind == "COMMIT"
+    assert parsed.sender == 1
+    assert parsed.group_id == 7
+    assert parsed.members == (1, 2, 3)
+
+
+def test_down_flag_roundtrip():
+    msg = GmpMessage(kind="HEARTBEAT", sender=3, down=True)
+    assert decode(encode(msg)).down is True
+
+
+def test_subject_roundtrip():
+    msg = GmpMessage(kind="DEAD_REPORT", sender=2, subject=3)
+    assert decode(encode(msg)).subject == 3
+
+
+@given(st.sampled_from(ALL_KINDS), addresses, addresses,
+       st.integers(min_value=0, max_value=2**31 - 1),
+       st.lists(st.integers(min_value=0, max_value=1000), max_size=16))
+@settings(max_examples=150)
+def test_roundtrip_property(kind, sender, originator, gid, members):
+    msg = GmpMessage(kind=kind, sender=sender, originator=originator,
+                     group_id=gid, members=tuple(members))
+    parsed = decode(encode(msg))
+    assert parsed.kind == msg.kind
+    assert parsed.sender == msg.sender
+    assert parsed.originator == msg.originator
+    assert parsed.group_id == msg.group_id
+    assert parsed.members == msg.members
+
+
+@given(st.integers(min_value=0))
+@settings(max_examples=100)
+def test_single_byte_corruption_detected(position):
+    msg = GmpMessage(kind="MEMBERSHIP_CHANGE", sender=1,
+                     group_id=5, members=(1, 2, 3))
+    wire = bytearray(encode(msg))
+    wire[position % len(wire)] ^= 0xA5
+    with pytest.raises(WireError):
+        decode(bytes(wire))
+
+
+def test_truncated_rejected():
+    with pytest.raises(WireError, match="short"):
+        decode(b"\x47")
+
+
+def test_bad_magic_rejected():
+    msg = encode(GmpMessage(kind="ACK", sender=1))
+    with pytest.raises(WireError, match="magic"):
+        decode(b"\x00\x00" + msg[2:])
+
+
+def test_member_count_mismatch_rejected():
+    wire = encode(GmpMessage(kind="COMMIT", sender=1, members=(1, 2)))
+    with pytest.raises(WireError, match="member list"):
+        decode(wire[:-4])  # lop off one member
+
+
+def test_verify_false_skips_checksum():
+    wire = bytearray(encode(GmpMessage(kind="ACK", sender=1, group_id=9)))
+    wire[-1] ^= 0xFF if len(wire) % 2 else 0x00
+    wire[6] ^= 0x01  # corrupt the sender field
+    parsed = decode(bytes(wire), verify=False)
+    assert parsed.kind == "ACK"

@@ -1,0 +1,96 @@
+"""Tests for post-paper extensions: simultaneous open, graceful leave,
+and the TCP sequence-diagram extractor."""
+
+import pytest
+
+from repro.analysis.timeline import tcp_sequence
+from repro.experiments.gmp_common import build_gmp_cluster
+from repro.experiments.tcp_common import build_tcp_testbed, open_connection
+from repro.tcp import SUNOS_413
+from tests.tcp.conftest import ConnPair
+
+
+class TestSimultaneousOpen:
+    def test_both_ends_connect_at_once(self):
+        pair = ConnPair()
+        # neither listens: both actively open toward each other
+        pair.a.remote_port = 80
+        pair.b.remote_port = 5000
+        pair.a.connect()
+        pair.b.connect()
+        pair.run(5.0)
+        assert pair.a.established
+        assert pair.b.established
+
+    def test_data_flows_after_simultaneous_open(self):
+        pair = ConnPair()
+        pair.a.connect()
+        pair.b.connect()
+        pair.run(5.0)
+        pair.a.send(b"simultaneous")
+        pair.b.send(b"open")
+        pair.run(10.0)
+        assert bytes(pair.b.delivered) == b"simultaneous"
+        assert bytes(pair.a.delivered) == b"open"
+
+
+class TestGracefulLeave:
+    def test_leave_triggers_prompt_membership_change(self):
+        cluster = build_gmp_cluster([1, 2, 3])
+        cluster.start()
+        cluster.run_until(10.0)
+        assert cluster.all_in_one_group()
+        left_at = cluster.scheduler.now
+        cluster.daemons[3].leave()
+        cluster.run_until(left_at + 2.0)  # well under the 3.5 s timeout
+        assert cluster.daemons[1].view.members == (1, 2)
+        assert cluster.daemons[2].view.members == (1, 2)
+
+    def test_leaving_leader_hands_over(self):
+        cluster = build_gmp_cluster([1, 2, 3])
+        cluster.start()
+        cluster.run_until(10.0)
+        cluster.daemons[1].leave()
+        cluster.run_until(cluster.scheduler.now + 10.0)
+        assert cluster.daemons[2].view.members == (2, 3)
+        assert cluster.daemons[2].is_leader
+
+    def test_left_daemon_ignores_traffic(self):
+        cluster = build_gmp_cluster([1, 2])
+        cluster.start()
+        cluster.run_until(8.0)
+        cluster.daemons[2].leave()
+        received_before = cluster.trace.count("gmp.receive", node=2)
+        cluster.run_until(cluster.scheduler.now + 10.0)
+        assert cluster.trace.count("gmp.receive", node=2) == received_before
+
+
+class TestTcpSequenceExtraction:
+    def test_handshake_ladder(self):
+        testbed = build_tcp_testbed(SUNOS_413)
+        client, _server = open_connection(testbed)
+        diagram = tcp_sequence(
+            testbed.trace,
+            {"vendor:5000": "vendor", "xkernel:80": "xkernel"})
+        text = diagram.render()
+        assert "SYN" in text
+        assert "SYNACK" in text
+
+    def test_dropped_segments_drawn_lost(self):
+        testbed = build_tcp_testbed(SUNOS_413)
+        client, _server = open_connection(testbed)
+        testbed.pfi.set_receive_filter(lambda ctx: ctx.drop())
+        client.send(b"D" * 512)
+        testbed.env.run_until(20.0)
+        diagram = tcp_sequence(
+            testbed.trace,
+            {"vendor:5000": "vendor", "xkernel:80": "xkernel"},
+            include_acks=False)
+        lost = [e for e in diagram.events if e.lost]
+        assert lost
+        assert any("(rtx)" in e.label for e in lost)
+
+    def test_requires_exactly_two_lanes(self):
+        testbed = build_tcp_testbed(SUNOS_413)
+        with pytest.raises(ValueError):
+            tcp_sequence(testbed.trace, {"a": "A"})

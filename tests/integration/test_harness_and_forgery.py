@@ -1,0 +1,132 @@
+"""Coverage for the experiment harnesses and byzantine-forgery safety."""
+
+import pytest
+
+from repro.experiments.gmp_common import build_gmp_cluster
+from repro.experiments.tcp_common import (build_tcp_testbed,
+                                          open_connection,
+                                          stream_from_vendor)
+from repro.gmp.messages import COMMIT, MEMBERSHIP_CHANGE, GmpMessage
+from repro.tcp import SUNOS_413
+from repro.xkernel.message import Message
+
+
+class TestTcpHarness:
+    def test_stream_tolerates_connection_death(self):
+        """Writes scheduled past the connection's death must not raise."""
+        testbed = build_tcp_testbed(SUNOS_413)
+        client, _ = open_connection(testbed)
+        stream_from_vendor(testbed, client, segments=30, interval=0.5)
+        testbed.pfi.set_receive_filter(lambda ctx: ctx.drop())
+        testbed.env.run_until(2000.0)   # long past the timeout death
+        assert client.state == "CLOSED"
+
+    def test_handshake_failure_raises(self):
+        testbed = build_tcp_testbed(SUNOS_413)
+        testbed.pfi.set_receive_filter(lambda ctx: ctx.drop())
+        with pytest.raises(RuntimeError, match="handshake"):
+            open_connection(testbed)
+
+
+class TestGmpHarness:
+    def test_all_in_one_group_false_before_formation(self):
+        cluster = build_gmp_cluster([1, 2])
+        assert not cluster.all_in_one_group()
+
+    def test_views_snapshot(self):
+        cluster = build_gmp_cluster([1, 2])
+        cluster.start()
+        cluster.run_until(8.0)
+        assert cluster.views() == {1: (1, 2), 2: (1, 2)}
+
+    def test_subset_of_world_check(self):
+        cluster = build_gmp_cluster([1, 2, 3])
+        cluster.start(1, 2)
+        cluster.run_until(8.0)
+        assert cluster.all_in_one_group(1, 2)
+        assert not cluster.all_in_one_group()
+
+
+class TestByzantineForgery:
+    """The daemon's validity checks against forged control traffic."""
+
+    def test_forged_membership_change_from_non_leader_rejected(self):
+        cluster = build_gmp_cluster([1, 2, 3])
+        cluster.start()
+        cluster.run_until(10.0)
+        gid = cluster.daemons[3].view.group_id
+        # sender 2 proposes a membership whose minimum is 1: not a valid
+        # leader claim, must be rejected
+        forged = Message(payload=GmpMessage(
+            kind=MEMBERSHIP_CHANGE, sender=2, group_id=gid + 50,
+            members=(1, 2, 3)))
+        forged.meta.update(dst=3, src=2)
+        cluster.pfis[3].inject(forged, "receive")
+        cluster.run_until(cluster.scheduler.now + 1.0)
+        assert cluster.trace.count("gmp.mc_rejected", node=3) >= 1
+        assert cluster.daemons[3].status == "STABLE"
+
+    def test_forged_change_excluding_recipient_rejected(self):
+        cluster = build_gmp_cluster([1, 2, 3])
+        cluster.start()
+        cluster.run_until(10.0)
+        gid = cluster.daemons[3].view.group_id
+        forged = Message(payload=GmpMessage(
+            kind=MEMBERSHIP_CHANGE, sender=1, group_id=gid + 50,
+            members=(1, 2)))  # recipient 3 not in the proposal
+        forged.meta.update(dst=3, src=1)
+        cluster.pfis[3].inject(forged, "receive")
+        cluster.run_until(cluster.scheduler.now + 1.0)
+        assert cluster.daemons[3].status == "STABLE"
+        assert cluster.daemons[3].view.members == (1, 2, 3)
+
+    def test_stray_commit_ignored_when_not_in_transition(self):
+        cluster = build_gmp_cluster([1, 2])
+        cluster.start()
+        cluster.run_until(8.0)
+        view_before = cluster.daemons[2].view
+        forged = Message(payload=GmpMessage(
+            kind=COMMIT, sender=1, group_id=view_before.group_id + 50,
+            members=(1, 2, 99)))
+        forged.meta.update(dst=2, src=1)
+        cluster.pfis[2].inject(forged, "receive")
+        cluster.run_until(cluster.scheduler.now + 1.0)
+        assert cluster.daemons[2].view == view_before
+
+    def test_agreement_survives_forged_commit_storm(self):
+        cluster = build_gmp_cluster([1, 2, 3])
+        cluster.start()
+        cluster.run_until(10.0)
+        for i in range(20):
+            forged = Message(payload=GmpMessage(
+                kind=COMMIT, sender=1, group_id=100 + i,
+                members=(1, 2, 3, 9)))
+            forged.meta.update(dst=3, src=1)
+            cluster.pfis[3].inject(forged, "receive", delay=i * 0.1)
+        cluster.run_until(cluster.scheduler.now + 30.0)
+        # views committed under one (leader, gid) still agree everywhere
+        by_key = {}
+        for daemon in cluster.daemons.values():
+            for view in daemon.views_adopted:
+                key = (view.leader, view.group_id)
+                assert by_key.setdefault(key, view.members) == view.members
+
+
+class TestNodeEdges:
+    def test_halted_node_repr_and_counters(self):
+        from repro.core import make_env
+        env = make_env()
+        node = env.network.add_node("victim", 1)
+        env.network.add_node("peer", 2)
+        node.transmit(b"x", 2)
+        node.halt()
+        assert node.is_halted
+        assert "halted" in repr(node)
+        assert node.transmit(b"y", 2) is False
+        assert node.sent_count == 1
+
+    def test_unattached_node_transmit_raises(self):
+        from repro.netsim.node import Node
+        node = Node("floating", 9)
+        with pytest.raises(RuntimeError):
+            node.transmit(b"x", 1)

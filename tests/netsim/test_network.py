@@ -1,0 +1,152 @@
+"""Unit tests for Network, Node, and partitions."""
+
+import pytest
+
+from repro.netsim.network import Network
+from repro.netsim.node import Node
+from repro.netsim.scheduler import Scheduler
+from repro.netsim.trace import TraceRecorder
+
+
+@pytest.fixture
+def net():
+    sched = Scheduler()
+    trace = TraceRecorder(clock=lambda: sched.now)
+    return Network(sched, trace=trace)
+
+
+def wire(net, *addresses):
+    inboxes = {}
+    for addr in addresses:
+        node = net.add_node(f"n{addr}", addr)
+        inbox = []
+        node.on_receive(lambda p, s, box=inbox: box.append((p, s)))
+        inboxes[addr] = inbox
+    return inboxes
+
+
+def test_send_between_nodes(net):
+    inboxes = wire(net, 1, 2)
+    assert net.send(1, 2, "hi")
+    net.scheduler.run()
+    assert inboxes[2] == [("hi", 1)]
+
+
+def test_loopback_delivery(net):
+    inboxes = wire(net, 1)
+    net.send(1, 1, "self")
+    net.scheduler.run()
+    assert inboxes[1] == [("self", 1)]
+
+
+def test_duplicate_address_rejected(net):
+    net.add_node("a", 1)
+    with pytest.raises(ValueError):
+        net.add_node("b", 1)
+
+
+def test_unroutable_destination_dropped(net):
+    wire(net, 1)
+    assert net.send(1, 99, "nowhere") is False
+    assert net.trace.count("net.unroutable") == 1
+
+
+def test_partition_blocks_cross_traffic(net):
+    inboxes = wire(net, 1, 2, 3)
+    net.partition([1], [2, 3])
+    assert net.send(1, 2, "x") is False
+    assert net.send(2, 3, "y") is True
+    net.scheduler.run()
+    assert inboxes[2] == []
+    assert inboxes[3] == [("y", 2)]
+
+
+def test_partition_implicit_rest_group(net):
+    inboxes = wire(net, 1, 2, 3, 4)
+    net.partition([1, 2])
+    assert net.send(3, 4, "peer") is True
+    assert net.send(3, 1, "cross") is False
+    net.scheduler.run()
+    assert inboxes[4] == [("peer", 3)]
+
+
+def test_heal_restores_connectivity(net):
+    inboxes = wire(net, 1, 2)
+    net.partition([1], [2])
+    net.heal()
+    assert net.send(1, 2, "back")
+    net.scheduler.run()
+    assert inboxes[2] == [("back", 1)]
+
+
+def test_link_down_blocks_one_pair_only(net):
+    inboxes = wire(net, 1, 2, 3)
+    net.set_link_down(1, 2)
+    assert net.send(1, 2, "blocked") is False
+    assert net.send(2, 1, "blocked") is False
+    assert net.send(1, 3, "fine") is True
+    net.scheduler.run()
+    assert inboxes[3] == [("fine", 1)]
+
+
+def test_link_down_one_direction(net):
+    inboxes = wire(net, 1, 2)
+    net.set_link_down(1, 2, both=False)
+    assert net.send(1, 2, "no") is False
+    assert net.send(2, 1, "yes") is True
+    net.scheduler.run()
+    assert inboxes[1] == [("yes", 2)]
+
+
+def test_link_up_restores(net):
+    inboxes = wire(net, 1, 2)
+    net.set_link_down(1, 2)
+    net.set_link_up(1, 2)
+    assert net.send(1, 2, "again")
+    net.scheduler.run()
+    assert inboxes[2] == [("again", 1)]
+
+
+def test_broadcast(net):
+    inboxes = wire(net, 1, 2, 3)
+    accepted = net.broadcast(1, lambda dst: f"to-{dst}")
+    net.scheduler.run()
+    assert accepted == 2
+    assert inboxes[2] == [("to-2", 1)]
+    assert inboxes[3] == [("to-3", 1)]
+    assert inboxes[1] == []
+
+
+def test_broadcast_include_self(net):
+    inboxes = wire(net, 1, 2)
+    net.broadcast(1, lambda dst: dst, include_self=True)
+    net.scheduler.run()
+    assert inboxes[1] == [(1, 1)]
+
+
+def test_halted_node_receives_nothing(net):
+    inboxes = wire(net, 1, 2)
+    net.node(2).halt()
+    net.send(1, 2, "dead letter")
+    net.scheduler.run()
+    assert inboxes[2] == []
+
+
+def test_halted_node_cannot_send(net):
+    wire(net, 1, 2)
+    net.node(1).halt()
+    assert net.node(1).transmit("x", 2) is False
+
+
+def test_nodes_ordered_by_address(net):
+    wire(net, 3, 1, 2)
+    assert [n.address for n in net.nodes()] == [1, 2, 3]
+
+
+def test_trace_records_sends(net):
+    wire(net, 1, 2)
+    net.send(1, 2, "x")
+    assert net.trace.count("net.send") == 1
+    net.partition([1], [2])
+    net.send(1, 2, "y")
+    assert net.trace.count("net.partition_drop") == 1

@@ -1,0 +1,175 @@
+"""Unit tests for the virtual-time event scheduler."""
+
+import pytest
+
+from repro.netsim.scheduler import Scheduler, SchedulerError
+
+
+def test_starts_at_zero():
+    assert Scheduler().now == 0.0
+
+
+def test_starts_at_custom_time():
+    assert Scheduler(start_time=5.0).now == 5.0
+
+
+def test_schedule_and_run_advances_clock():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(1.5, fired.append, "a")
+    sched.run()
+    assert fired == ["a"]
+    assert sched.now == 1.5
+
+
+def test_events_fire_in_time_order():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(3.0, fired.append, "late")
+    sched.schedule(1.0, fired.append, "early")
+    sched.schedule(2.0, fired.append, "middle")
+    sched.run()
+    assert fired == ["early", "middle", "late"]
+
+
+def test_same_time_events_fire_fifo():
+    sched = Scheduler()
+    fired = []
+    for i in range(10):
+        sched.schedule(1.0, fired.append, i)
+    sched.run()
+    assert fired == list(range(10))
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SchedulerError):
+        Scheduler().schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sched = Scheduler()
+    sched.schedule(5.0, lambda: None)
+    sched.run()
+    with pytest.raises(SchedulerError):
+        sched.schedule_at(1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sched = Scheduler()
+    fired = []
+    event = sched.schedule(1.0, fired.append, "x")
+    event.cancel()
+    sched.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sched = Scheduler()
+    event = sched.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sched.run() == 0
+
+
+def test_run_until_stops_at_deadline():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(1.0, fired.append, "in")
+    sched.schedule(10.0, fired.append, "out")
+    sched.run_until(5.0)
+    assert fired == ["in"]
+    assert sched.now == 5.0
+
+
+def test_run_until_includes_deadline_events():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(5.0, fired.append, "edge")
+    sched.run_until(5.0)
+    assert fired == ["edge"]
+
+
+def test_run_until_backwards_rejected():
+    sched = Scheduler()
+    sched.run_until(10.0)
+    with pytest.raises(SchedulerError):
+        sched.run_until(5.0)
+
+
+def test_run_for_advances_relative():
+    sched = Scheduler()
+    sched.run_until(10.0)
+    sched.run_for(5.0)
+    assert sched.now == 15.0
+
+
+def test_events_scheduled_during_run_fire():
+    sched = Scheduler()
+    fired = []
+
+    def chain():
+        fired.append("first")
+        sched.schedule(1.0, fired.append, "second")
+
+    sched.schedule(1.0, chain)
+    sched.run()
+    assert fired == ["first", "second"]
+    assert sched.now == 2.0
+
+
+def test_run_guards_against_cascade():
+    sched = Scheduler()
+
+    def rearm():
+        sched.schedule(0.0, rearm)
+
+    sched.schedule(0.0, rearm)
+    with pytest.raises(SchedulerError):
+        sched.run(max_events=100)
+
+
+def test_pending_count_ignores_cancelled():
+    sched = Scheduler()
+    sched.schedule(1.0, lambda: None)
+    event = sched.schedule(2.0, lambda: None)
+    event.cancel()
+    assert sched.pending_count == 1
+
+
+def test_peek_time_skips_cancelled():
+    sched = Scheduler()
+    first = sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: None)
+    first.cancel()
+    assert sched.peek_time() == 2.0
+
+
+def test_peek_time_empty():
+    assert Scheduler().peek_time() is None
+
+
+def test_step_returns_false_when_empty():
+    assert Scheduler().step() is False
+
+
+def test_dispatched_count():
+    sched = Scheduler()
+    for i in range(5):
+        sched.schedule(i, lambda: None)
+    sched.run()
+    assert sched.dispatched_count == 5
+
+
+def test_callback_args_passed_through():
+    sched = Scheduler()
+    seen = []
+    sched.schedule(1.0, lambda a, b: seen.append((a, b)), 1, "two")
+    sched.run()
+    assert seen == [(1, "two")]
+
+
+def test_clock_left_at_deadline_even_if_drained():
+    sched = Scheduler()
+    sched.schedule(1.0, lambda: None)
+    sched.run_until(100.0)
+    assert sched.now == 100.0

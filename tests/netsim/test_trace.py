@@ -1,0 +1,106 @@
+"""Unit tests for the trace recorder."""
+
+import pytest
+
+from repro.netsim.trace import TraceEntry, TraceRecorder
+
+
+def make_trace():
+    clock = [0.0]
+    trace = TraceRecorder(clock=lambda: clock[0])
+    return trace, clock
+
+
+def test_record_with_bound_clock():
+    trace, clock = make_trace()
+    clock[0] = 4.2
+    entry = trace.record("tcp.retransmit", seq=7)
+    assert entry.time == 4.2
+    assert entry["seq"] == 7
+
+
+def test_record_with_explicit_time():
+    trace, _ = make_trace()
+    entry = trace.record("x", t=9.0)
+    assert entry.time == 9.0
+
+
+def test_record_without_clock_raises():
+    trace = TraceRecorder()
+    with pytest.raises(RuntimeError):
+        trace.record("x")
+
+
+def test_entries_filter_by_kind_and_attrs():
+    trace, clock = make_trace()
+    trace.record("tcp.retransmit", conn="a", seq=1)
+    trace.record("tcp.retransmit", conn="b", seq=1)
+    trace.record("tcp.transmit", conn="a", seq=2)
+    assert len(trace.entries("tcp.retransmit")) == 2
+    assert len(trace.entries("tcp.retransmit", conn="a")) == 1
+    assert len(trace.entries(conn="a")) == 2
+
+
+def test_entries_with_prefix():
+    trace, _ = make_trace()
+    trace.record("tcp.a")
+    trace.record("tcp.b")
+    trace.record("gmp.c")
+    assert len(trace.entries_with_prefix("tcp.")) == 2
+
+
+def test_times_and_intervals():
+    trace, clock = make_trace()
+    for t in (1.0, 3.0, 7.0):
+        clock[0] = t
+        trace.record("evt")
+    assert trace.times("evt") == [1.0, 3.0, 7.0]
+    assert trace.intervals("evt") == [2.0, 4.0]
+
+
+def test_first_and_last():
+    trace, clock = make_trace()
+    clock[0] = 1.0
+    trace.record("evt", n=1)
+    clock[0] = 2.0
+    trace.record("evt", n=2)
+    assert trace.first("evt")["n"] == 1
+    assert trace.last("evt")["n"] == 2
+    assert trace.first("missing") is None
+
+
+def test_count():
+    trace, _ = make_trace()
+    for _ in range(3):
+        trace.record("evt")
+    assert trace.count("evt") == 3
+    assert trace.count("other") == 0
+
+
+def test_get_with_default():
+    entry = TraceEntry(0.0, "x", {"a": 1})
+    assert entry.get("a") == 1
+    assert entry.get("b", "fallback") == "fallback"
+
+
+def test_clear():
+    trace, _ = make_trace()
+    trace.record("evt")
+    trace.clear()
+    assert len(trace) == 0
+
+
+def test_dump_filters_by_prefix():
+    trace, _ = make_trace()
+    trace.record("tcp.x", seq=1)
+    trace.record("gmp.y")
+    dump = trace.dump("tcp.")
+    assert "tcp.x" in dump
+    assert "gmp.y" not in dump
+
+
+def test_iteration_in_capture_order():
+    trace, clock = make_trace()
+    trace.record("b")
+    trace.record("a")
+    assert [e.kind for e in trace] == ["b", "a"]

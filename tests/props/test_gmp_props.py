@@ -1,0 +1,105 @@
+"""Property-based tests of the strong group membership safety property.
+
+"The strong group membership protocol ... ensures that membership changes
+are seen in the same order by all members."  Groups are identified by
+(leader, incarnation): each leader's incarnation counter is strictly
+increasing, so two properties must hold under arbitrary omission faults,
+partitions, and crashes:
+
+- **agreement**: any two daemons adopting a view identified by the same
+  (leader, group_id) adopted the same member set;
+- **same order**: the views two daemons both adopted appear in the same
+  relative order in each daemon's adoption sequence.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.gmp_common import build_gmp_cluster
+
+
+def view_key(view):
+    return (view.leader, view.group_id)
+
+
+def agreement_holds(cluster) -> bool:
+    """Views committed under one (leader, gid) agree across daemons."""
+    by_key = {}
+    for daemon in cluster.daemons.values():
+        for view in daemon.views_adopted:
+            members = by_key.setdefault(view_key(view), view.members)
+            if members != view.members:
+                return False
+    return True
+
+
+def same_order_holds(cluster) -> bool:
+    """Shared views appear in the same relative order everywhere."""
+    sequences = {a: [view_key(v) for v in d.views_adopted]
+                 for a, d in cluster.daemons.items()}
+    daemons = list(sequences)
+    for i, a in enumerate(daemons):
+        for b in daemons[i + 1:]:
+            common = [k for k in sequences[a] if k in set(sequences[b])]
+            common_b = [k for k in sequences[b] if k in set(sequences[a])]
+            if common != common_b:
+                return False
+    return True
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1),
+       st.floats(min_value=0.0, max_value=0.4))
+@settings(max_examples=10, deadline=None)
+def test_safety_under_random_send_omission(seed, loss):
+    cluster = build_gmp_cluster([1, 2, 3], seed=seed % 1000)
+    rng = random.Random(seed)
+    for address in cluster.world:
+        def lossy(ctx, _rng=rng, _p=loss):
+            if _rng.random() < _p:
+                ctx.drop()
+        cluster.pfis[address].set_send_filter(lossy)
+    cluster.start()
+    cluster.run_until(60.0)
+    assert agreement_holds(cluster)
+    assert same_order_holds(cluster)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=8, deadline=None)
+def test_safety_under_random_partitions(seed):
+    rng = random.Random(seed)
+    cluster = build_gmp_cluster([1, 2, 3, 4], seed=seed % 1000)
+    cluster.start()
+    cluster.run_until(10.0)
+    for _ in range(3):
+        members = [1, 2, 3, 4]
+        rng.shuffle(members)
+        cut = rng.randrange(1, 4)
+        cluster.env.network.partition(members[:cut], members[cut:])
+        cluster.run_until(cluster.scheduler.now + rng.uniform(5, 20))
+        cluster.env.network.heal()
+        cluster.run_until(cluster.scheduler.now + rng.uniform(5, 20))
+    cluster.run_until(cluster.scheduler.now + 60.0)
+    assert agreement_holds(cluster)
+    assert same_order_holds(cluster)
+    # after the final heal and generous settling, everyone converges
+    assert cluster.all_in_one_group()
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1),
+       st.integers(min_value=1, max_value=4))
+@settings(max_examples=8, deadline=None)
+def test_safety_with_crashed_members(seed, victim):
+    cluster = build_gmp_cluster([1, 2, 3, 4], seed=seed % 1000)
+    cluster.start()
+    cluster.run_until(12.0)
+    cluster.env.network.node(victim).halt()
+    cluster.run_until(72.0)
+    assert agreement_holds(cluster)
+    assert same_order_holds(cluster)
+    survivors = [a for a in (1, 2, 3, 4) if a != victim]
+    expected = tuple(survivors)
+    for address in survivors:
+        assert cluster.daemons[address].view.members == expected

@@ -1,0 +1,80 @@
+"""Property-based tests: reassembly always reconstructs the byte stream.
+
+The central receiver invariant of TCP: whatever order segments arrive in,
+with whatever duplication or overlap, the delivered stream equals the sent
+stream, each byte exactly once, in order.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tcp.reassembly import ReassemblyQueue
+from repro.tcp.segment import SEQ_MOD, seq_add
+
+
+@st.composite
+def segmented_stream(draw):
+    """A byte stream cut into segments, then shuffled with duplicates."""
+    data = draw(st.binary(min_size=1, max_size=400))
+    base = draw(st.integers(min_value=0, max_value=SEQ_MOD - 1))
+    cuts = sorted(draw(st.sets(
+        st.integers(min_value=1, max_value=max(1, len(data) - 1)),
+        max_size=10)))
+    bounds = [0] + [c for c in cuts if c < len(data)] + [len(data)]
+    segments = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        if lo < hi:
+            segments.append((seq_add(base, lo), data[lo:hi]))
+    order = draw(st.permutations(segments))
+    duplicated = draw(st.lists(st.sampled_from(segments), max_size=5)) \
+        if segments else []
+    return data, base, list(order) + duplicated
+
+
+@given(segmented_stream())
+@settings(max_examples=200)
+def test_any_arrival_order_reconstructs_stream(case):
+    data, base, arrivals = case
+    queue = ReassemblyQueue()
+    delivered = bytearray()
+    cursor = base
+    for seq, payload in arrivals:
+        if seq == cursor:
+            # in-order arrival: accept directly, then drain the queue
+            delivered.extend(payload)
+            cursor = seq_add(seq, len(payload))
+            extra, cursor = queue.extract(cursor)
+            delivered.extend(extra)
+        else:
+            queue.add(seq, payload)
+            extra, cursor = queue.extract(cursor)
+            delivered.extend(extra)
+    assert bytes(delivered) == data
+    assert cursor == seq_add(base, len(data))
+
+
+@given(st.binary(min_size=2, max_size=200),
+       st.integers(min_value=0, max_value=SEQ_MOD - 1))
+@settings(max_examples=100)
+def test_reversed_halves_reconstruct(data, base):
+    mid = len(data) // 2
+    queue = ReassemblyQueue()
+    queue.add(seq_add(base, mid), data[mid:])
+    queue.add(base, data[:mid])
+    out, cursor = queue.extract(base)
+    assert out == data
+    assert cursor == seq_add(base, len(data))
+
+
+@given(st.binary(min_size=1, max_size=100),
+       st.integers(min_value=1, max_value=50))
+@settings(max_examples=100)
+def test_duplicates_never_double_deliver(data, copies):
+    queue = ReassemblyQueue()
+    for _ in range(min(copies, 20)):
+        queue.add(1000, data)
+    out, cursor = queue.extract(1000)
+    assert out == data
+    out2, cursor2 = queue.extract(cursor)
+    assert out2 == b""
+    assert cursor2 == cursor

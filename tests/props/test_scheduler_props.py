@@ -1,0 +1,79 @@
+"""Property-based tests for the scheduler: ordering and clock invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.scheduler import Scheduler
+
+delays = st.lists(st.floats(min_value=0.0, max_value=1000.0,
+                            allow_nan=False, allow_infinity=False),
+                  min_size=1, max_size=50)
+
+
+@given(delays)
+def test_events_always_dispatch_in_nondecreasing_time(delay_list):
+    sched = Scheduler()
+    fire_times = []
+    for delay in delay_list:
+        sched.schedule(delay, lambda: fire_times.append(sched.now))
+    sched.run()
+    assert fire_times == sorted(fire_times)
+    assert len(fire_times) == len(delay_list)
+
+
+@given(delays)
+def test_clock_never_goes_backwards(delay_list):
+    sched = Scheduler()
+    observations = []
+    for delay in delay_list:
+        sched.schedule(delay, lambda: observations.append(sched.now))
+    last = -1.0
+    while sched.step():
+        assert sched.now >= last
+        last = sched.now
+
+
+@given(delays, st.integers(min_value=0, max_value=49))
+def test_cancellation_removes_exactly_that_event(delay_list, cancel_index):
+    sched = Scheduler()
+    fired = []
+    events = []
+    for i, delay in enumerate(delay_list):
+        events.append(sched.schedule(delay, fired.append, i))
+    victim = cancel_index % len(events)
+    events[victim].cancel()
+    sched.run()
+    assert victim not in fired
+    assert sorted(fired) == [i for i in range(len(delay_list)) if i != victim]
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=100,
+                                    allow_nan=False),
+                          st.integers(min_value=0, max_value=5)),
+                min_size=1, max_size=30))
+def test_same_time_events_preserve_scheduling_order(pairs):
+    sched = Scheduler()
+    fired = []
+    for i, (delay, bucket) in enumerate(pairs):
+        sched.schedule(float(bucket), fired.append, (bucket, i))
+    sched.run()
+    # within each time bucket, sequence numbers must be increasing
+    for bucket in {b for _, b in pairs}:
+        in_bucket = [i for b, i in fired if b == bucket]
+        assert in_bucket == sorted(in_bucket)
+
+
+@given(delays)
+@settings(max_examples=25)
+def test_run_until_partitions_cleanly(delay_list):
+    """Running to t then to the end fires every event exactly once."""
+    boundary = 500.0
+    sched = Scheduler()
+    fired = []
+    for delay in delay_list:
+        sched.schedule(delay, fired.append, delay)
+    sched.run_until(boundary)
+    early = list(fired)
+    assert all(d <= boundary for d in early)
+    sched.run()
+    assert sorted(fired) == sorted(delay_list)

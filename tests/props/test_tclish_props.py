@@ -1,0 +1,83 @@
+"""Property-based tests for the tclish interpreter."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tclish import Interp
+from repro.core.tclish.expr import evaluate, format_value
+from repro.core.tclish.stdlib_loader import build_list, parse_list
+
+small_ints = st.integers(min_value=-10**6, max_value=10**6)
+
+list_elements = st.lists(
+    st.text(alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd"),
+        whitelist_characters=" _-."), min_size=0, max_size=12),
+    max_size=12)
+
+
+@given(list_elements)
+def test_list_build_parse_roundtrip(elements):
+    assert parse_list(build_list(elements)) == elements
+
+
+@given(small_ints, small_ints)
+def test_expr_addition_matches_python(a, b):
+    assert evaluate(f"{a} + {b}") == a + b
+
+
+@given(small_ints, small_ints)
+def test_expr_comparison_matches_python(a, b):
+    assert evaluate(f"{a} < {b}") == (1 if a < b else 0)
+    assert evaluate(f"{a} == {b}") == (1 if a == b else 0)
+
+
+@given(small_ints, st.integers(min_value=1, max_value=10**6))
+def test_expr_division_matches_tcl_floor(a, b):
+    assert evaluate(f"{a} / {b}") == a // b
+
+
+@given(small_ints)
+def test_set_get_roundtrip_integer(value):
+    interp = Interp()
+    interp.eval(f"set x {value}")
+    assert interp.eval("set x") == str(value)
+
+
+@given(st.text(alphabet=st.characters(
+    whitelist_categories=("Lu", "Ll", "Nd"),
+    whitelist_characters="_"), min_size=1, max_size=20))
+def test_set_get_roundtrip_word(value):
+    interp = Interp()
+    interp.eval(f"set x {{{value}}}")
+    assert interp.eval("set x") == value
+
+
+@given(st.lists(small_ints, min_size=1, max_size=20))
+@settings(max_examples=50)
+def test_foreach_sums_like_python(values):
+    interp = Interp()
+    list_text = " ".join(str(v) for v in values)
+    interp.eval(f"set total 0; foreach v {{{list_text}}} {{incr total $v}}")
+    assert interp.eval("set total") == str(sum(values))
+
+
+@given(st.integers(min_value=0, max_value=40))
+def test_while_counts_exactly(n):
+    interp = Interp()
+    interp.eval(f"set i 0; while {{$i < {n}}} {{incr i}}")
+    assert interp.eval("set i") == str(n)
+
+
+@given(small_ints)
+def test_format_value_numeric_stability(n):
+    assert format_value(n) == str(n)
+
+
+@given(st.lists(small_ints, min_size=1, max_size=15))
+def test_lindex_matches_python_indexing(values):
+    interp = Interp()
+    list_text = " ".join(str(v) for v in values)
+    for i, expected in enumerate(values):
+        assert interp.eval(f"lindex {{{list_text}}} {i}") == str(expected)
+    assert interp.eval(f"lindex {{{list_text}}} end") == str(values[-1])

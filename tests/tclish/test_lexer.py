@@ -1,0 +1,102 @@
+"""Unit tests for tclish command/word splitting."""
+
+import pytest
+
+from repro.core.tclish.errors import TclError
+from repro.core.tclish.lexer import split_commands, split_words, strip_braces
+
+
+class TestSplitCommands:
+    def test_newline_separates(self):
+        assert split_commands("set a 1\nset b 2") == ["set a 1", "set b 2"]
+
+    def test_semicolon_separates(self):
+        assert split_commands("set a 1; set b 2") == ["set a 1", "set b 2"]
+
+    def test_empty_commands_dropped(self):
+        assert split_commands("\n\n;;set a 1;;\n") == ["set a 1"]
+
+    def test_comment_at_command_start(self):
+        cmds = split_commands("# a comment\nset a 1")
+        assert cmds == ["set a 1"]
+
+    def test_comment_after_semicolon(self):
+        assert split_commands("set a 1; # trailing") == ["set a 1"]
+
+    def test_hash_inside_word_not_comment(self):
+        assert split_commands("set a x#y") == ["set a x#y"]
+
+    def test_braces_protect_newlines(self):
+        cmds = split_commands("if {$x} {\n  set y 1\n}")
+        assert len(cmds) == 1
+
+    def test_brackets_protect_separators(self):
+        cmds = split_commands("set a [cmd one; cmd two]")
+        assert len(cmds) == 1
+
+    def test_quotes_protect_semicolons(self):
+        assert split_commands('set a "x; y"') == ['set a "x; y"']
+
+    def test_unbalanced_brace_raises(self):
+        with pytest.raises(TclError):
+            split_commands("set a {unclosed")
+
+    def test_unbalanced_close_brace_raises(self):
+        with pytest.raises(TclError):
+            split_commands("set a }")
+
+    def test_unbalanced_bracket_raises(self):
+        with pytest.raises(TclError):
+            split_commands("set a [cmd")
+
+    def test_unterminated_quote_raises(self):
+        with pytest.raises(TclError):
+            split_commands('set a "oops')
+
+    def test_escaped_quote_in_quotes(self):
+        assert split_commands(r'set a "x\"y"') == [r'set a "x\"y"']
+
+
+class TestSplitWords:
+    def test_simple_words(self):
+        assert split_words("set a 1") == ["set", "a", "1"]
+
+    def test_braced_word_kept_whole(self):
+        assert split_words("if {$x > 1} {body}") == ["if", "{$x > 1}",
+                                                     "{body}"]
+
+    def test_nested_braces(self):
+        assert split_words("proc f {} {if {1} {x}}") == [
+            "proc", "f", "{}", "{if {1} {x}}"]
+
+    def test_quoted_word(self):
+        assert split_words('puts "hello world"') == ["puts",
+                                                     '"hello world"']
+
+    def test_bracket_in_bare_word(self):
+        assert split_words("set a [cmd x y]") == ["set", "a", "[cmd x y]"]
+
+    def test_bracket_with_spaces_stays_one_word(self):
+        assert split_words("expr {[llength $l] + 1}") == [
+            "expr", "{[llength $l] + 1}"]
+
+    def test_multiple_spaces_collapsed(self):
+        assert split_words("a   b\t c") == ["a", "b", "c"]
+
+    def test_unmatched_brace_in_word_raises(self):
+        with pytest.raises(TclError):
+            split_words("set a {x")
+
+
+class TestStripBraces:
+    def test_strips_braces(self):
+        assert strip_braces("{hello}") == "hello"
+
+    def test_strips_quotes(self):
+        assert strip_braces('"hello"') == "hello"
+
+    def test_bare_word_unchanged(self):
+        assert strip_braces("hello") == "hello"
+
+    def test_single_char_unchanged(self):
+        assert strip_braces("{") == "{"

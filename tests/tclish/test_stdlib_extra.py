@@ -1,0 +1,125 @@
+"""Unit tests for the extended stdlib: switch, lsort, lreplace, lrepeat."""
+
+import pytest
+
+from repro.core.tclish import Interp, TclError
+
+
+@pytest.fixture
+def interp():
+    return Interp()
+
+
+class TestSwitch:
+    def test_exact_match(self, interp):
+        result = interp.eval("""
+        switch ACK {
+            ACK  { set r ack }
+            NACK { set r nack }
+        }""")
+        assert result == "ack"
+
+    def test_default_branch(self, interp):
+        result = interp.eval("""
+        switch OTHER {
+            ACK { set r ack }
+            default { set r fallback }
+        }""")
+        assert result == "fallback"
+
+    def test_no_match_no_default(self, interp):
+        assert interp.eval("switch X { A {set r a} }") == ""
+
+    def test_glob_mode(self, interp):
+        result = interp.eval("""
+        switch -glob "MEMBERSHIP_CHANGE" {
+            MEMBER* { set r membership }
+            default { set r other }
+        }""")
+        assert result == "membership"
+
+    def test_fallthrough_dash(self, interp):
+        result = interp.eval("""
+        switch B {
+            A - B - C { set r abc }
+            default { set r other }
+        }""")
+        assert result == "abc"
+
+    def test_value_substituted(self, interp):
+        interp.eval("set t ACK")
+        assert interp.eval(
+            "switch $t { ACK {set r 1} default {set r 0} }") == "1"
+
+    def test_inline_pairs_form(self, interp):
+        assert interp.eval("switch b a {set r 1} b {set r 2}") == "2"
+
+    def test_odd_pairs_rejected(self, interp):
+        with pytest.raises(TclError):
+            interp.eval("switch x { A }")
+
+
+class TestLsort:
+    def test_default_lexicographic(self, interp):
+        assert interp.eval("lsort {pear apple orange}") == \
+            "apple orange pear"
+
+    def test_integer_sort(self, interp):
+        assert interp.eval("lsort -integer {10 2 33 4}") == "2 4 10 33"
+
+    def test_real_sort(self, interp):
+        assert interp.eval("lsort -real {1.5 0.2 10.0}") == "0.2 1.5 10.0"
+
+    def test_decreasing(self, interp):
+        assert interp.eval("lsort -integer -decreasing {1 3 2}") == "3 2 1"
+
+    def test_unique(self, interp):
+        assert interp.eval("lsort -unique {b a b c a}") == "a b c"
+
+    def test_empty_list(self, interp):
+        assert interp.eval("lsort {}") == ""
+
+
+class TestLreplace:
+    def test_replace_middle(self, interp):
+        assert interp.eval("lreplace {a b c d} 1 2 X Y Z") == "a X Y Z d"
+
+    def test_delete_range(self, interp):
+        assert interp.eval("lreplace {a b c d} 1 2") == "a d"
+
+    def test_end_index(self, interp):
+        assert interp.eval("lreplace {a b c} end end Z") == "a b Z"
+
+
+class TestLrepeat:
+    def test_repeat(self, interp):
+        assert interp.eval("lrepeat 3 x y") == "x y x y x y"
+
+    def test_zero(self, interp):
+        assert interp.eval("lrepeat 0 x") == ""
+
+    def test_negative_rejected(self, interp):
+        with pytest.raises(TclError):
+            interp.eval("lrepeat -1 x")
+
+
+class TestSwitchInFilterIdiom:
+    def test_message_dispatch_idiom(self, interp):
+        """The natural filter style switch enables."""
+        dropped = []
+        delayed = []
+        interp.register_command("xDrop", lambda i, a: dropped.append(1) or "")
+        interp.register_command("xDelay",
+                                lambda i, a: delayed.append(a[0]) or "")
+        script = """
+        switch $type {
+            ACK       { xDrop }
+            HEARTBEAT { xDelay 2.0 }
+            default   { }
+        }
+        """
+        for msg_type in ("ACK", "HEARTBEAT", "DATA", "ACK"):
+            interp.set_var("type", msg_type)
+            interp.eval(script)
+        assert dropped == [1, 1]
+        assert delayed == ["2.0"]

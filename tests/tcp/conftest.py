@@ -1,0 +1,71 @@
+"""Fixtures for TCP connection tests: a directly-wired connection pair."""
+
+import pytest
+
+from repro.netsim.scheduler import Scheduler
+from repro.netsim.trace import TraceRecorder
+from repro.tcp.connection import TCPConnection
+from repro.tcp.vendors import SUNOS_413, XKERNEL
+
+
+class Pipe:
+    """Duplex in-memory wire between two connections with latency and a
+    programmable per-direction drop hook."""
+
+    def __init__(self, scheduler, latency=0.002):
+        self.scheduler = scheduler
+        self.latency = latency
+        self.a_to_b = None
+        self.b_to_a = None
+        self.drop_a_to_b = lambda seg: False
+        self.drop_b_to_a = lambda seg: False
+        self.log = []
+
+    def send_from_a(self, seg):
+        self.log.append(("a->b", self.scheduler.now, seg))
+        if self.drop_a_to_b(seg):
+            return
+        self.scheduler.schedule(self.latency, self.b_to_a_conn.on_segment, seg)
+
+    def send_from_b(self, seg):
+        self.log.append(("b->a", self.scheduler.now, seg))
+        if self.drop_b_to_a(seg):
+            return
+        self.scheduler.schedule(self.latency, self.a_to_b_conn.on_segment, seg)
+
+
+class ConnPair:
+    def __init__(self, profile_a=SUNOS_413, profile_b=XKERNEL, seed=0):
+        self.scheduler = Scheduler()
+        self.trace = TraceRecorder(clock=lambda: self.scheduler.now)
+        self.pipe = Pipe(self.scheduler)
+        self.a = TCPConnection(self.scheduler, profile_a, local_port=5000,
+                               remote_port=80,
+                               transmit=self.pipe.send_from_a,
+                               trace=self.trace, name="a", iss=1000)
+        self.b = TCPConnection(self.scheduler, profile_b, local_port=80,
+                               remote_port=5000,
+                               transmit=self.pipe.send_from_b,
+                               trace=self.trace, name="b", iss=9000)
+        self.pipe.a_to_b_conn = self.a
+        self.pipe.b_to_a_conn = self.b
+
+    def establish(self):
+        self.b.listen()
+        self.a.connect()
+        self.scheduler.run_until(1.0)
+        assert self.a.established and self.b.established
+        return self
+
+    def run(self, until):
+        self.scheduler.run_until(until)
+
+
+@pytest.fixture
+def pair():
+    return ConnPair().establish()
+
+
+@pytest.fixture
+def raw_pair():
+    return ConnPair()

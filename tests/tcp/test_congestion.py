@@ -1,0 +1,143 @@
+"""Unit and behaviour tests for Tahoe congestion control."""
+
+import dataclasses
+
+import pytest
+
+from repro.tcp.congestion import TahoeController
+from repro.tcp.vendors import SUNOS_413, XKERNEL
+from tests.tcp.conftest import ConnPair
+
+CC = dataclasses.replace(SUNOS_413, name="SunOS/cc",
+                         congestion_control=True, recv_buffer=16384)
+CC_PEER = dataclasses.replace(XKERNEL, name="xk/big-buf",
+                              recv_buffer=16384)
+
+
+def cc_pair():
+    return ConnPair(profile_a=CC, profile_b=CC_PEER).establish()
+
+
+class TestController:
+    def make(self):
+        return TahoeController(CC, name="t")
+
+    def test_starts_at_one_mss(self):
+        controller = self.make()
+        assert controller.cwnd == CC.mss
+        assert controller.in_slow_start
+
+    def test_slow_start_grows_one_mss_per_ack(self):
+        controller = self.make()
+        for _ in range(4):
+            controller.on_new_ack(0)
+        assert controller.cwnd == 5 * CC.mss
+
+    def test_avoidance_grows_slowly(self):
+        controller = self.make()
+        controller.ssthresh = 2 * CC.mss
+        controller.cwnd = 4 * CC.mss
+        before = controller.cwnd
+        controller.on_new_ack(0)
+        assert before < controller.cwnd <= before + CC.mss // 2 + 1
+
+    def test_timeout_collapses(self):
+        controller = self.make()
+        for _ in range(8):
+            controller.on_new_ack(0)
+        controller.on_timeout(bytes_in_flight=8 * CC.mss)
+        assert controller.cwnd == CC.mss
+        assert controller.ssthresh == 4 * CC.mss
+
+    def test_ssthresh_floor_two_mss(self):
+        controller = self.make()
+        controller.on_timeout(bytes_in_flight=CC.mss)
+        assert controller.ssthresh == 2 * CC.mss
+
+    def test_third_dupack_triggers(self):
+        controller = self.make()
+        assert not controller.on_duplicate_ack(4 * CC.mss)
+        assert not controller.on_duplicate_ack(4 * CC.mss)
+        assert controller.on_duplicate_ack(4 * CC.mss)
+        assert controller.cwnd == CC.mss
+        assert controller.fast_retransmits == 1
+
+    def test_new_ack_resets_dupack_count(self):
+        controller = self.make()
+        controller.on_duplicate_ack(0)
+        controller.on_duplicate_ack(0)
+        controller.on_new_ack(0)
+        assert not controller.on_duplicate_ack(0)
+        assert controller.dup_acks == 1
+
+    def test_send_allowance_min_of_windows(self):
+        controller = self.make()
+        controller.cwnd = 2048
+        assert controller.send_allowance(peer_window=4096) == 2048
+        assert controller.send_allowance(peer_window=1024) == 1024
+
+
+class TestConnectionIntegration:
+    def test_disabled_by_default(self):
+        pair = ConnPair().establish()
+        assert pair.a.congestion is None
+
+    def test_slow_start_paces_initial_burst(self):
+        pair = cc_pair()
+        pair.a.send(b"x" * (CC.mss * 16))
+        # before any ACKs return, only one segment may be outstanding
+        assert pair.a.bytes_in_flight() == CC.mss
+        pair.run(pair.scheduler.now + 30.0)
+        assert len(pair.b.delivered) == CC.mss * 16
+
+    def test_window_opens_as_acks_return(self):
+        pair = cc_pair()
+        pair.a.send(b"y" * (CC.mss * 16))
+        pair.run(pair.scheduler.now + 0.01)   # one round trip
+        assert pair.a.congestion.cwnd > CC.mss
+
+    def test_timeout_collapses_cwnd(self):
+        pair = cc_pair()
+        pair.a.send(b"z" * (CC.mss * 8))
+        pair.run(pair.scheduler.now + 1.0)
+        grown = pair.a.congestion.cwnd
+        assert grown >= 4 * CC.mss
+        pair.pipe.drop_a_to_b = lambda seg: True
+        pair.a.send(b"w" * CC.mss)
+        pair.run(pair.scheduler.now + 10.0)
+        assert pair.a.congestion.cwnd == CC.mss
+        assert pair.a.congestion.timeout_collapses >= 1
+
+    def test_fast_retransmit_beats_the_timer(self):
+        pair = cc_pair()
+        # open the congestion window first
+        pair.a.send(b"p" * (CC.mss * 8))
+        pair.run(pair.scheduler.now + 2.0)
+        state = {"dropped": False}
+
+        def drop_one(seg):
+            if seg.payload and not state["dropped"]:
+                state["dropped"] = True
+                return True
+            return False
+
+        pair.pipe.drop_a_to_b = drop_one
+        start = pair.scheduler.now
+        pair.a.send(b"q" * (CC.mss * 6))   # later segments arrive, dup-ACK
+        pair.run(start + 0.8)              # well under the >= 1 s RTO
+        fast = [e for e in pair.trace.entries("tcp.retransmit", conn="a")
+                if e.get("fast")]
+        assert fast, "fast retransmit should fire on the third dup ACK"
+        assert fast[0].time - start < 0.5
+        pair.run(start + 10.0)
+        assert len(pair.b.delivered) == CC.mss * 14
+
+    def test_transfer_completes_under_loss(self):
+        import random
+        rng = random.Random(5)
+        pair = cc_pair()
+        pair.pipe.drop_a_to_b = lambda seg: rng.random() < 0.05
+        payload = b"r" * (CC.mss * 30)
+        pair.a.send(payload)
+        pair.run(pair.scheduler.now + 600.0)
+        assert bytes(pair.b.delivered) == payload

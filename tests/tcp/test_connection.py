@@ -1,0 +1,236 @@
+"""Unit tests for the TCP connection state machine."""
+
+import pytest
+
+from repro.tcp.connection import (CLOSED, ESTABLISHED, LISTEN, SYN_SENT,
+                                  TCPConnection)
+from repro.tcp.segment import ACK, RST, SYN, Segment
+from repro.tcp.vendors import SOLARIS_23, SUNOS_413, VendorProfile
+from tests.tcp.conftest import ConnPair
+
+
+class TestHandshake:
+    def test_three_way_handshake(self, raw_pair):
+        raw_pair.b.listen()
+        raw_pair.a.connect()
+        raw_pair.run(1.0)
+        assert raw_pair.a.state == ESTABLISHED
+        assert raw_pair.b.state == ESTABLISHED
+
+    def test_handshake_consumes_one_seq(self, pair):
+        assert pair.a.snd_nxt == pair.a.iss + 1
+        assert pair.b.rcv_nxt == pair.a.iss + 1
+
+    def test_on_established_callback(self, raw_pair):
+        fired = []
+        raw_pair.a.on_established = lambda: fired.append("a")
+        raw_pair.b.listen()
+        raw_pair.a.connect()
+        raw_pair.run(1.0)
+        assert fired == ["a"]
+
+    def test_syn_retransmitted_if_lost(self, raw_pair):
+        dropped = [0]
+
+        def drop_first_syn(seg):
+            if seg.is_syn and dropped[0] == 0:
+                dropped[0] = 1
+                return True
+            return False
+
+        raw_pair.pipe.drop_a_to_b = drop_first_syn
+        raw_pair.b.listen()
+        raw_pair.a.connect()
+        raw_pair.run(10.0)
+        assert raw_pair.a.established
+
+    def test_connect_twice_raises(self, pair):
+        with pytest.raises(RuntimeError):
+            pair.a.connect()
+
+    def test_listen_from_nonclosed_raises(self, pair):
+        with pytest.raises(RuntimeError):
+            pair.b.listen()
+
+
+class TestDataTransfer:
+    def test_simple_transfer(self, pair):
+        pair.a.send(b"hello world")
+        pair.run(2.0)
+        assert bytes(pair.b.delivered) == b"hello world"
+
+    def test_large_transfer_segmented(self, pair):
+        data = bytes(range(256)) * 8  # 2048 bytes = 4 segments
+        pair.a.send(data)
+        pair.run(5.0)
+        assert bytes(pair.b.delivered) == data
+
+    def test_bidirectional_transfer(self, pair):
+        pair.a.send(b"ping")
+        pair.b.send(b"pong")
+        pair.run(2.0)
+        assert bytes(pair.b.delivered) == b"ping"
+        assert bytes(pair.a.delivered) == b"pong"
+
+    def test_on_data_callback(self, pair):
+        got = []
+        pair.b.on_data = got.append
+        pair.a.send(b"chunk")
+        pair.run(2.0)
+        assert got == [b"chunk"]
+
+    def test_lost_segment_retransmitted(self, pair):
+        state = {"dropped": False}
+
+        def drop_first_data(seg):
+            if seg.payload and not state["dropped"]:
+                state["dropped"] = True
+                return True
+            return False
+
+        pair.pipe.drop_a_to_b = drop_first_data
+        pair.a.send(b"eventually arrives")
+        pair.run(10.0)
+        assert bytes(pair.b.delivered) == b"eventually arrives"
+
+    def test_duplicate_segment_delivered_once(self, pair):
+        pair.a.send(b"once")
+        pair.run(2.0)
+        # replay the data segment verbatim
+        data_segs = [s for d, t, s in pair.pipe.log if d == "a->b" and s.payload]
+        pair.b.on_segment(data_segs[0].copy())
+        pair.run(3.0)
+        assert bytes(pair.b.delivered) == b"once"
+
+    def test_send_before_establish_queues(self, raw_pair):
+        raw_pair.b.listen()
+        raw_pair.a.connect()
+        raw_pair.a.send(b"early")
+        raw_pair.run(2.0)
+        assert bytes(raw_pair.b.delivered) == b"early"
+
+    def test_out_of_order_queued_and_acked_together(self, pair):
+        """Receiver-side behaviour behind paper Experiment 5."""
+        held = []
+
+        def hold_first(seg):
+            if seg.payload and not held:
+                held.append(seg)
+                return True
+            return False
+
+        pair.pipe.drop_a_to_b = hold_first
+        mss = pair.a.profile.mss
+        pair.a.send(b"A" * mss)
+        pair.a.send(b"B" * mss)
+        pair.run(pair.scheduler.now + 0.05)
+        assert pair.b.reassembly.segment_count == 1
+        # now deliver the held first segment
+        pair.b.on_segment(held[0])
+        pair.run(pair.scheduler.now + 1.0)
+        assert bytes(pair.b.delivered) == b"A" * mss + b"B" * mss
+
+
+class TestFlowControl:
+    def test_window_respected(self, pair):
+        pair.b.set_consuming(False)
+        buf = pair.b.profile.recv_buffer
+        pair.a.send(b"x" * (buf + 2048))
+        pair.run(10.0)
+        assert pair.b.advertised_window() == 0
+        assert pair.a.unsent_bytes() >= 2048 - pair.a.profile.mss
+
+    def test_zero_window_starts_persist(self, pair):
+        pair.b.set_consuming(False)
+        pair.a.send(b"x" * (pair.b.profile.recv_buffer + 1024))
+        pair.run(60.0)
+        assert pair.a.persist.active
+        assert pair.a.persist.probes_sent > 0
+
+    def test_window_reopen_resumes_transfer(self, pair):
+        pair.b.set_consuming(False)
+        total = pair.b.profile.recv_buffer + 1024
+        pair.a.send(b"y" * total)
+        pair.run(30.0)
+        pair.b.set_consuming(True)
+        pair.run(120.0)
+        assert len(pair.b.delivered) == total
+        assert not pair.a.persist.active
+
+    def test_window_update_sent_on_reopen(self, pair):
+        pair.b.set_consuming(False)
+        pair.a.send(b"z" * pair.b.profile.recv_buffer)
+        pair.run(10.0)
+        before = pair.trace.count("tcp.transmit", conn="b",
+                                  purpose="window_update")
+        pair.b.set_consuming(True)
+        after = pair.trace.count("tcp.transmit", conn="b",
+                                 purpose="window_update")
+        assert after == before + 1
+
+
+class TestTeardown:
+    def test_graceful_close(self, pair):
+        pair.a.close()
+        pair.run(30.0)
+        assert pair.b.state in ("CLOSE_WAIT", CLOSED)
+        pair.b.close()
+        pair.run(60.0)
+        assert pair.a.state == CLOSED
+        assert pair.b.state == CLOSED
+
+    def test_rst_tears_down_peer(self, pair):
+        pair.a.abort(send_reset=True)
+        pair.run(2.0)
+        assert pair.b.state == CLOSED
+        assert pair.b.close_reason == "reset_received"
+
+    def test_on_close_callback(self, pair):
+        reasons = []
+        pair.b.on_close = reasons.append
+        pair.a.abort()
+        pair.run(2.0)
+        assert reasons == ["reset_received"]
+
+    def test_retransmission_timeout_kills_connection(self, pair):
+        pair.pipe.drop_a_to_b = lambda seg: True
+        pair.a.send(b"into the void")
+        pair.run(2000.0)
+        assert pair.a.state == CLOSED
+        assert pair.a.close_reason == "retransmission_timeout"
+
+    def test_bsd_sends_reset_on_timeout(self, pair):
+        sent = []
+        pair.pipe.drop_a_to_b = lambda seg: sent.append(seg) or True
+        pair.a.send(b"doomed")
+        pair.run(2000.0)
+        assert any(s.is_rst for s in sent)
+
+    def test_solaris_closes_silently(self):
+        pair = ConnPair(profile_a=SOLARIS_23).establish()
+        sent = []
+        pair.pipe.drop_a_to_b = lambda seg: sent.append(seg) or True
+        pair.a.send(b"doomed")
+        pair.run(2000.0)
+        assert pair.a.state == CLOSED
+        assert not any(s.is_rst for s in sent)
+
+    def test_segment_to_closed_connection_gets_rst(self, raw_pair):
+        seg = Segment(src_port=80, dst_port=5000, seq=1, ack=0,
+                      flags=ACK, window=100)
+        raw_pair.a.on_segment(seg)
+        rsts = [s for d, t, s in raw_pair.pipe.log if s.is_rst]
+        assert len(rsts) == 1
+
+
+class TestCounters:
+    def test_segment_counters(self, pair):
+        pair.a.send(b"counted")
+        pair.run(2.0)
+        assert pair.a.segments_sent >= 2   # SYN + data (+ handshake ack)
+        assert pair.b.segments_received >= 2
+
+    def test_bytes_in_flight(self, pair):
+        pair.pipe.drop_b_to_a = lambda seg: True  # no ACKs return
+        pair.a.send(b"q" * 512)
+        assert pair.a.bytes_in_flight() == 512

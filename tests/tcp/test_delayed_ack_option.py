@@ -1,0 +1,81 @@
+"""Unit tests for the RFC-1122 delayed-ACK receive option."""
+
+import dataclasses
+
+import pytest
+
+from repro.tcp.vendors import SUNOS_413, XKERNEL
+from tests.tcp.conftest import ConnPair
+
+DELACK = dataclasses.replace(XKERNEL, name="x-Kernel/delack",
+                             delayed_ack=True, delayed_ack_timeout=0.2)
+
+
+def delack_pair():
+    return ConnPair(profile_a=SUNOS_413, profile_b=DELACK).establish()
+
+
+def acks_from_b(pair):
+    return [e for e in pair.trace.entries("tcp.transmit", conn="b")
+            if e.get("purpose") in ("ack", "delayed_ack")]
+
+
+class TestDelayedAck:
+    def test_single_segment_ack_is_delayed(self):
+        pair = delack_pair()
+        start = pair.scheduler.now
+        pair.a.send(b"x" * 100)
+        pair.run(start + 0.05)
+        assert acks_from_b(pair) == []          # held
+        pair.run(start + 0.5)
+        acks = acks_from_b(pair)
+        assert len(acks) == 1
+        assert acks[0].get("purpose") == "delayed_ack"
+        assert acks[0].time - start >= 0.2
+
+    def test_second_segment_flushes_ack_immediately(self):
+        pair = delack_pair()
+        start = pair.scheduler.now
+        pair.a.send(b"x" * 512)
+        pair.a.send(b"y" * 512)
+        pair.run(start + 0.1)
+        acks = acks_from_b(pair)
+        assert len(acks) == 1                    # one ACK for both
+        assert acks[0].get("purpose") == "ack"   # not timer-driven
+        assert acks[0].get("ack") == pair.a.iss + 1 + 1024
+
+    def test_data_in_reverse_direction_piggybacks(self):
+        pair = delack_pair()
+        start = pair.scheduler.now
+        pair.a.send(b"request")
+        pair.run(start + 0.05)
+        pair.b.send(b"response")              # carries the ACK
+        pair.run(start + 0.1)
+        assert acks_from_b(pair) == []        # no pure ACK was needed
+        assert pair.a.snd_una == pair.a.snd_nxt  # yet a was acked
+        pair.run(start + 2.0)
+        assert acks_from_b(pair) == []        # timer was cancelled
+
+    def test_sender_not_stalled_by_delayed_acks(self):
+        pair = delack_pair()
+        payload = b"z" * (512 * 6)
+        pair.a.send(payload)
+        pair.run(pair.scheduler.now + 10.0)
+        assert bytes(pair.b.delivered) == payload
+        # no spurious retransmissions: 200 ms << the 1 s min RTO
+        assert pair.trace.count("tcp.retransmit", conn="a") == 0
+
+    def test_default_profiles_ack_immediately(self):
+        pair = ConnPair().establish()
+        start = pair.scheduler.now
+        pair.a.send(b"immediate")
+        pair.run(start + 0.05)
+        assert len(acks_from_b(pair)) == 1
+
+    def test_teardown_cancels_pending_delack(self):
+        pair = delack_pair()
+        pair.a.send(b"x")
+        pair.run(pair.scheduler.now + 0.05)
+        pair.b.abort(send_reset=False)
+        pair.run(pair.scheduler.now + 1.0)
+        assert acks_from_b(pair) == []

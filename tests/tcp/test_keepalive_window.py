@@ -1,0 +1,148 @@
+"""Unit tests for the keep-alive engine and persist prober."""
+
+import pytest
+
+from repro.netsim.scheduler import Scheduler
+from repro.netsim.trace import TraceRecorder
+from repro.tcp.keepalive import KeepAliveEngine
+from repro.tcp.vendors import SOLARIS_23, SUNOS_413
+from repro.tcp.window import PersistProber
+
+
+def make_keepalive(profile=SUNOS_413):
+    sched = Scheduler()
+    trace = TraceRecorder(clock=lambda: sched.now)
+    probes = []
+    deaths = []
+    engine = KeepAliveEngine(sched, profile,
+                             send_probe=lambda: probes.append(sched.now),
+                             on_dead=lambda: deaths.append(sched.now),
+                             trace=trace, name="ka")
+    return sched, engine, probes, deaths
+
+
+class TestKeepAliveEngine:
+    def test_disabled_by_default(self):
+        sched, engine, probes, _ = make_keepalive()
+        sched.run_until(20_000.0)
+        assert probes == []
+
+    def test_first_probe_at_idle_threshold(self):
+        sched, engine, probes, _ = make_keepalive()
+        engine.enable()
+        sched.run_until(SUNOS_413.ka_idle + 1)
+        assert len(probes) == 1
+        assert probes[0] == pytest.approx(SUNOS_413.ka_idle)
+
+    def test_traffic_resets_idle_clock(self):
+        sched, engine, probes, _ = make_keepalive()
+        engine.enable()
+        sched.run_until(4000.0)
+        engine.on_segment_received()
+        sched.run_until(SUNOS_413.ka_idle + 1)
+        assert probes == []  # the idle clock restarted at t=4000
+        sched.run_until(4000.0 + SUNOS_413.ka_idle + 1)
+        assert len(probes) == 1
+
+    def test_bsd_unanswered_probe_schedule(self):
+        sched, engine, probes, deaths = make_keepalive(SUNOS_413)
+        engine.enable()
+        sched.run_until(SUNOS_413.ka_idle + 10 * 75.0)
+        # 1 initial + 8 retransmissions at fixed 75 s intervals
+        assert len(probes) == 1 + SUNOS_413.ka_probe_retransmits
+        intervals = [b - a for a, b in zip(probes, probes[1:])]
+        assert all(i == pytest.approx(75.0) for i in intervals)
+        assert len(deaths) == 1
+
+    def test_solaris_backoff_schedule(self):
+        sched, engine, probes, deaths = make_keepalive(SOLARIS_23)
+        engine.enable()
+        sched.run_until(SOLARIS_23.ka_idle + 200.0)
+        assert len(probes) == 1 + SOLARIS_23.ka_probe_retransmits
+        intervals = [b - a for a, b in zip(probes, probes[1:])]
+        for prev, cur in zip(intervals, intervals[1:]):
+            assert cur >= prev * 1.5  # exponential backoff
+        assert len(deaths) == 1
+
+    def test_answered_probes_repeat_at_idle_interval(self):
+        sched, engine, probes, deaths = make_keepalive()
+        engine.enable()
+        for _ in range(3):
+            sched.run_until(sched.now + SUNOS_413.ka_idle + 1)
+            engine.on_segment_received()  # the probe's ACK came back
+        assert len(probes) == 3
+        assert deaths == []
+
+    def test_disable_cancels(self):
+        sched, engine, probes, _ = make_keepalive()
+        engine.enable()
+        engine.disable()
+        sched.run_until(20_000.0)
+        assert probes == []
+
+
+def make_prober(profile=SUNOS_413):
+    sched = Scheduler()
+    trace = TraceRecorder(clock=lambda: sched.now)
+    probes = []
+    prober = PersistProber(sched, profile,
+                           send_probe=lambda: probes.append(sched.now),
+                           trace=trace, name="persist")
+    return sched, prober, probes
+
+
+class TestPersistProber:
+    def test_inactive_until_started(self):
+        sched, prober, probes = make_prober()
+        sched.run_until(1000.0)
+        assert probes == []
+
+    def test_backoff_to_cap(self):
+        sched, prober, probes = make_prober(SUNOS_413)
+        prober.start()
+        sched.run_until(600.0)
+        intervals = [b - a for a, b in zip(probes, probes[1:])]
+        assert max(intervals) == pytest.approx(SUNOS_413.persist_max)
+        # doubling until the cap
+        for prev, cur in zip(intervals, intervals[1:]):
+            assert cur == pytest.approx(min(prev * 2, SUNOS_413.persist_max))
+
+    def test_solaris_caps_at_56(self):
+        sched, prober, probes = make_prober(SOLARIS_23)
+        prober.start()
+        sched.run_until(600.0)
+        intervals = [b - a for a, b in zip(probes, probes[1:])]
+        assert max(intervals) == pytest.approx(56.0)
+
+    def test_never_gives_up(self):
+        sched, prober, probes = make_prober()
+        prober.start()
+        sched.run_until(100_000.0)
+        assert prober.active
+        assert len(probes) > 1000 / 60
+
+    def test_stop_halts_probing(self):
+        sched, prober, probes = make_prober()
+        prober.start()
+        sched.run_until(100.0)
+        count = len(probes)
+        prober.stop()
+        sched.run_until(10_000.0)
+        assert len(probes) == count
+
+    def test_restart_resets_backoff(self):
+        sched, prober, probes = make_prober()
+        prober.start()
+        sched.run_until(500.0)
+        prober.stop()
+        probes.clear()
+        prober.start()
+        sched.run_until(sched.now + SUNOS_413.persist_initial + 0.1)
+        assert len(probes) == 1
+
+    def test_start_idempotent(self):
+        sched, prober, probes = make_prober()
+        prober.start()
+        prober.start()
+        sched.run_until(SUNOS_413.persist_initial + 0.1)
+        assert len(probes) == 1

@@ -1,0 +1,106 @@
+"""Unit tests for the out-of-order reassembly queue."""
+
+import pytest
+
+from repro.tcp.reassembly import ReassemblyQueue
+from repro.tcp.segment import SEQ_MOD
+
+
+@pytest.fixture
+def queue():
+    return ReassemblyQueue()
+
+
+def test_empty_extract(queue):
+    data, nxt = queue.extract(100)
+    assert data == b""
+    assert nxt == 100
+
+
+def test_buffered_until_gap_fills(queue):
+    queue.add(612, b"second")
+    data, nxt = queue.extract(100)
+    assert data == b""
+    assert nxt == 100
+    assert queue.segment_count == 1
+
+
+def test_contiguous_delivery(queue):
+    queue.add(100, b"abc")
+    data, nxt = queue.extract(100)
+    assert data == b"abc"
+    assert nxt == 103
+
+
+def test_chain_of_ranges(queue):
+    queue.add(103, b"def")
+    queue.add(100, b"abc")
+    queue.add(106, b"ghi")
+    data, nxt = queue.extract(100)
+    assert data == b"abcdefghi"
+    assert nxt == 109
+
+
+def test_gap_stops_chain(queue):
+    queue.add(100, b"abc")
+    queue.add(110, b"later")
+    data, nxt = queue.extract(100)
+    assert data == b"abc"
+    assert nxt == 103
+    assert queue.segment_count == 1
+
+
+def test_overlap_trimmed(queue):
+    queue.add(100, b"abcdef")
+    queue.add(103, b"defXYZ")
+    data, nxt = queue.extract(100)
+    assert data == b"abcdefXYZ"
+    assert nxt == 109
+
+
+def test_stale_range_discarded(queue):
+    queue.add(90, b"old")
+    data, nxt = queue.extract(100)
+    assert data == b""
+    assert nxt == 100
+    assert queue.segment_count == 0
+
+
+def test_partially_stale_range_trimmed(queue):
+    queue.add(95, b"0123456789")  # bytes 95..104, cursor at 100
+    data, nxt = queue.extract(100)
+    assert data == b"56789"
+    assert nxt == 105
+
+
+def test_duplicate_add_keeps_longest(queue):
+    queue.add(100, b"ab")
+    queue.add(100, b"abcd")
+    data, nxt = queue.extract(100)
+    assert data == b"abcd"
+
+
+def test_capacity_limit():
+    queue = ReassemblyQueue(max_bytes=10)
+    assert queue.add(100, b"12345")
+    assert not queue.add(200, b"123456789")
+    assert queue.buffered_bytes == 5
+
+
+def test_empty_data_accepted_noop(queue):
+    assert queue.add(100, b"")
+    assert queue.segment_count == 0
+
+
+def test_wraparound_sequence(queue):
+    start = SEQ_MOD - 2
+    queue.add(start, b"abcd")  # wraps: seq 4294967294..1
+    data, nxt = queue.extract(start)
+    assert data == b"abcd"
+    assert nxt == 2
+
+
+def test_clear(queue):
+    queue.add(100, b"x")
+    queue.clear()
+    assert len(queue) == 0

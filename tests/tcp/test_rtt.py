@@ -1,0 +1,115 @@
+"""Unit tests for RTT estimation and RTO computation."""
+
+import pytest
+
+from repro.tcp.rtt import (JacobsonKarnEstimator, NaiveEstimator,
+                           make_estimator)
+from repro.tcp.vendors import SOLARIS_23, SUNOS_413, VendorProfile
+
+
+class TestJacobsonKarn:
+    def test_initial_rto_before_samples(self):
+        est = JacobsonKarnEstimator(SUNOS_413)
+        assert est.rto_for(0) == SUNOS_413.initial_rto
+
+    def test_first_sample_seeds_srtt(self):
+        est = JacobsonKarnEstimator(SUNOS_413)
+        est.sample(2.0)
+        assert est.srtt == 2.0
+        assert est.rttvar == 1.0
+
+    def test_converges_to_constant_rtt(self):
+        est = JacobsonKarnEstimator(SUNOS_413)
+        for _ in range(100):
+            est.sample(3.0)
+        assert abs(est.srtt - 3.0) < 0.01
+
+    def test_rto_above_srtt(self):
+        est = JacobsonKarnEstimator(SUNOS_413)
+        for _ in range(30):
+            est.sample(3.0)
+        assert est.rto_for(0) > 3.0
+
+    def test_rto_clamped_to_min(self):
+        est = JacobsonKarnEstimator(SUNOS_413)
+        for _ in range(30):
+            est.sample(0.001)
+        assert est.rto_for(0) >= SUNOS_413.min_rto
+
+    def test_backoff_doubles_and_caps(self):
+        est = JacobsonKarnEstimator(SUNOS_413)
+        est.sample(0.001)
+        base = est.rto_for(0)
+        assert est.rto_for(1) == pytest.approx(2 * base)
+        assert est.rto_for(2) == pytest.approx(4 * base)
+        assert est.rto_for(20) == SUNOS_413.max_rto
+
+    def test_quantized_to_tick(self):
+        est = JacobsonKarnEstimator(SUNOS_413)
+        for _ in range(30):
+            est.sample(3.0)
+        rto = est.rto_for(0)
+        assert abs(rto / SUNOS_413.timer_tick
+                   - round(rto / SUNOS_413.timer_tick)) < 1e-9
+
+    def test_var_floor_spreads_vendors(self):
+        """Same samples, different vendor floors: AIX > SunOS > NeXT."""
+        rtos = {}
+        for profile in (SUNOS_413,
+                        VendorProfile(name="AIX-like", var_floor_frac=0.42),
+                        VendorProfile(name="NeXT-like", var_floor_frac=0.17)):
+            est = JacobsonKarnEstimator(profile)
+            for _ in range(200):
+                est.sample(3.0)
+            rtos[profile.var_floor_frac] = est.rto_for(0)
+        assert rtos[0.42] > rtos[0.29] > rtos[0.17]
+
+    def test_karn_flag(self):
+        assert JacobsonKarnEstimator(SUNOS_413).karn is True
+
+
+class TestNaive:
+    def test_weak_adaptation(self):
+        est = NaiveEstimator(SOLARIS_23)
+        est.sample(0.01)
+        for _ in range(30):
+            est.sample(3.0)
+        # after 30 samples of 3 s the naive estimator still sits far below
+        assert est.srtt < 1.5
+
+    def test_rto_floor(self):
+        est = NaiveEstimator(SOLARIS_23)
+        est.sample(0.001)
+        assert est.rto_for(0) >= SOLARIS_23.min_rto
+
+    def test_timeout_reset_quirk(self):
+        """First timeout at ~2*srtt, then backoff restarts from srtt."""
+        est = NaiveEstimator(SOLARIS_23)
+        for _ in range(200):
+            est.sample(2.0)
+        first = est.rto_for(0)
+        second = est.rto_for(1)
+        third = est.rto_for(2)
+        assert first == pytest.approx(2 * second, rel=0.1)
+        assert third == pytest.approx(2 * second, rel=0.1)
+
+    def test_no_reset_quirk_without_flag(self):
+        profile = VendorProfile(name="plain-naive", uses_jacobson=False,
+                                naive_timeout_resets_to_srtt=False)
+        est = NaiveEstimator(profile)
+        est.sample(1.0)
+        assert est.rto_for(1) == pytest.approx(2 * est.rto_for(0), rel=0.01)
+
+    def test_caps_at_max(self):
+        est = NaiveEstimator(SOLARIS_23)
+        est.sample(10.0)
+        assert est.rto_for(30) == SOLARIS_23.max_rto
+
+    def test_karn_flag(self):
+        assert NaiveEstimator(SOLARIS_23).karn is False
+
+
+class TestFactory:
+    def test_profile_selects_estimator(self):
+        assert isinstance(make_estimator(SUNOS_413), JacobsonKarnEstimator)
+        assert isinstance(make_estimator(SOLARIS_23), NaiveEstimator)

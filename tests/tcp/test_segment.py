@@ -1,0 +1,108 @@
+"""Unit tests for the TCP segment wire format."""
+
+import pytest
+
+from repro.tcp.segment import (ACK, FIN, PSH, RST, SEQ_MOD, SYN, Segment,
+                               classify, seq_add, seq_leq, seq_lt, seq_sub)
+
+
+def make(flags=ACK, seq=100, ack=200, payload=b"", window=4096):
+    return Segment(src_port=1000, dst_port=80, seq=seq, ack=ack,
+                   flags=flags, window=window, payload=payload)
+
+
+class TestFlags:
+    def test_flag_predicates(self):
+        assert make(SYN).is_syn
+        assert make(SYN | ACK).is_ack
+        assert make(FIN).is_fin
+        assert make(RST).is_rst
+        assert not make(ACK).is_syn
+
+    def test_flag_names(self):
+        assert make(SYN | ACK).flag_names() == "SYN|ACK"
+        assert make(0).flag_names() == "NONE"
+
+
+class TestSequenceSpace:
+    def test_seg_len_counts_payload(self):
+        assert make(payload=b"abcd").seg_len == 4
+
+    def test_syn_fin_consume_sequence(self):
+        assert make(SYN).seg_len == 1
+        assert make(FIN).seg_len == 1
+        assert make(SYN | FIN, payload=b"xy").seg_len == 4
+
+    def test_end_seq_wraps(self):
+        seg = make(seq=SEQ_MOD - 2, payload=b"abcd")
+        assert seg.end_seq == 2
+
+    def test_seq_normalized_modulo(self):
+        assert make(seq=SEQ_MOD + 5).seq == 5
+
+    def test_seq_comparisons(self):
+        assert seq_lt(1, 2)
+        assert not seq_lt(2, 1)
+        assert seq_lt(SEQ_MOD - 1, 5)   # wraparound
+        assert seq_leq(7, 7)
+        assert seq_add(SEQ_MOD - 1, 2) == 1
+        assert seq_sub(1, SEQ_MOD - 1) == 2
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        seg = make(SYN | ACK, seq=12345, ack=67890, payload=b"hello")
+        parsed = Segment.from_bytes(seg.to_bytes())
+        assert parsed.seq == 12345
+        assert parsed.ack == 67890
+        assert parsed.flags == SYN | ACK
+        assert parsed.payload == b"hello"
+        assert parsed.src_port == 1000
+        assert parsed.dst_port == 80
+
+    def test_empty_payload_roundtrip(self):
+        parsed = Segment.from_bytes(make().to_bytes())
+        assert parsed.payload == b""
+
+    def test_corruption_detected(self):
+        data = bytearray(make(payload=b"data!").to_bytes())
+        data[-1] ^= 0xFF
+        with pytest.raises(ValueError, match="checksum"):
+            Segment.from_bytes(bytes(data))
+
+    def test_corruption_ignored_without_verify(self):
+        data = bytearray(make(payload=b"data!").to_bytes())
+        data[-1] ^= 0xFF
+        seg = Segment.from_bytes(bytes(data), verify=False)
+        assert seg.payload != b"data!"
+
+    def test_short_data_rejected(self):
+        with pytest.raises(ValueError, match="short"):
+            Segment.from_bytes(b"tiny")
+
+    def test_window_survives(self):
+        parsed = Segment.from_bytes(make(window=1234).to_bytes())
+        assert parsed.window == 1234
+
+
+class TestCopy:
+    def test_copy_independent(self):
+        seg = make(seq=1)
+        clone = seg.copy()
+        clone.seq = 99
+        assert seg.seq == 1
+
+
+class TestClassify:
+    @pytest.mark.parametrize("flags,payload,expected", [
+        (SYN, b"", "SYN"),
+        (SYN | ACK, b"", "SYNACK"),
+        (FIN | ACK, b"", "FIN"),
+        (RST, b"", "RST"),
+        (RST | ACK, b"", "RST"),
+        (ACK, b"", "ACK"),
+        (ACK | PSH, b"data", "DATA"),
+        (ACK, b"x", "DATA"),
+    ])
+    def test_classification(self, flags, payload, expected):
+        assert classify(make(flags, payload=payload)) == expected

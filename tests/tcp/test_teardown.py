@@ -1,0 +1,108 @@
+"""Unit tests for TCP teardown paths and edge states."""
+
+import pytest
+
+from repro.tcp.connection import (CLOSE_WAIT, CLOSED, FIN_WAIT_1,
+                                  FIN_WAIT_2, LAST_ACK, TIME_WAIT)
+from tests.tcp.conftest import ConnPair
+
+
+class TestActiveClose:
+    def test_fin_wait_progression(self, pair):
+        pair.a.close()
+        assert pair.a.state == FIN_WAIT_1
+        pair.run(pair.scheduler.now + 1.0)
+        # peer ACKed the FIN but has not closed: half-open
+        assert pair.a.state == FIN_WAIT_2
+        assert pair.b.state == CLOSE_WAIT
+
+    def test_half_open_still_receives(self, pair):
+        pair.a.close()
+        pair.run(pair.scheduler.now + 1.0)
+        pair.b.send(b"late data flows to the closer")
+        pair.run(pair.scheduler.now + 2.0)
+        assert bytes(pair.a.delivered) == b"late data flows to the closer"
+
+    def test_full_close_both_ends(self, pair):
+        pair.a.close()
+        pair.run(pair.scheduler.now + 1.0)
+        pair.b.close()
+        assert pair.b.state == LAST_ACK
+        pair.run(pair.scheduler.now + 10.0)
+        assert pair.a.state == CLOSED
+        assert pair.b.state == CLOSED
+        assert pair.a.close_reason == "closed"
+        assert pair.b.close_reason == "closed"
+
+    def test_time_wait_is_transient(self, pair):
+        pair.a.close()
+        pair.run(pair.scheduler.now + 1.0)
+        pair.b.close()
+        pair.run(pair.scheduler.now + 0.1)
+        assert pair.a.state in (TIME_WAIT, CLOSED)
+        pair.run(pair.scheduler.now + 10.0)
+        assert pair.a.state == CLOSED
+
+    def test_pending_data_sent_before_fin_effectively(self, pair):
+        pair.a.send(b"flush me")
+        pair.a.close()
+        pair.run(pair.scheduler.now + 5.0)
+        assert bytes(pair.b.delivered) == b"flush me"
+
+
+class TestSimultaneousAndLostClose:
+    def test_simultaneous_close(self, pair):
+        pair.a.close()
+        pair.b.close()
+        pair.run(pair.scheduler.now + 15.0)
+        assert pair.a.state == CLOSED
+        assert pair.b.state == CLOSED
+
+    def test_lost_fin_retransmitted(self, pair):
+        state = {"dropped": False}
+
+        def drop_first_fin(seg):
+            if seg.is_fin and not state["dropped"]:
+                state["dropped"] = True
+                return True
+            return False
+
+        pair.pipe.drop_a_to_b = drop_first_fin
+        pair.a.close()
+        pair.run(pair.scheduler.now + 20.0)
+        assert pair.b.state in (CLOSE_WAIT, CLOSED)
+
+    def test_close_on_listener_is_clean(self, raw_pair):
+        raw_pair.b.listen()
+        raw_pair.b.close()
+        assert raw_pair.b.state == CLOSED
+
+
+class TestPostMortem:
+    def test_send_after_close_raises(self, pair):
+        pair.a.abort()
+        with pytest.raises(RuntimeError):
+            pair.a.send(b"too late")
+
+    def test_teardown_stops_all_timers(self, pair):
+        pair.b.set_consuming(False)
+        pair.a.send(b"x" * (pair.b.profile.recv_buffer + 512))
+        pair.run(pair.scheduler.now + 30.0)
+        assert pair.a.persist.active
+        pair.a.abort()
+        probes = pair.a.persist.probes_sent
+        pair.run(pair.scheduler.now + 500.0)
+        assert pair.a.persist.probes_sent == probes
+
+    def test_keepalive_stops_on_teardown(self, pair):
+        pair.a.enable_keepalive()
+        pair.a.abort()
+        pair.run(pair.scheduler.now + 20_000.0)
+        assert pair.trace.count("tcp.keepalive_probe", conn="a") == 0
+
+    def test_double_teardown_reports_once(self, pair):
+        reasons = []
+        pair.a.on_close = reasons.append
+        pair.a.abort(reason="first")
+        pair.a.abort(reason="second")
+        assert reasons == ["first"]

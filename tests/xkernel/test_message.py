@@ -1,0 +1,95 @@
+"""Unit tests for the message abstraction."""
+
+import pytest
+
+from repro.xkernel.message import Message
+
+
+def test_push_pop_header():
+    msg = Message(b"data")
+    msg.push_header({"layer": "tcp"})
+    msg.push_header({"layer": "ip"})
+    assert msg.pop_header() == {"layer": "ip"}
+    assert msg.pop_header() == {"layer": "tcp"}
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        Message().pop_header()
+
+
+def test_top_header():
+    msg = Message()
+    assert msg.top_header is None
+    msg.push_header("h1")
+    msg.push_header("h2")
+    assert msg.top_header == "h2"
+
+
+def test_find_header_by_type():
+    class A:
+        pass
+
+    class B:
+        pass
+
+    msg = Message()
+    a, b = A(), B()
+    msg.push_header(a)
+    msg.push_header(b)
+    assert msg.find_header(A) is a
+    assert msg.find_header(B) is b
+    assert msg.find_header(int) is None
+
+
+def test_find_header_outermost_first():
+    msg = Message()
+    msg.push_header({"n": 1})
+    msg.push_header({"n": 2})
+    assert msg.find_header(dict)["n"] == 2
+
+
+def test_len_of_bytes_payload():
+    assert len(Message(b"hello")) == 5
+
+
+def test_len_of_str_payload():
+    assert len(Message("héllo")) == len("héllo".encode())
+
+
+def test_len_of_object_payload_is_zero():
+    assert len(Message(object())) == 0
+
+
+def test_uids_unique():
+    assert Message().uid != Message().uid
+
+
+def test_copy_is_independent():
+    msg = Message(b"data", meta={"dst": 2})
+    msg.push_header({"seq": 1})
+    clone = msg.copy()
+    clone.headers[0]["seq"] = 99
+    clone.meta["dst"] = 5
+    assert msg.headers[0]["seq"] == 1
+    assert msg.meta["dst"] == 2
+
+
+def test_copy_gets_fresh_uid_and_lineage():
+    msg = Message(b"x")
+    clone = msg.copy()
+    assert clone.uid != msg.uid
+    assert clone.meta["copied_from"] == msg.uid
+
+
+def test_copy_deepcopies_object_payload():
+    payload = {"k": [1, 2]}
+    msg = Message(payload)
+    clone = msg.copy()
+    clone.payload["k"].append(3)
+    assert payload["k"] == [1, 2]
+
+
+def test_copy_shares_immutable_bytes():
+    msg = Message(b"immutable")
+    assert msg.copy().payload is msg.payload
