@@ -1,0 +1,106 @@
+"""Campaign wall-clock: serial vs process-parallel configuration sweeps.
+
+Each configuration is an independent seeded discrete-event run (a chain
+of jittered timer events), exactly the shape of the paper's per-vendor
+sweeps.  Measures ``Campaign.run`` serially and with ``workers=4``,
+verifies the two produce identical results in identical order, and
+reports both wall-clocks.  On a single-core box the parallel time is
+expected to be no better than serial (the win is on multi-core hardware);
+what this bench guards is the determinism contract plus the cost
+trajectory of both paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+import perf_common
+
+from repro.core.orchestrator import Campaign
+
+WORKERS = 4
+
+
+def campaign_body(env, config):
+    """One independent simulated run: a chain of jittered timer events."""
+    dist = env.dist("load", config["profile"])
+    target = config["events"]
+    state = {"fired": 0, "acc": 0.0}
+
+    def tick():
+        state["fired"] += 1
+        state["acc"] += dist.dst_uniform(0.0, 1.0)
+        if state["fired"] < target:
+            env.scheduler.schedule(dist.dst_exponential(50.0), tick)
+
+    env.scheduler.schedule(0.0, tick)
+    final_time = env.run_until_quiet()
+    env.trace.record("bench.done", t=final_time, fired=state["fired"])
+    return {"fired": state["fired"], "acc": round(state["acc"], 9),
+            "final_time": round(final_time, 9)}
+
+
+def _configs(count: int, events: int):
+    return [{"profile": f"vendor{i}", "events": events} for i in range(count)]
+
+
+def run_bench(configs: int = 8, events: int = 20_000,
+              verbose: bool = True) -> dict:
+    """Measure serial vs parallel sweeps; returns the JSON payload."""
+    campaign = Campaign(campaign_body, seed=42)
+    sweep = _configs(configs, events)
+
+    start = time.perf_counter()
+    serial = campaign.run(sweep)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = campaign.run(sweep, workers=WORKERS)
+    parallel_s = time.perf_counter() - start
+
+    identical = (
+        [r.config for r in serial] == [r.config for r in parallel]
+        and [r.result for r in serial] == [r.result for r in parallel]
+        and [list(r.trace) for r in serial] == [list(r.trace) for r in parallel]
+    )
+    payload = {
+        "configs": configs,
+        "events_per_config": events,
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 2),
+        "identical": identical,
+    }
+    if verbose:
+        print(f"campaign sweep: {configs} configs x {events} events")
+        print(f"  serial   : {serial_s:8.3f}s")
+        print(f"  workers={WORKERS}: {parallel_s:8.3f}s "
+              f"({payload['speedup']:.2f}x)")
+        print(f"  identical results, identical order: {identical}")
+    return payload
+
+
+def test_perf_campaign_quick():
+    """CI smoke: parallel sweeps must match serial output exactly."""
+    payload = run_bench(configs=4, events=2_000)
+    assert payload["identical"], payload
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweep, no JSON update")
+    parser.add_argument("--configs", type=int, default=8)
+    parser.add_argument("--events", type=int, default=20_000)
+    args = parser.parse_args()
+    if args.quick:
+        result = run_bench(configs=4, events=2_000)
+    else:
+        result = run_bench(configs=args.configs, events=args.events)
+    assert result["identical"], result
+    if not args.quick:
+        perf_common.update_bench_json("campaign", result)

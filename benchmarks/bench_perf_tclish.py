@@ -1,0 +1,125 @@
+"""Messages-filtered-per-second: compile-once tclish vs parse-per-message.
+
+The paper's hot loop -- "each time a message passes into the PFI layer,
+the appropriate (send or receive) script is interpreted" -- runs a
+representative receive filter over a stream of intercepted messages
+through a real PFI layer, once with the compiled execution engine
+(default) and once with the legacy parse-per-message path
+(``TclishFilter(..., compiled=False)``).  Reports messages/sec for both
+and the speedup; ``__main__`` merges the numbers into BENCH_PERF.json.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import perf_common
+
+from repro.core import PFILayer, PacketStubs, TclishFilter, make_env
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol
+from repro.xkernel.stack import ProtocolStack
+
+#: a representative paper-style receive filter: per-message counting,
+#: type dispatch, field inspection, and occasional drop/delay actions
+FILTER_SOURCE = """
+incr seen
+set type [msg_type cur_msg]
+if {$type eq "ACK"} {
+    incr acks
+    if {$acks % 50 == 0} { xDrop cur_msg }
+} elseif {$type eq "DATA"} {
+    if {[msg_field seq] % 400 == 0} { xDelay 0.001 }
+    set last_seq [msg_field seq]
+}
+"""
+FILTER_INIT = "set seen 0; set acks 0; set last_seq -1"
+
+
+class _Sink(Protocol):
+    def __init__(self, name):
+        super().__init__(name)
+        self.count = 0
+
+    def push(self, msg):
+        self.count += 1
+
+    def pop(self, msg):
+        self.count += 1
+
+
+def _build_rig(compiled: bool):
+    """A two-layer stack with a PFI layer in the middle, filter installed."""
+    env = make_env(seed=1)
+    stubs = PacketStubs()
+    stubs.register_recognizer(lambda msg: msg.meta.get("type"))
+    pfi = PFILayer("pfi", env.scheduler, stubs, trace=env.trace,
+                   sync=env.sync, node="bench")
+    ProtocolStack().build(_Sink("top"), pfi, _Sink("bottom"))
+    script = TclishFilter(FILTER_SOURCE, init_script=FILTER_INIT,
+                          compiled=compiled)
+    pfi.set_receive_filter(script)
+    return env, pfi, script
+
+
+def _filter_messages(messages: int, compiled: bool):
+    """Push ``messages`` alternating ACK/DATA messages through the filter."""
+    env, pfi, script = _build_rig(compiled)
+    # warm interpreter, caches, and allocator outside the timed window
+    for i in range(200):
+        pfi.pop(Message({"seq": i}, meta={"type": "ACK"}))
+    start = time.perf_counter()
+    for i in range(messages):
+        kind = "ACK" if i % 2 else "DATA"
+        pfi.pop(Message({"seq": i}, meta={"type": kind}))
+    elapsed = time.perf_counter() - start
+    env.run_until(10.0)  # drain delayed forwards so the run completes
+    return elapsed, script
+
+
+def run_bench(messages: int = 20_000, verbose: bool = True) -> dict:
+    """Measure both engines; returns the BENCH_PERF.json payload."""
+    fresh_s, fresh_script = _filter_messages(messages, compiled=False)
+    compiled_s, compiled_script = _filter_messages(messages, compiled=True)
+    payload = {
+        "messages": messages,
+        "compiled_msgs_per_sec": round(messages / compiled_s, 1),
+        "fresh_parse_msgs_per_sec": round(messages / fresh_s, 1),
+        "speedup": round(fresh_s / compiled_s, 2),
+        "interp_stats": compiled_script.interp.stats(),
+    }
+    if verbose:
+        print(f"tclish filter throughput over {messages} messages:")
+        print(f"  fresh-parse : {payload['fresh_parse_msgs_per_sec']:>12,.1f} msgs/sec")
+        print(f"  compiled    : {payload['compiled_msgs_per_sec']:>12,.1f} msgs/sec")
+        print(f"  speedup     : {payload['speedup']:.2f}x")
+        print(f"  interp stats: {payload['interp_stats']}")
+    # both engines must have done the same filtering work
+    assert (compiled_script.interp.eval("set seen")
+            == fresh_script.interp.eval("set seen"))
+    assert (compiled_script.interp.eval("set acks")
+            == fresh_script.interp.eval("set acks"))
+    return payload
+
+
+def test_perf_tclish_quick():
+    """CI smoke: the compiled engine must stay well ahead of fresh parsing."""
+    payload = run_bench(messages=4_000)
+    assert payload["speedup"] >= 2.0, payload
+    stats = payload["interp_stats"]
+    assert stats["cache_hits"] > 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller message count, no JSON update")
+    parser.add_argument("--messages", type=int, default=20_000)
+    args = parser.parse_args()
+    result = run_bench(messages=4_000 if args.quick else args.messages)
+    if args.quick:
+        assert result["speedup"] >= 2.0, result
+    else:
+        assert result["speedup"] >= 3.0, result
+        perf_common.update_bench_json("tclish", result)

@@ -1,0 +1,43 @@
+"""Shared plumbing for the perf benchmarks (`bench_perf_*.py`).
+
+Unlike the table benches (which regenerate paper results), the perf
+benches track the *speed trajectory* of the toolchain itself: each one
+measures its subsystem and merges a section into ``BENCH_PERF.json`` at
+the repository root, so successive PRs can compare numbers.
+
+Run them directly::
+
+    PYTHONPATH=src python benchmarks/bench_perf_tclish.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_perf_campaign.py [--quick]
+
+or via pytest (quick mode, no JSON update)::
+
+    pytest benchmarks/bench_perf_tclish.py benchmarks/bench_perf_campaign.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = ROOT / "BENCH_PERF.json"
+
+# allow `python benchmarks/bench_perf_*.py` without an explicit PYTHONPATH
+_SRC = str(ROOT / "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+
+
+def update_bench_json(section: str, payload: dict) -> None:
+    """Merge one section into the BENCH_PERF.json baseline at the repo root."""
+    data = {}
+    if BENCH_JSON.exists():
+        data = json.loads(BENCH_JSON.read_text())
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"updated {BENCH_JSON} [{section}]")

@@ -28,6 +28,11 @@ defined here; the PFI layer registers them through
 :meth:`Interp.register_command` (see :mod:`repro.core.script`).
 """
 
+from repro.core.tclish.compiler import (
+    CompiledScript,
+    clear_cache,
+    compile_script,
+)
 from repro.core.tclish.errors import (
     TclBreak,
     TclContinue,
@@ -36,4 +41,13 @@ from repro.core.tclish.errors import (
 )
 from repro.core.tclish.interp import Interp
 
-__all__ = ["Interp", "TclBreak", "TclContinue", "TclError", "TclReturn"]
+__all__ = [
+    "CompiledScript",
+    "Interp",
+    "TclBreak",
+    "TclContinue",
+    "TclError",
+    "TclReturn",
+    "clear_cache",
+    "compile_script",
+]

@@ -27,6 +27,7 @@ Tcl/C semantics: int/int truncates toward negative infinity like Tcl does
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import Callable, Dict, List, Tuple, Union
 
 from repro.core.tclish.errors import TclError
@@ -359,3 +360,40 @@ class _Parser:
 def evaluate(text: str) -> Value:
     """Evaluate a fully substituted expression string."""
     return _Parser(tokenize(text)).parse()
+
+
+#: bounded memo for :func:`evaluate_cached`; conditions like
+#: ``DATA eq "ACK"`` recur on every message, churning ones (loop counters)
+#: are evicted in LRU order
+EVAL_CACHE_MAX = 1024
+
+_EVAL_CACHE: "OrderedDict[str, Value]" = OrderedDict()
+
+
+def evaluate_cached(text: str) -> Value:
+    """Memoised :func:`evaluate`.
+
+    Safe because expression evaluation is pure: command and variable
+    substitution already happened before the text reached ``expr``, and
+    every operator/function here is deterministic.  Used by the compiled
+    execution engine; the parse-per-eval path keeps calling
+    :func:`evaluate` directly so benchmarks compare against the original
+    behaviour.
+    """
+    cached = _EVAL_CACHE.get(text, _MISS)
+    if cached is not _MISS:
+        _EVAL_CACHE.move_to_end(text)
+        return cached
+    value = evaluate(text)
+    _EVAL_CACHE[text] = value
+    if len(_EVAL_CACHE) > EVAL_CACHE_MAX:
+        _EVAL_CACHE.popitem(last=False)
+    return value
+
+
+class _MissType:
+    def __repr__(self):
+        return "<miss>"
+
+
+_MISS = _MissType()

@@ -9,13 +9,28 @@ interpreter, not the script.
 Substitution rules follow Tcl: a braced word is passed verbatim; quoted and
 bare words undergo backslash, variable (``$name``/``${name}``) and command
 (``[script]``) substitution.
+
+Evaluation is compile-once: ``eval`` looks the source up in the shared
+compile cache (:mod:`repro.core.tclish.compiler`) and executes the cached
+command list, so a filter script re-run for every intercepted message is
+lexed exactly once.  ``Interp(compiled=False)`` keeps the original
+parse-per-eval path alive for equivalence testing and benchmarking.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
-from repro.core.tclish import stdlib_loader
+from repro.core.tclish import compiler, stdlib_loader
+from repro.core.tclish.compiler import (
+    LITERAL,
+    SEG_TEXT,
+    SEG_VAR,
+    SEGMENTS,
+    VARREF,
+    CompiledCommand,
+    CompiledScript,
+)
 from repro.core.tclish.errors import TclError, TclReturn
 from repro.core.tclish.lexer import split_commands, split_words
 
@@ -60,7 +75,8 @@ class Proc:
 class Interp:
     """A tclish interpreter with persistent state."""
 
-    def __init__(self, output: Optional[Callable[[str], None]] = None):
+    def __init__(self, output: Optional[Callable[[str], None]] = None,
+                 *, compiled: bool = True):
         self.globals: Dict[str, str] = {}
         self.procs: Dict[str, Proc] = {}
         self.commands: Dict[str, CommandFn] = {}
@@ -68,6 +84,15 @@ class Interp:
         self._global_links: List[set] = []
         self.output_lines: List[str] = []
         self._output = output
+        #: when False, every eval re-lexes its source (the pre-compiler
+        #: behaviour); kept for equivalence tests and benchmarks
+        self.compiled = compiled
+        #: number of eval() script evaluations on this interpreter
+        self.eval_count = 0
+        #: evals answered from the shared compile cache
+        self.cache_hits = 0
+        #: evals that had to compile their source first
+        self.cache_misses = 0
         stdlib_loader.install(self)
 
     # ------------------------------------------------------------------
@@ -155,15 +180,75 @@ class Interp:
     # evaluation
     # ------------------------------------------------------------------
 
-    def eval(self, script: str) -> str:
-        """Evaluate a script; the result is the last command's result."""
+    def eval(self, script: Union[str, CompiledScript]) -> str:
+        """Evaluate a script; the result is the last command's result.
+
+        Accepts source text or an already-compiled script.  Source text is
+        resolved through the shared compile cache (parse once, execute per
+        call) unless the interpreter was built with ``compiled=False``.
+        """
+        self.eval_count += 1
+        if type(script) is str:
+            if not self.compiled:
+                result = ""
+                for command in split_commands(script):
+                    result = self.eval_command(command)
+                return result
+            script, hit = compiler.lookup(script)
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
         result = ""
-        for command in split_commands(script):
-            result = self.eval_command(command)
+        for command in script.commands:
+            result = self._exec_compiled(command)
         return result
 
+    def compile(self, source: str) -> CompiledScript:
+        """Compile (and cache) a script without evaluating it."""
+        script, hit = compiler.lookup(source)
+        if not hit:
+            self.cache_misses += 1
+        return script
+
+    def stats(self) -> Dict[str, int]:
+        """Observability counters for the execution engine."""
+        return {
+            "eval_count": self.eval_count,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_size": compiler.cache_size(),
+        }
+
+    def _exec_compiled(self, command: CompiledCommand) -> str:
+        """Execute one compiled command: resolve words, then dispatch."""
+        values: List[str] = []
+        append = values.append
+        get_var = self.get_var
+        for word in command.words:
+            kind = word.kind
+            if kind == LITERAL:
+                append(word.text)
+            elif kind == VARREF:
+                append(get_var(word.text))
+            else:
+                append(self._run_segments(word.segments))
+        return self.call(values[0], values[1:])
+
+    def _run_segments(self, segments) -> str:
+        """Resolve a pre-tokenised substitution program."""
+        parts: List[str] = []
+        for code, payload in segments:
+            if code == SEG_TEXT:
+                parts.append(payload)
+            elif code == SEG_VAR:
+                parts.append(self.get_var(payload))
+            else:
+                parts.append(self.eval(payload))
+        return "".join(parts)
+
     def eval_command(self, command: str) -> str:
-        """Evaluate a single command string."""
+        """Evaluate a single command string (parse-per-call path)."""
         raw_words = split_words(command)
         if not raw_words:
             return ""
@@ -195,6 +280,12 @@ class Interp:
 
     def substitute(self, text: str) -> str:
         """Backslash, variable, and command substitution over a string."""
+        if "$" not in text and "[" not in text and "\\" not in text:
+            return text
+        if self.compiled:
+            # stable strings (if/while conditions, expr bodies) tokenise
+            # once and replay as segments on every later call
+            return self._run_segments(compiler.lookup_substitution(text))
         out: List[str] = []
         i = 0
         n = len(text)

@@ -8,6 +8,7 @@ stdlib is greppable.
 
 from __future__ import annotations
 
+import re
 from typing import TYPE_CHECKING, List
 
 from repro.core.tclish import expr as _expr
@@ -22,8 +23,21 @@ if TYPE_CHECKING:  # pragma: no cover
 # list helpers (Tcl lists are strings with brace quoting)
 # ----------------------------------------------------------------------
 
+#: the word separators split_words recognises, as a regex for the fast path
+_PLAIN_SEP = re.compile(r"[ \t\n]+")
+
+
 def parse_list(text: str) -> List[str]:
-    """Split a Tcl list string into elements."""
+    """Split a Tcl list string into elements.
+
+    Lists with no quoting constructs -- the overwhelmingly common case in
+    filter scripts -- split on whitespace directly instead of walking the
+    lexer character by character.
+    """
+    if "{" not in text and '"' not in text and "\\" not in text \
+            and "[" not in text:
+        stripped = text.strip(" \t\n")
+        return _PLAIN_SEP.split(stripped) if stripped else []
     return [strip_braces(word) for word in split_words(text)]
 
 
@@ -80,16 +94,23 @@ def _cmd_append(interp: "Interp", args: List[str]) -> str:
     return interp.set_var(args[0], current + "".join(args[1:]))
 
 
+def _evaluate(interp: "Interp", text: str):
+    """Expression evaluation, memoised when the compiled engine is active."""
+    if interp.compiled:
+        return _expr.evaluate_cached(text)
+    return _expr.evaluate(text)
+
+
 def _cmd_expr(interp: "Interp", args: List[str]) -> str:
     text = interp.substitute(" ".join(args))
-    return _expr.format_value(_expr.evaluate(text))
+    return _expr.format_value(_evaluate(interp, text))
 
 
 def _cmd_if(interp: "Interp", args: List[str]) -> str:
     i = 0
     while i < len(args):
         condition = interp.substitute(args[i])
-        if _expr.truth(_expr.evaluate(condition)):
+        if _expr.truth(_evaluate(interp, condition)):
             body_index = i + 1
             if body_index < len(args) and args[body_index] == "then":
                 body_index += 1
@@ -115,7 +136,7 @@ def _cmd_while(interp: "Interp", args: List[str]) -> str:
         raise TclError('wrong # args: should be "while test body"')
     test, body = args
     iterations = 0
-    while _expr.truth(_expr.evaluate(interp.substitute(test))):
+    while _expr.truth(_evaluate(interp, interp.substitute(test))):
         iterations += 1
         if iterations > 1_000_000:
             raise TclError("while loop exceeded 1e6 iterations")
@@ -134,7 +155,7 @@ def _cmd_for(interp: "Interp", args: List[str]) -> str:
     start, test, nxt, body = args
     interp.eval(start)
     iterations = 0
-    while _expr.truth(_expr.evaluate(interp.substitute(test))):
+    while _expr.truth(_evaluate(interp, interp.substitute(test))):
         iterations += 1
         if iterations > 1_000_000:
             raise TclError("for loop exceeded 1e6 iterations")

@@ -29,18 +29,24 @@ class Event:
     surfaces, which keeps cancel O(1).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_scheduler")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any],
+                 args: tuple, scheduler: "Optional[Scheduler]" = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._scheduler is not None:
+            self._scheduler._pending -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -65,6 +71,7 @@ class Scheduler:
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self._dispatched = 0
+        self._pending = 0
 
     @property
     def now(self) -> float:
@@ -73,8 +80,12 @@ class Scheduler:
 
     @property
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events still on the heap."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-cancelled events still on the heap.
+
+        Maintained as a live counter (push/cancel/dispatch) rather than a
+        heap scan, so polling it inside an event loop stays O(1).
+        """
+        return self._pending
 
     @property
     def dispatched_count(self) -> int:
@@ -93,14 +104,16 @@ class Scheduler:
             raise SchedulerError(
                 f"cannot schedule at t={time} which is before now={self._now}"
             )
-        event = Event(time, next(self._seq), callback, args)
+        event = Event(time, next(self._seq), callback, args, scheduler=self)
         heapq.heappush(self._heap, event)
+        self._pending += 1
         return event
 
     def _pop_next(self) -> Optional[Event]:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                self._pending -= 1
                 return event
         return None
 

@@ -47,6 +47,14 @@ class TraceRecorder:
         """Attach the time source used when ``record`` is called without t."""
         self._clock = clock
 
+    def __getstate__(self) -> dict:
+        # the bound clock usually closes over a live scheduler and is not
+        # picklable; recorded entries are what travels between campaign
+        # worker processes -- rebind a clock after unpickling if needed
+        state = self.__dict__.copy()
+        state["_clock"] = None
+        return state
+
     def record(self, kind: str, *, t: Optional[float] = None, **attrs: Any) -> TraceEntry:
         """Append an entry.  Time defaults to the bound clock."""
         if t is None:

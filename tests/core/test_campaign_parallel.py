@@ -1,0 +1,88 @@
+"""Parallel campaign sweeps are byte-identical to serial ones.
+
+``Campaign.run(configs, workers=N)`` fans configurations out to worker
+processes, but per-config seed derivation means each run is independent
+of scheduling: results, traces, and ordering must be exactly what the
+serial path produces.
+"""
+
+import pytest
+
+from repro.core.orchestrator import Campaign
+
+
+def sweep_body(env, config):
+    """Module-level (hence picklable) campaign body: a seeded timer chain."""
+    dist = env.dist("sweep", config["profile"])
+    state = {"fired": 0, "acc": 0.0}
+
+    def tick():
+        state["fired"] += 1
+        state["acc"] += dist.dst_uniform(0.0, 1.0)
+        if state["fired"] < config["events"]:
+            env.scheduler.schedule(dist.dst_exponential(10.0), tick)
+
+    env.scheduler.schedule(0.0, tick)
+    final = env.run_until_quiet()
+    env.trace.record("sweep.done", fired=state["fired"])
+    return {"fired": state["fired"], "acc": round(state["acc"], 9),
+            "final": round(final, 9)}
+
+
+def _sweep_configs(count=6, events=200):
+    return [{"profile": f"vendor{i}", "events": events} for i in range(count)]
+
+
+class TestParallelCampaign:
+    def test_workers_match_serial_exactly(self):
+        campaign = Campaign(sweep_body, seed=7)
+        configs = _sweep_configs()
+        serial = campaign.run(configs)
+        parallel = campaign.run(configs, workers=4)
+        assert [r.config for r in parallel] == [r.config for r in serial]
+        assert [r.result for r in parallel] == [r.result for r in serial]
+        assert ([list(r.trace) for r in parallel]
+                == [list(r.trace) for r in serial])
+
+    def test_order_follows_input_not_completion(self):
+        campaign = Campaign(sweep_body, seed=7)
+        # uneven workloads: later configs finish first if order leaked
+        configs = [{"profile": "slow", "events": 500},
+                   {"profile": "fast", "events": 10},
+                   {"profile": "faster", "events": 5}]
+        results = campaign.run(configs, workers=3)
+        assert [r.config["profile"] for r in results] == [
+            "slow", "fast", "faster"]
+
+    def test_workers_one_is_serial_path(self):
+        campaign = Campaign(sweep_body, seed=7)
+        configs = _sweep_configs(count=3, events=50)
+        assert ([r.result for r in campaign.run(configs, workers=1)]
+                == [r.result for r in campaign.run(configs)])
+
+    def test_single_config_skips_pool(self):
+        campaign = Campaign(sweep_body, seed=7)
+        results = campaign.run(_sweep_configs(count=1), workers=4)
+        assert len(results) == 1
+        assert results[0].result["fired"] == 200
+
+    def test_unpicklable_body_rejected_with_clear_error(self):
+        campaign = Campaign(lambda env, config: None, seed=7)
+        with pytest.raises(TypeError, match="picklable"):
+            campaign.run(_sweep_configs(count=2), workers=2)
+
+    def test_unpicklable_body_still_runs_serially(self):
+        campaign = Campaign(lambda env, config: config["events"], seed=7)
+        results = campaign.run(_sweep_configs(count=2, events=5))
+        assert [r.result for r in results] == [5, 5]
+
+
+def failing_body(env, config):
+    raise RuntimeError(f"boom in {config['profile']}")
+
+
+class TestParallelErrors:
+    def test_worker_exception_propagates(self):
+        campaign = Campaign(failing_body, seed=7)
+        with pytest.raises(RuntimeError, match="boom in vendor0"):
+            campaign.run(_sweep_configs(count=2, events=1), workers=2)

@@ -1,0 +1,88 @@
+"""Paper filter scripts behave identically compiled and freshly parsed.
+
+The compile-once engine must be invisible at the PFI layer: a generated
+campaign script run through ``TclishFilter(compiled=True)`` (the default)
+and ``TclishFilter(compiled=False)`` against the same message stream must
+deliver the same messages, hold the same interpreter state, and print the
+same output.
+"""
+
+import pytest
+
+from repro.core import TclishFilter
+from repro.core.genscripts import generate_campaign, tcp_spec
+
+from tests.core.conftest import Harness
+
+
+def _find_script(name):
+    for script in generate_campaign(tcp_spec()):
+        if script.name == name:
+            return script
+    raise AssertionError(f"no generated script named {name}")
+
+
+def _run_stream(script, compiled, kinds):
+    """Install the filter on a fresh harness, replay the stream."""
+    harness = Harness()
+    tclish = TclishFilter(script.tclish_source,
+                          init_script=script.tclish_init,
+                          name=script.name, compiled=compiled)
+    harness.pfi.set_receive_filter(tclish)
+    for kind in kinds:
+        harness.send_up(kind)
+    harness.run(until=60.0)
+    delivered = [m.meta["type"] for m in harness.top.received]
+    return delivered, tclish.interp.globals, tclish.interp.output_lines
+
+
+PAPER_SCRIPTS = ["reorder_ack_receive", "crash_after_20_receive",
+                 "drop_ack_receive"]
+
+
+class TestCompiledFilterEquivalence:
+    @pytest.mark.parametrize("name", PAPER_SCRIPTS)
+    def test_generated_script_equivalent(self, name):
+        script = _find_script(name)
+        kinds = (["DATA", "ACK"] * 20) + ["ACK"] * 5
+        compiled = _run_stream(script, True, kinds)
+        fresh = _run_stream(script, False, kinds)
+        assert compiled == fresh
+
+    def test_stateful_counting_filter_equivalent(self):
+        source = (
+            'incr seen\n'
+            'set type [msg_type cur_msg]\n'
+            'if {$type eq "ACK"} {\n'
+            '    incr acks\n'
+            '    if {$acks % 3 == 0} { xDrop cur_msg }\n'
+            '}\n'
+            'puts "$seen/$acks"')
+        init = "set seen 0; set acks 0"
+        kinds = ["ACK", "DATA", "ACK", "ACK", "ACK", "DATA", "ACK", "ACK"]
+        results = []
+        for compiled in (True, False):
+            harness = Harness()
+            tclish = TclishFilter(source, init_script=init, compiled=compiled)
+            harness.pfi.set_receive_filter(tclish)
+            for kind in kinds:
+                harness.send_up(kind)
+            results.append((
+                [m.meta["type"] for m in harness.top.received],
+                tclish.interp.globals,
+                tclish.interp.output_lines,
+            ))
+        assert results[0] == results[1]
+        # sanity: the filter actually dropped every third ACK
+        assert results[0][0].count("ACK") == 4
+
+    def test_compiled_filter_reuses_cache_across_messages(self):
+        script = _find_script("crash_after_20_receive")
+        harness = Harness()
+        tclish = TclishFilter(script.tclish_source,
+                              init_script=script.tclish_init)
+        harness.pfi.set_receive_filter(tclish)
+        for _ in range(30):
+            harness.send_up("DATA")
+        stats = tclish.interp.stats()
+        assert stats["cache_hits"] >= 30

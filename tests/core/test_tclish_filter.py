@@ -173,3 +173,13 @@ class TestTclishFilterBasics:
         harness.send_down()
         value = float(script.interp.eval("set v"))
         assert 90 < value < 110
+
+    def test_delay_without_args_is_usage_error(self, harness):
+        harness.pfi.set_send_filter(TclishFilter("xDelay"))
+        with pytest.raises(TclError, match="usage: xDelay"):
+            harness.send_down()
+
+    def test_delay_with_only_msg_token_is_usage_error(self, harness):
+        harness.pfi.set_send_filter(TclishFilter("xDelay cur_msg"))
+        with pytest.raises(TclError, match="usage: xDelay"):
+            harness.send_down()

@@ -173,3 +173,55 @@ def test_clock_left_at_deadline_even_if_drained():
     sched.schedule(1.0, lambda: None)
     sched.run_until(100.0)
     assert sched.now == 100.0
+
+
+def test_pending_count_tracks_schedule_and_dispatch():
+    sched = Scheduler()
+    events = [sched.schedule(float(i), lambda: None) for i in range(4)]
+    assert sched.pending_count == 4
+    sched.step()
+    assert sched.pending_count == 3
+    events[1].cancel()
+    assert sched.pending_count == 2
+    sched.run()
+    assert sched.pending_count == 0
+
+
+def test_pending_count_double_cancel_counts_once():
+    sched = Scheduler()
+    keep = sched.schedule(1.0, lambda: None)
+    victim = sched.schedule(2.0, lambda: None)
+    victim.cancel()
+    victim.cancel()
+    victim.cancel()
+    assert sched.pending_count == 1
+    keep.cancel()
+    assert sched.pending_count == 0
+
+
+def test_pending_count_live_during_dispatch():
+    sched = Scheduler()
+    observed = []
+
+    def chain(n):
+        observed.append(sched.pending_count)
+        if n:
+            sched.schedule(1.0, chain, n - 1)
+
+    sched.schedule(0.0, chain, 2)
+    sched.run()
+    # inside each callback the fired event is already popped
+    assert observed == [0, 0, 0]
+    assert sched.pending_count == 0
+
+
+def test_pending_count_cancelled_events_drain_cleanly():
+    sched = Scheduler()
+    cancelled = [sched.schedule(1.0, lambda: None) for _ in range(3)]
+    sched.schedule(2.0, lambda: None)
+    for event in cancelled:
+        event.cancel()
+    assert sched.pending_count == 1
+    sched.run()
+    assert sched.pending_count == 0
+    assert sched.dispatched_count == 1
