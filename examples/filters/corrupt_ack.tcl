@@ -1,0 +1,12 @@
+# Byzantine fault: zero the ack number of every tenth ACK.
+# msg_set_field rewrites the header before the protocol sees it.
+if {![info exists n]} {
+    set n 0
+}
+if {[msg_type cur_msg] eq "ACK"} {
+    incr n
+    if {$n % 10 == 0} {
+        msg_set_field ack 0
+        msg_log "corrupted ACK #$n"
+    }
+}

@@ -1,0 +1,6 @@
+# Table 2 filter: delay every ACK by three seconds.
+# A timing fault (§2.2): the segment still arrives, but late enough to
+# interact with the sender's RTO estimator.
+if {[msg_type cur_msg] eq "ACK"} {
+    xDelay 3.0
+}

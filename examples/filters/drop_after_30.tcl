@@ -1,0 +1,16 @@
+# Table 1 filter: behave correctly for 30 packets, then drop everything.
+# Paper §4.1 -- the receive-side omission fault that exposes each
+# vendor's retransmission-timeout schedule.
+#
+# Self-contained form of the experiment script: state lives in the
+# interpreter across invocations, so the counter is initialised once
+# with an `info exists` guard instead of an init script.
+if {![info exists seen]} {
+    set seen 0
+    set limit 30
+}
+incr seen
+if {$seen > $limit} {
+    msg_log "dropping [msg_type cur_msg] #$seen"
+    xDrop cur_msg
+}

@@ -1,0 +1,8 @@
+# Probabilistic omission: drop 20% of DATA segments, leave control
+# traffic alone.  `chance` draws from the filter's seeded RNG, so a
+# campaign re-run reproduces the identical loss pattern.
+if {[msg_type cur_msg] eq "DATA"} {
+    if {[chance 0.2]} {
+        xDrop cur_msg
+    }
+}

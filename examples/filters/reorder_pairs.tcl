@@ -1,0 +1,16 @@
+# Reordering fault: hold every odd DATA segment and release it after
+# the next one passes, swapping each consecutive pair.  Every xHold is
+# matched by an xRelease on the same tag -- an unbalanced pair is what
+# scriptlint's SL008 exists to catch.
+if {![info exists holding]} {
+    set holding 0
+}
+if {[msg_type cur_msg] eq "DATA"} {
+    if {!$holding} {
+        set holding 1
+        xHold cur_msg swap
+    } else {
+        set holding 0
+        xRelease swap
+    }
+}

@@ -159,7 +159,7 @@ def cmd_run_script(args) -> None:
     with open(args.script_file) as fp:
         source = fp.read()
     script = TclishFilter(source, init_script=args.init or "",
-                          name=args.script_file)
+                          name=args.script_file, lint="error")
 
     if args.protocol == "tcp":
         from repro.experiments.tcp_common import (build_tcp_testbed,
@@ -238,6 +238,79 @@ def cmd_sequence(args) -> None:
     print(diagram.render(max_events=args.max_events))
 
 
+def cmd_lint(args) -> int:
+    """Statically analyze tclish filter scripts (scriptlint).
+
+    Accepts files and directories (directories are walked for ``.tcl``
+    and ``.tclish`` files).  ``--gen tcp,gmp`` additionally lints the
+    auto-generated batteries.  Exit status 1 when any script carries an
+    error-level diagnostic.
+    """
+    import json
+    import os
+
+    from repro.core.tclish.lint import (lint_source, render_json,
+                                        render_text)
+
+    targets = []
+    for path in args.paths:
+        if os.path.isdir(path):
+            found = []
+            for root, _dirs, files in sorted(os.walk(path)):
+                for fname in sorted(files):
+                    if fname.endswith((".tcl", ".tclish")):
+                        found.append(os.path.join(root, fname))
+            if not found:
+                print(f"repro lint: no .tcl scripts under {path}",
+                      file=sys.stderr)
+                return 2
+            targets.extend(found)
+        elif os.path.exists(path):
+            targets.append(path)
+        else:
+            print(f"repro lint: no such file: {path}", file=sys.stderr)
+            return 2
+
+    reports = []
+    for path in targets:
+        with open(path) as fp:
+            source = fp.read()
+        reports.append(lint_source(source, init_script=args.init or "",
+                                   source_name=path))
+
+    if args.gen:
+        from repro.core.genscripts import (generate_campaign, gmp_spec,
+                                           lint_generated, tcp_spec)
+        from repro.core.tclish.lint import LintReport
+        for name in args.gen.split(","):
+            spec = {"tcp": tcp_spec, "gmp": gmp_spec}[name.strip()]()
+            scripts = generate_campaign(spec, self_check=False)
+            failing = lint_generated(scripts)
+            if failing:
+                reports.extend(failing)
+            else:
+                clean = LintReport(source_name=f"generated:{spec.name} "
+                                   f"({len(scripts)} scripts)")
+                reports.append(clean)
+
+    if not reports:
+        print("repro lint: nothing to lint (give files, directories, "
+              "or --gen)", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps([json.loads(render_json(r)) for r in reports],
+                         indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(render_text(report))
+        errors = sum(len(r.errors()) for r in reports)
+        warnings = sum(len(r.warnings()) for r in reports)
+        print(f"checked {len(reports)} script source(s): "
+              f"{errors} error(s), {warnings} warning(s)")
+    return 1 if any(not r.ok() for r in reports) else 0
+
+
 def cmd_campaign(args) -> None:
     from repro.core.genscripts import (generate_campaign, gmp_spec,
                                        tcp_spec)
@@ -292,6 +365,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="virtual seconds to run")
     runner.add_argument("--init", default="",
                         help="init script (e.g. 'set n 0')")
+    lint = sub.add_parser(
+        "lint", help="statically analyze tclish filter scripts "
+                     "(scriptlint; see docs/scriptlint.md)")
+    lint.add_argument("paths", nargs="*",
+                      help="script files or directories to walk for "
+                           ".tcl/.tclish files")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable output")
+    lint.add_argument("--init", default="",
+                      help="init script evaluated before each body "
+                           "(e.g. 'set n 0')")
+    lint.add_argument("--gen", default="",
+                      help="also lint the auto-generated batteries "
+                           "(comma list of tcp,gmp)")
     sequence = sub.add_parser(
         "sequence", help="render a message-sequence ladder for a "
                          "standard TCP or GMP run")
@@ -307,6 +394,8 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "campaign":
         cmd_campaign(args)
+    elif args.command == "lint":
+        return cmd_lint(args)
     elif args.command == "run-script":
         cmd_run_script(args)
     elif args.command == "sequence":

@@ -208,12 +208,56 @@ def _crash_after(n: int, direction: str) -> GeneratedScript:
 # campaign assembly
 # ----------------------------------------------------------------------
 
+class GenerationLintError(ValueError):
+    """The generator produced a tclish script that fails static analysis.
+
+    This should never fire for the shipped generators -- it is the
+    generator's own regression guard: any future template edit that
+    produces a broken script is caught at generation time, not minutes
+    into a campaign.  ``reports`` holds every failing
+    :class:`~repro.core.tclish.lint.LintReport`.
+    """
+
+    def __init__(self, reports):
+        from repro.core.tclish.lint.reporting import render_text
+        self.reports = list(reports)
+        text = "\n".join(render_text(report) for report in self.reports)
+        super().__init__(
+            f"script generator self-check failed: {len(self.reports)} "
+            f"generated script(s) failed lint\n{text}")
+
+
+def lint_generated(scripts: Iterable[GeneratedScript]):
+    """Lint the tclish form of every generated script.
+
+    Returns the list of failing
+    :class:`~repro.core.tclish.lint.LintReport` objects (empty when the
+    whole battery is clean).
+    """
+    from repro.core.tclish.lint import lint_source
+    failing = []
+    for script in scripts:
+        report = lint_source(script.tclish_source,
+                             init_script=script.tclish_init,
+                             source_name=script.name)
+        if not report.ok():
+            failing.append(report)
+    return failing
+
+
 def generate_campaign(spec: ProtocolSpec, *,
                       directions: Sequence[str] = ("send", "receive"),
                       delay_seconds: float = 3.0,
                       omission_rates: Sequence[float] = (0.3,),
-                      crash_after_messages: int = 20) -> List[GeneratedScript]:
-    """Derive the systematic test battery for one protocol spec."""
+                      crash_after_messages: int = 20,
+                      self_check: bool = True) -> List[GeneratedScript]:
+    """Derive the systematic test battery for one protocol spec.
+
+    With ``self_check`` (the default) every generated tclish source is
+    statically analyzed and the whole battery is rejected with
+    :class:`GenerationLintError` if any script carries an error-level
+    diagnostic.
+    """
     scripts: List[GeneratedScript] = []
     for direction in directions:
         for mtype in spec.message_types:
@@ -228,6 +272,10 @@ def generate_campaign(spec: ProtocolSpec, *,
         for rate in omission_rates:
             scripts.append(_omission(rate, direction))
         scripts.append(_crash_after(crash_after_messages, direction))
+    if self_check:
+        failing = lint_generated(scripts)
+        if failing:
+            raise GenerationLintError(failing)
     return scripts
 
 

@@ -16,13 +16,22 @@ from __future__ import annotations
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List
+from typing import Any, Callable, Dict, Iterable, List, Tuple
 
 from repro.core.distributions import DistributionSet, derive_seed
 from repro.core.sync import ScriptSync
 from repro.netsim.network import Network
 from repro.netsim.scheduler import Scheduler
 from repro.netsim.trace import TraceRecorder
+
+#: config keys whose string values are treated as tclish script sources
+SCRIPT_KEYS = ("script", "tclish", "tclish_source", "send_script",
+               "receive_script")
+
+#: config keys naming the init script for the matching script key
+_INIT_KEYS = {"script": "init_script", "tclish": "tclish_init",
+              "tclish_source": "tclish_init", "send_script": "send_init",
+              "receive_script": "receive_init"}
 
 
 @dataclass
@@ -77,6 +86,48 @@ class RunResult:
     trace: TraceRecorder
 
 
+class CampaignScriptError(ValueError):
+    """One or more campaign configs carry scripts that fail lint.
+
+    Raised before any configuration executes; ``reports`` holds one
+    :class:`~repro.core.tclish.lint.LintReport` per broken script so the
+    message lists every diagnostic of every config, not just the first.
+    """
+
+    def __init__(self, reports):
+        from repro.core.tclish.lint.reporting import render_text
+        self.reports = list(reports)
+        text = "\n".join(render_text(report) for report in self.reports)
+        super().__init__(
+            f"campaign refused to start: {len(self.reports)} config "
+            f"script(s) failed lint\n{text}")
+
+
+def _config_scripts(config: Dict[str, Any], index: int
+                    ) -> List[Tuple[str, str, str]]:
+    """Extract ``(label, source, init)`` script triples from one config.
+
+    Recognized forms: string values under :data:`SCRIPT_KEYS` (with an
+    optional companion init key), :class:`~repro.core.script
+    .TclishFilter` instances, and :class:`~repro.core.genscripts
+    .GeneratedScript` instances under any key.
+    """
+    from repro.core.genscripts import GeneratedScript
+    from repro.core.script import TclishFilter
+    scripts: List[Tuple[str, str, str]] = []
+    for key, value in config.items():
+        label = f"config[{index}].{key}"
+        if isinstance(value, str) and key in SCRIPT_KEYS:
+            init = config.get(_INIT_KEYS.get(key, ""), "")
+            scripts.append((label, value, init if isinstance(init, str)
+                            else ""))
+        elif isinstance(value, TclishFilter):
+            scripts.append((label, value.source, ""))
+        elif isinstance(value, GeneratedScript):
+            scripts.append((label, value.tclish_source, value.tclish_init))
+    return scripts
+
+
 class Campaign:
     """Run an experiment body across a sweep of configurations.
 
@@ -98,9 +149,33 @@ class Campaign:
     """
 
     def __init__(self, body: Callable[[ExperimentEnv, Dict[str, Any]], Any],
-                 *, seed: int = 0):
+                 *, seed: int = 0, lint: str = "error"):
+        if lint not in ("error", "off"):
+            raise ValueError(f'Campaign lint mode must be "error" or '
+                             f'"off", got {lint!r}')
         self._body = body
         self._seed = seed
+        self._lint = lint
+
+    def validate_scripts(self, configs: Iterable[Dict[str, Any]]):
+        """Lint every tclish script found in the configs.
+
+        Returns the list of failing
+        :class:`~repro.core.tclish.lint.LintReport` objects (empty when
+        everything is clean).  ``run`` calls this before starting any
+        worker and raises :class:`CampaignScriptError` with *all*
+        diagnostics, so one campaign launch surfaces every broken config
+        at once instead of failing minutes in on the first.
+        """
+        from repro.core.tclish.lint import lint_source
+        failing = []
+        for index, config in enumerate(configs):
+            for label, source, init in _config_scripts(config, index):
+                report = lint_source(source, init_script=init,
+                                     source_name=label)
+                if not report.ok():
+                    failing.append(report)
+        return failing
 
     def run(self, configs: Iterable[Dict[str, Any]], *,
             workers: int = 1) -> List[RunResult]:
@@ -109,9 +184,16 @@ class Campaign:
         With ``workers > 1`` the configurations run in a process pool;
         results are byte-identical to serial execution and come back in
         input order.  The default stays serial so existing sweeps are
-        untouched.
+        untouched.  Configs carrying tclish scripts (see
+        :data:`SCRIPT_KEYS`) are statically analyzed first; any
+        error-level diagnostic aborts the whole campaign before any
+        worker runs (``Campaign(..., lint="off")`` skips this).
         """
         config_list = [dict(config) for config in configs]
+        if self._lint != "off":
+            failing = self.validate_scripts(config_list)
+            if failing:
+                raise CampaignScriptError(failing)
         if workers <= 1 or len(config_list) <= 1:
             return [_execute_config(self._body, self._seed, config)
                     for config in config_list]

@@ -14,37 +14,29 @@ the same contract:
 Both persist state across invocations: PythonFilter via ``ctx.state``
 (one dict per filter), TclishFilter via the interpreter's variables.
 
-The tclish bridge registers the paper's utility commands:
+The tclish bridge registers the paper's utility commands (``msg_type``,
+``xDrop``, ``xDelay``, ``chance``, ...).  Every command is declared once
+through the :func:`cmd` decorator with its arity bounds, usage line and
+doc string; that single declaration drives
 
-=====================  ====================================================
-``msg_type cur_msg``    type name of the current message
-``msg_log cur_msg``     log the message with a timestamp
-``msg_field f``         read header field ``f``
-``msg_set_field f v``   modify header field ``f``
-``xDrop cur_msg``       drop the message
-``xDelay sec``          delay the message
-``xDuplicate ?n?``      duplicate the message
-``xHold ?tag?``         park the message for reordering
-``xRelease ?tag?``      re-emit parked messages
-``inject type ?f v..?`` inject a generated message
-``now``                 virtual time
-``peer_set k v``        set a variable in the other interpreter
-``peer_get k ?def?``    read a variable from the other interpreter
-``sync_set k ?v?``      set a cross-node flag
-``sync_get k ?def?``    read a cross-node flag
-``dst_normal m v``      normal draw (paper naming)
-``dst_uniform a b``     uniform draw
-``dst_exponential r``   exponential draw
-``chance p``            1 with probability p else 0
-=====================  ====================================================
+- runtime registration (:meth:`~repro.core.tclish.Interp
+  .register_command`) including argument-count enforcement, and
+- the static analyzer's command registry
+  (:func:`repro.core.tclish.lint.default_registry`),
+
+so lint and runtime can never disagree about the command surface.
+:data:`PFI_COMMANDS` is the authoritative table; render it with
+:func:`pfi_command_table`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+import warnings
+from typing import Callable, Dict, List, Optional
 
 from repro.core.context import ScriptContext
 from repro.core.tclish import Interp, TclError
+from repro.core.tclish.lint.registry import CommandSignature
 
 
 class FilterScript:
@@ -68,6 +60,10 @@ class PythonFilter(FilterScript):
         return f"PythonFilter({self.name})"
 
 
+class TclishLintWarning(UserWarning):
+    """A TclishFilter was built from a script with lint errors."""
+
+
 class TclishFilter(FilterScript):
     """A filter whose body is tclish source, evaluated per message.
 
@@ -79,12 +75,40 @@ class TclishFilter(FilterScript):
     construction, so each ``run`` executes the cached command list instead
     of re-lexing the source per message.  ``compiled=False`` restores the
     parse-per-message behaviour (equivalence tests, benchmarks).
+
+    ``lint`` controls construction-time static analysis of the script
+    (:mod:`repro.core.tclish.lint`):
+
+    - ``"warn"`` (default): error-level diagnostics are surfaced as a
+      Python :class:`TclishLintWarning`; the full report is kept on
+      ``self.lint_report``;
+    - ``"error"``: error-level diagnostics raise
+      :class:`~repro.core.tclish.lint.TclishLintError` listing every
+      finding (campaigns and the generator use this);
+    - ``"off"``: skip analysis entirely.
     """
 
     def __init__(self, source: str, init_script: str = "", name: str = "tclish",
-                 *, compiled: bool = True):
+                 *, compiled: bool = True, lint: str = "warn"):
+        if lint not in ("error", "warn", "off"):
+            raise ValueError(f'lint mode must be "error", "warn" or "off", '
+                             f"got {lint!r}")
         self.source = source
         self.name = name
+        self.lint_report = None
+        if lint != "off":
+            from repro.core.tclish.lint import lint_source
+            from repro.core.tclish.lint.reporting import TclishLintError
+            self.lint_report = lint_source(source, init_script=init_script,
+                                           source_name=name)
+            if not self.lint_report.ok():
+                if lint == "error":
+                    raise TclishLintError(self.lint_report)
+                from repro.core.tclish.lint.reporting import render_text
+                warnings.warn(
+                    f"tclish filter {name!r} has lint errors:\n"
+                    f"{render_text(self.lint_report)}",
+                    TclishLintWarning, stacklevel=2)
         self.interp = Interp(compiled=compiled)
         self._ctx_cell: List[Optional[ScriptContext]] = [None]
         _register_bridge(self.interp, self._ctx_cell)
@@ -109,6 +133,219 @@ class TclishFilter(FilterScript):
         return f"TclishFilter({self.name})"
 
 
+# ----------------------------------------------------------------------
+# the PFI command surface: one declaration per command
+# ----------------------------------------------------------------------
+
+#: name -> :class:`CommandSignature` for every PFI bridge command.  Filled
+#: by the :func:`cmd` decorator below; the single source of truth for
+#: runtime arity enforcement, the lint registry and the docs table.
+PFI_COMMANDS: Dict[str, CommandSignature] = {}
+
+#: name -> implementation ``fn(ctx, interp, args)``
+_PFI_IMPLS: Dict[str, Callable] = {}
+
+
+def cmd(name: str, min_args: int = 0, max_args: Optional[int] = None,
+        usage: str = "", doc: str = ""):
+    """Declare a PFI bridge command: signature + implementation, once.
+
+    The decorated function receives ``(ctx, interp, args)`` where ``ctx``
+    is the live :class:`~repro.core.context.ScriptContext`.  Argument
+    counts outside ``[min_args, max_args]`` are rejected before the
+    implementation runs, with the declared usage line -- the same bounds
+    the static analyzer checks, so a script that lints clean cannot die
+    on arity at runtime.
+    """
+    signature = CommandSignature(name, min_args, max_args,
+                                 usage or name, doc)
+
+    def decorator(fn):
+        PFI_COMMANDS[name] = signature
+        _PFI_IMPLS[name] = fn
+        return fn
+    return decorator
+
+
+def pfi_command_table() -> str:
+    """Render the command surface as aligned ``usage  doc`` lines."""
+    rows = [(sig.usage, sig.doc) for sig in PFI_COMMANDS.values()]
+    width = max(len(usage) for usage, _doc in rows)
+    return "\n".join(f"{usage:<{width}}  {doc}" for usage, doc in rows)
+
+
+@cmd("msg_type", 0, 1, "msg_type ?cur_msg?",
+     "type name of the current message")
+def _msg_type(ctx, _i, args):
+    return ctx.msg_type()
+
+
+@cmd("msg_log", 0, 2, "msg_log ?cur_msg? ?note?",
+     "log the message with a timestamp")
+def _msg_log(ctx, _i, args):
+    note = args[1] if len(args) > 1 else ""
+    ctx.log(note)
+    return ""
+
+
+@cmd("msg_field", 1, 1, "msg_field name", "read header field ``name``")
+def _msg_field(ctx, _i, args):
+    if not args:
+        raise TclError('usage: msg_field name')
+    value = ctx.field(args[0])
+    return _stringify(value)
+
+
+@cmd("msg_set_field", 2, 2, "msg_set_field name value",
+     "modify header field ``name``")
+def _msg_set_field(ctx, _i, args):
+    if len(args) != 2:
+        raise TclError('usage: msg_set_field name value')
+    ctx.set_field(args[0], _parse_scalar(args[1]))
+    return ""
+
+
+@cmd("msg_len", 0, 1, "msg_len ?cur_msg?", "length of the current message")
+def _msg_len(ctx, _i, args):
+    return str(len(ctx.msg))
+
+
+@cmd("xDrop", 0, 1, "xDrop ?cur_msg?", "drop the message")
+def _drop(ctx, _i, args):
+    ctx.drop()
+    return ""
+
+
+@cmd("xDelay", 1, 2, "xDelay ?cur_msg? seconds", "delay the message")
+def _delay(ctx, _i, args):
+    numeric = [a for a in args if _is_number(a)]
+    if not numeric:
+        raise TclError("usage: xDelay ?cur_msg? seconds")
+    ctx.delay(float(numeric[0]))
+    return ""
+
+
+@cmd("xDuplicate", 0, 2, "xDuplicate ?cur_msg? ?n?",
+     "duplicate the message")
+def _duplicate(ctx, _i, args):
+    numeric = [a for a in args if _is_number(a)]
+    copies = int(float(numeric[0])) if numeric else 1
+    ctx.duplicate(copies)
+    return ""
+
+
+@cmd("xHold", 0, 2, "xHold ?cur_msg? ?tag?",
+     "park the message for reordering")
+def _hold(ctx, _i, args):
+    tag = _tag_arg(args)
+    ctx.hold(tag)
+    return ""
+
+
+@cmd("xRelease", 0, 2, "xRelease ?cur_msg? ?tag?",
+     "re-emit parked messages")
+def _release(ctx, _i, args):
+    tag = _tag_arg(args)
+    ctx.release(tag)
+    return ""
+
+
+@cmd("held_count", 0, 2, "held_count ?cur_msg? ?tag?",
+     "number of messages parked under ``tag``")
+def _held_count(ctx, _i, args):
+    tag = _tag_arg(args)
+    return str(ctx.held_count(tag))
+
+
+@cmd("inject", 1, None, "inject type ?direction? ?field value ...?",
+     "inject a generated message")
+def _inject(ctx, _i, args):
+    if not args:
+        raise TclError("usage: inject type ?field value ...?")
+    type_name = args[0]
+    rest = args[1:]
+    direction = None
+    if rest and rest[0] in ("send", "receive"):
+        direction = rest[0]
+        rest = rest[1:]
+    if len(rest) % 2 != 0:
+        raise TclError("inject fields must come in name/value pairs")
+    fields = {rest[i]: _parse_scalar(rest[i + 1])
+              for i in range(0, len(rest), 2)}
+    ctx.inject(type_name, direction=direction, **fields)
+    return ""
+
+
+@cmd("now", 0, 0, "now", "virtual time")
+def _now(ctx, _i, args):
+    return repr(ctx.now)
+
+
+@cmd("peer_set", 2, 2, "peer_set key value",
+     "set a variable in the other interpreter")
+def _peer_set(ctx, _i, args):
+    # write a variable into the *other* filter's state -- "the send
+    # filter might set a variable in the receive interpreter"
+    if len(args) != 2:
+        raise TclError("usage: peer_set key value")
+    ctx.set_peer(args[0], _parse_scalar(args[1]))
+    return ""
+
+
+@cmd("peer_get", 1, 2, "peer_get key ?default?",
+     "read a variable the peer filter deposited")
+def _peer_get(ctx, _i, args):
+    # read a variable the peer filter deposited for us (peer_set on
+    # their side lands in OUR state)
+    default = args[1] if len(args) > 1 else ""
+    value = ctx.state.get(args[0], default)
+    return _stringify(value)
+
+
+@cmd("sync_set", 1, 2, "sync_set key ?value?", "set a cross-node flag")
+def _sync_set(ctx, _i, args):
+    value = _parse_scalar(args[1]) if len(args) > 1 else 1
+    ctx.sync.set_flag(args[0], value)
+    return ""
+
+
+@cmd("sync_get", 1, 2, "sync_get key ?default?", "read a cross-node flag")
+def _sync_get(ctx, _i, args):
+    default = args[1] if len(args) > 1 else ""
+    return _stringify(ctx.sync.get_flag(args[0], default))
+
+
+@cmd("dst_normal", 2, 2, "dst_normal mean stddev",
+     "normal draw (paper naming)")
+def _dst_normal(ctx, _i, args):
+    return repr(ctx.dist.dst_normal(float(args[0]), float(args[1])))
+
+
+@cmd("dst_uniform", 2, 2, "dst_uniform low high", "uniform draw")
+def _dst_uniform(ctx, _i, args):
+    return repr(ctx.dist.dst_uniform(float(args[0]), float(args[1])))
+
+
+@cmd("dst_exponential", 1, 1, "dst_exponential rate", "exponential draw")
+def _dst_exponential(ctx, _i, args):
+    return repr(ctx.dist.dst_exponential(float(args[0])))
+
+
+@cmd("chance", 1, 1, "chance p", "1 with probability p else 0")
+def _chance(ctx, _i, args):
+    return "1" if ctx.dist.chance(float(args[0])) else "0"
+
+
+@cmd("node_name", 0, 0, "node_name", "name of this node")
+def _node_name(ctx, _i, args):
+    return ctx.node
+
+
+@cmd("direction", 0, 0, "direction", "'send' or 'receive'")
+def _direction(ctx, _i, args):
+    return ctx.direction
+
+
 def _register_bridge(interp: Interp, cell: List[Optional[ScriptContext]]) -> None:
     """Install the PFI utility commands on a tclish interpreter."""
 
@@ -118,148 +355,15 @@ def _register_bridge(interp: Interp, cell: List[Optional[ScriptContext]]) -> Non
             raise TclError("no message is being filtered right now")
         return current
 
-    def cmd(name: str):
-        def decorator(fn):
-            interp.register_command(name, fn)
-            return fn
-        return decorator
+    def make_command(signature: CommandSignature, fn: Callable):
+        def command(i: Interp, args: List[str]) -> str:
+            if not signature.accepts(len(args)):
+                raise TclError(f"usage: {signature.usage}")
+            return fn(ctx(), i, args)
+        return command
 
-    @cmd("msg_type")
-    def _msg_type(_i, args):
-        return ctx().msg_type()
-
-    @cmd("msg_log")
-    def _msg_log(_i, args):
-        note = args[1] if len(args) > 1 else ""
-        ctx().log(note)
-        return ""
-
-    @cmd("msg_field")
-    def _msg_field(_i, args):
-        if not args:
-            raise TclError('usage: msg_field name')
-        value = ctx().field(args[0])
-        return _stringify(value)
-
-    @cmd("msg_set_field")
-    def _msg_set_field(_i, args):
-        if len(args) != 2:
-            raise TclError('usage: msg_set_field name value')
-        ctx().set_field(args[0], _parse_scalar(args[1]))
-        return ""
-
-    @cmd("msg_len")
-    def _msg_len(_i, args):
-        return str(len(ctx().msg))
-
-    @cmd("xDrop")
-    def _drop(_i, args):
-        ctx().drop()
-        return ""
-
-    @cmd("xDelay")
-    def _delay(_i, args):
-        numeric = [a for a in args if _is_number(a)]
-        if not numeric:
-            raise TclError("usage: xDelay ?cur_msg? seconds")
-        ctx().delay(float(numeric[0]))
-        return ""
-
-    @cmd("xDuplicate")
-    def _duplicate(_i, args):
-        numeric = [a for a in args if _is_number(a)]
-        copies = int(float(numeric[0])) if numeric else 1
-        ctx().duplicate(copies)
-        return ""
-
-    @cmd("xHold")
-    def _hold(_i, args):
-        tag = _tag_arg(args)
-        ctx().hold(tag)
-        return ""
-
-    @cmd("xRelease")
-    def _release(_i, args):
-        tag = _tag_arg(args)
-        ctx().release(tag)
-        return ""
-
-    @cmd("held_count")
-    def _held_count(_i, args):
-        tag = _tag_arg(args)
-        return str(ctx().held_count(tag))
-
-    @cmd("inject")
-    def _inject(_i, args):
-        if not args:
-            raise TclError("usage: inject type ?field value ...?")
-        type_name = args[0]
-        rest = args[1:]
-        direction = None
-        if rest and rest[0] in ("send", "receive"):
-            direction = rest[0]
-            rest = rest[1:]
-        if len(rest) % 2 != 0:
-            raise TclError("inject fields must come in name/value pairs")
-        fields = {rest[i]: _parse_scalar(rest[i + 1]) for i in range(0, len(rest), 2)}
-        ctx().inject(type_name, direction=direction, **fields)
-        return ""
-
-    @cmd("now")
-    def _now(_i, args):
-        return repr(ctx().now)
-
-    @cmd("peer_set")
-    def _peer_set(_i, args):
-        # write a variable into the *other* filter's state -- "the send
-        # filter might set a variable in the receive interpreter"
-        if len(args) != 2:
-            raise TclError("usage: peer_set key value")
-        ctx().set_peer(args[0], _parse_scalar(args[1]))
-        return ""
-
-    @cmd("peer_get")
-    def _peer_get(_i, args):
-        # read a variable the peer filter deposited for us (peer_set on
-        # their side lands in OUR state)
-        default = args[1] if len(args) > 1 else ""
-        value = ctx().state.get(args[0], default)
-        return _stringify(value)
-
-    @cmd("sync_set")
-    def _sync_set(_i, args):
-        value = _parse_scalar(args[1]) if len(args) > 1 else 1
-        ctx().sync.set_flag(args[0], value)
-        return ""
-
-    @cmd("sync_get")
-    def _sync_get(_i, args):
-        default = args[1] if len(args) > 1 else ""
-        return _stringify(ctx().sync.get_flag(args[0], default))
-
-    @cmd("dst_normal")
-    def _dst_normal(_i, args):
-        return repr(ctx().dist.dst_normal(float(args[0]), float(args[1])))
-
-    @cmd("dst_uniform")
-    def _dst_uniform(_i, args):
-        return repr(ctx().dist.dst_uniform(float(args[0]), float(args[1])))
-
-    @cmd("dst_exponential")
-    def _dst_exponential(_i, args):
-        return repr(ctx().dist.dst_exponential(float(args[0])))
-
-    @cmd("chance")
-    def _chance(_i, args):
-        return "1" if ctx().dist.chance(float(args[0])) else "0"
-
-    @cmd("node_name")
-    def _node_name(_i, args):
-        return ctx().node
-
-    @cmd("direction")
-    def _direction(_i, args):
-        return ctx().direction
+    for name, fn in _PFI_IMPLS.items():
+        interp.register_command(name, make_command(PFI_COMMANDS[name], fn))
 
 
 def _tag_arg(args) -> str:

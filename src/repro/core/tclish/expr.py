@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from typing import Callable, Dict, List, Tuple, Union
+from typing import Callable, Dict, List, Union
 
 from repro.core.tclish.errors import TclError
 

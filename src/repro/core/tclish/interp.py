@@ -26,7 +26,6 @@ from repro.core.tclish.compiler import (
     LITERAL,
     SEG_TEXT,
     SEG_VAR,
-    SEGMENTS,
     VARREF,
     CompiledCommand,
     CompiledScript,
@@ -256,15 +255,28 @@ class Interp:
         return self.call(words[0], words[1:])
 
     def call(self, name: str, args: List[str]) -> str:
-        """Invoke a proc or registered command by name."""
+        """Invoke a proc or registered command by name.
+
+        Unknown names always surface as ``TclError("invalid command name
+        ...")`` -- never a bare ``KeyError`` -- and a ``KeyError`` escaping
+        a command implementation (e.g. a registered Python function doing
+        a dict lookup) is normalized to :class:`TclError` too, so ``catch``
+        works and the static analyzer
+        (:mod:`repro.core.tclish.lint`) and the runtime agree on one
+        error surface.
+        """
         proc = self.procs.get(name)
         if proc is not None:
             return proc(self, args)
         command = self.commands.get(name)
-        if command is not None:
+        if command is None:
+            raise TclError(f'invalid command name "{name}"')
+        try:
             result = command(self, args)
-            return result if isinstance(result, str) else _to_tcl_string(result)
-        raise TclError(f'invalid command name "{name}"')
+        except KeyError as err:
+            raise TclError(f'error in command "{name}": '
+                           f"no such key {err}") from err
+        return result if isinstance(result, str) else _to_tcl_string(result)
 
     # ------------------------------------------------------------------
     # substitution

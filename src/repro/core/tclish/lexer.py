@@ -14,7 +14,7 @@ based on that first character.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from repro.core.tclish.errors import TclError
 
@@ -26,8 +26,21 @@ def split_commands(script: str) -> List[str]:
     (``#`` where a command would start) run to the end of the line.  Empty
     commands are dropped.
     """
-    commands: List[str] = []
+    return [text for text, _offset in split_commands_spanned(script)]
+
+
+def split_commands_spanned(script: str) -> List[Tuple[str, int]]:
+    """Split a script into ``(command, offset)`` pairs.
+
+    ``offset`` is the index in ``script`` of the command's first character,
+    so static analysis (:mod:`repro.core.tclish.lint`) can map every
+    command back to a line and column.  Each command text is a contiguous
+    substring of the source starting at its offset (only trailing
+    whitespace is stripped).
+    """
+    commands: List[Tuple[str, int]] = []
     current: List[str] = []
+    start_offset = 0
     depth_brace = 0
     depth_bracket = 0
     in_quote = False
@@ -44,6 +57,8 @@ def split_commands(script: str) -> List[str]:
             while i < n and script[i] != "\n":
                 i += 1
             continue
+        if at_command_start:
+            start_offset = i
         at_command_start = False
 
         if ch == "\\" and i + 1 < n:
@@ -77,7 +92,7 @@ def split_commands(script: str) -> List[str]:
         if ch in "\n;" and depth_brace == 0 and depth_bracket == 0:
             text = "".join(current).strip()
             if text:
-                commands.append(text)
+                commands.append((text, start_offset))
             current = []
             at_command_start = True
             i += 1
@@ -94,7 +109,7 @@ def split_commands(script: str) -> List[str]:
         raise TclError("unbalanced open bracket")
     text = "".join(current).strip()
     if text:
-        commands.append(text)
+        commands.append((text, start_offset))
     return commands
 
 
@@ -104,7 +119,17 @@ def split_words(command: str) -> List[str]:
     Words keep their outer ``{}`` or ``""`` delimiters so the evaluator can
     tell braced (no substitution) from quoted/bare (substitution) words.
     """
-    words: List[str] = []
+    return [text for text, _offset in split_words_spanned(command)]
+
+
+def split_words_spanned(command: str) -> List[Tuple[str, int]]:
+    """Split one command into ``(raw_word, offset)`` pairs.
+
+    ``offset`` is the index of the word's first character within
+    ``command``; the lint walker adds the command's own offset to recover
+    absolute source positions.
+    """
+    words: List[Tuple[str, int]] = []
     i = 0
     n = len(command)
     while i < n:
@@ -132,7 +157,7 @@ def split_words(command: str) -> List[str]:
                 raise TclError("unmatched open brace in word")
             if depth != 0:
                 raise TclError("unmatched open brace in word")
-            words.append(command[start:i])
+            words.append((command[start:i], start))
         elif ch == '"':
             i += 1
             while i < n:
@@ -148,7 +173,7 @@ def split_words(command: str) -> List[str]:
                 i += 1
             else:
                 raise TclError("unterminated quoted word")
-            words.append(command[start:i])
+            words.append((command[start:i], start))
         else:
             while i < n and command[i] not in " \t\n":
                 if command[i] == "\\" and i + 1 < n:
@@ -161,7 +186,7 @@ def split_words(command: str) -> List[str]:
                     i = _skip_brace(command, i)
                     continue
                 i += 1
-            words.append(command[start:i])
+            words.append((command[start:i], start))
     return words
 
 

@@ -1,0 +1,89 @@
+"""Cross-script analysis of a send/receive filter pair.
+
+The paper wires two interpreters per PFI layer -- one for the send path,
+one for the receive path -- and gives them two coordination channels:
+
+- ``peer_set k v`` writes variable ``k`` into the *other* interpreter's
+  state, where the peer reads it with ``peer_get k``;
+- ``sync_set`` / ``sync_get`` share flags across nodes through the
+  experiment-wide :class:`~repro.core.sync.ScriptSync`.
+
+Key typos across that boundary are invisible to single-script analysis
+(each half is locally fine), so :func:`analyze_pair` checks the two
+summaries against each other: a ``peer_get`` whose key no peer ever sets
+reads its default forever; a ``peer_set`` nobody reads is dead
+coordination code.  Sync flags may legitimately be set or read by the
+Python harness or scripts on other nodes, so those findings stay
+warnings too.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.tclish.lint import diagnostics as diag
+from repro.core.tclish.lint.checks import ScriptSummary
+from repro.core.tclish.lint.diagnostics import Diagnostic
+
+
+def analyze_pair(send: ScriptSummary, receive: ScriptSummary
+                 ) -> List[Diagnostic]:
+    """Cross-checks between an analyzed send/receive script pair."""
+    out: List[Diagnostic] = []
+    _check_peer(out, send, receive, "send", "receive")
+    _check_peer(out, receive, send, "receive", "send")
+    _check_sync(out, send, receive)
+    return out
+
+
+def _check_peer(out: List[Diagnostic], writer: ScriptSummary,
+                reader: ScriptSummary, writer_name: str,
+                reader_name: str) -> None:
+    for key, (line, col) in sorted(writer.peer_set.items()):
+        if key not in reader.peer_get:
+            out.append(diag.make(
+                "SL009", line, col,
+                f'peer_set key "{key}" is never peer_get by the '
+                f"{reader_name} script",
+                _suggest_key(key, reader.peer_get),
+                script=writer_name))
+    for key, (line, col) in sorted(reader.peer_get.items()):
+        if key not in writer.peer_set:
+            out.append(diag.make(
+                "SL009", line, col,
+                f'peer_get key "{key}" is never peer_set by the '
+                f"{writer_name} script (the default value is always "
+                f"returned)",
+                _suggest_key(key, writer.peer_set),
+                script=reader_name))
+
+
+def _check_sync(out: List[Diagnostic], send: ScriptSummary,
+                receive: ScriptSummary) -> None:
+    set_keys = set(send.sync_set) | set(receive.sync_set)
+    get_keys = set(send.sync_get) | set(receive.sync_get)
+    for label, summary in (("send", send), ("receive", receive)):
+        for key, (line, col) in sorted(summary.sync_get.items()):
+            if key not in set_keys:
+                out.append(diag.make(
+                    "SL010", line, col,
+                    f'sync_get key "{key}" is never sync_set by this '
+                    f"script pair",
+                    "fine if another node or the harness sets it; a typo "
+                    "otherwise", script=label))
+        for key, (line, col) in sorted(summary.sync_set.items()):
+            if key not in get_keys:
+                out.append(diag.make(
+                    "SL010", line, col,
+                    f'sync_set key "{key}" is never sync_get by this '
+                    f"script pair",
+                    "fine if another node or the harness reads it; a "
+                    "typo otherwise", script=label))
+
+
+def _suggest_key(key: str, candidates) -> str:
+    import difflib
+    matches = difflib.get_close_matches(key, list(candidates), n=1)
+    if matches:
+        return f'did you mean "{matches[0]}"?'
+    return ""

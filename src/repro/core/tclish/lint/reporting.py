@@ -1,0 +1,52 @@
+"""Rendering lint reports for terminals, JSON consumers, and exceptions.
+
+The text form is the conventional compiler shape --
+``file:line:col: severity CODE: message (hint)`` -- one line per
+diagnostic plus a summary line.  The JSON form is stable enough to feed
+CI annotations.  :class:`TclishLintError` is how the rest of the stack
+(filters, campaigns, the generator) refuses to run a broken script: it
+carries the full report so callers see *every* problem, not just the
+first.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.core.tclish.errors import TclError
+from repro.core.tclish.lint.diagnostics import LintReport
+
+
+class TclishLintError(TclError):
+    """A script failed static analysis; carries the full report."""
+
+    def __init__(self, report: LintReport):
+        self.report = report
+        super().__init__(render_text(report))
+
+
+def render_text(report: LintReport) -> str:
+    """One line per diagnostic, in source order, plus a summary."""
+    lines: List[str] = [d.format(report.source_name)
+                        for d in report.sorted()]
+    errors = len(report.errors())
+    warnings = len(report.warnings())
+    if lines:
+        lines.append(f"{report.source_name}: {errors} error(s), "
+                     f"{warnings} warning(s)")
+    else:
+        lines.append(f"{report.source_name}: clean")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """A machine-readable report (the CLI's ``--json`` output)."""
+    payload = {
+        "source": report.source_name,
+        "ok": report.ok(),
+        "errors": len(report.errors()),
+        "warnings": len(report.warnings()),
+        "diagnostics": [d.to_dict() for d in report.sorted()],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,237 @@
+"""Source-position-aware parse layer for the analyzer.
+
+The runtime compiler (:mod:`repro.core.tclish.compiler`) deliberately
+forgets where in the source each command came from -- execution doesn't
+need it.  Lint does, so this module re-runs the *same lexer* in its
+spanned form (:func:`~repro.core.tclish.lexer.split_commands_spanned` /
+``split_words_spanned``) and wraps the results in small node objects that
+carry absolute offsets, resolved to ``(line, col)`` through a
+:class:`LineMap` over the original source.
+
+Word classification reuses :func:`repro.core.tclish.compiler.analyze_word`
+so lint sees words exactly as the execution engine does (literal, direct
+variable read, or substitution segments).
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.tclish import compiler
+from repro.core.tclish.compiler import (
+    LITERAL,
+    VARREF,
+    CompiledWord,
+)
+from repro.core.tclish.errors import TclError
+from repro.core.tclish.lexer import split_commands_spanned, split_words_spanned
+
+
+class LineMap:
+    """Maps absolute source offsets to 1-based (line, col) pairs."""
+
+    def __init__(self, source: str):
+        self._starts = [0]
+        for i, ch in enumerate(source):
+            if ch == "\n":
+                self._starts.append(i + 1)
+
+    def position(self, offset: int) -> Tuple[int, int]:
+        line = bisect_right(self._starts, offset)
+        return line, offset - self._starts[line - 1] + 1
+
+
+@dataclass
+class WordNode:
+    """One raw word with its absolute offset and compiled classification."""
+
+    raw: str
+    offset: int
+    compiled: CompiledWord
+
+    @property
+    def is_literal(self) -> bool:
+        return self.compiled.kind == LITERAL
+
+    @property
+    def literal(self) -> Optional[str]:
+        """The word's constant value, or None when it needs substitution."""
+        return self.compiled.text if self.compiled.kind == LITERAL else None
+
+    def braced_body(self) -> Optional[Tuple[str, int]]:
+        """For a ``{...}`` word: the body text and its absolute offset."""
+        if len(self.raw) >= 2 and self.raw[0] == "{" and self.raw[-1] == "}":
+            return self.raw[1:-1], self.offset + 1
+        return None
+
+    def variable_reads(self) -> List[Tuple[str, int]]:
+        """``$name`` reads this word performs, with absolute offsets."""
+        if self.compiled.kind == VARREF:
+            return [(self.compiled.text, self.offset)]
+        if self.compiled.kind == LITERAL:
+            return []
+        return scan_variable_reads(_subst_text(self.raw), _subst_base(self))
+
+    def nested_scripts(self) -> List[Tuple[str, int]]:
+        """``[script]`` substitutions this word triggers, with offsets."""
+        if self.compiled.kind == LITERAL or self.compiled.kind == VARREF:
+            return []
+        return scan_nested_scripts(_subst_text(self.raw), _subst_base(self))
+
+
+def _subst_text(raw: str) -> str:
+    """The substitution-subject text of a non-braced word."""
+    if len(raw) >= 2 and raw[0] == '"' and raw[-1] == '"':
+        return raw[1:-1]
+    return raw
+
+
+def _subst_base(word: WordNode) -> int:
+    """Absolute offset of the substitution-subject text."""
+    if len(word.raw) >= 2 and word.raw[0] == '"' and word.raw[-1] == '"':
+        return word.offset + 1
+    return word.offset
+
+
+@dataclass
+class CommandNode:
+    """One command: positioned words, first word is the command name."""
+
+    words: List[WordNode]
+    offset: int
+
+    @property
+    def name(self) -> Optional[str]:
+        """The command name when it is a compile-time constant."""
+        return self.words[0].literal
+
+    @property
+    def args(self) -> List[WordNode]:
+        return self.words[1:]
+
+
+def parse_script(source: str, base_offset: int = 0) -> List[CommandNode]:
+    """Parse a script (or nested body) into positioned command nodes.
+
+    ``base_offset`` shifts all positions so nested braced bodies report
+    absolute offsets into the outermost source.  Raises
+    :class:`~repro.core.tclish.errors.TclError` on lexical errors exactly
+    as evaluation would.
+    """
+    nodes: List[CommandNode] = []
+    for text, cmd_offset in split_commands_spanned(source):
+        words = []
+        for raw, word_offset in split_words_spanned(text):
+            words.append(WordNode(
+                raw=raw,
+                offset=base_offset + cmd_offset + word_offset,
+                compiled=compiler.analyze_word(raw)))
+        if words:
+            nodes.append(CommandNode(words=words,
+                                     offset=base_offset + cmd_offset))
+    return nodes
+
+
+# ----------------------------------------------------------------------
+# substitution scanning (conditions, expr bodies, quoted/bare words)
+# ----------------------------------------------------------------------
+
+_VAR_RE = re.compile(r"\$(?:\{(?P<braced>[^}]*)\}|(?P<plain>[A-Za-z0-9_]+))")
+
+
+def scan_variable_reads(text: str, base_offset: int = 0
+                        ) -> List[Tuple[str, int]]:
+    """Find every ``$name`` / ``${name}`` read in a substitution string.
+
+    Nested ``[script]`` regions are skipped -- their reads are reported
+    when the nested script itself is analyzed.  Backslash-escaped dollars
+    are not reads.
+    """
+    reads: List[Tuple[str, int]] = []
+    for chunk, offset in _outside_brackets(text):
+        i = 0
+        while True:
+            match = _VAR_RE.search(chunk, i)
+            if match is None:
+                break
+            if match.start() > 0 and chunk[match.start() - 1] == "\\":
+                i = match.start() + 1
+                continue
+            name = match.group("braced")
+            if name is None:
+                name = match.group("plain")
+            reads.append((name, base_offset + offset + match.start()))
+            i = match.end()
+    return reads
+
+
+def scan_nested_scripts(text: str, base_offset: int = 0
+                        ) -> List[Tuple[str, int]]:
+    """Find every top-level ``[script]`` region with its body offset."""
+    scripts: List[Tuple[str, int]] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\" and i + 1 < n:
+            i += 2
+            continue
+        if ch == "[":
+            depth = 0
+            j = i
+            while j < n:
+                if text[j] == "\\" and j + 1 < n:
+                    j += 2
+                    continue
+                if text[j] == "[":
+                    depth += 1
+                elif text[j] == "]":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            if depth != 0:
+                raise TclError("unmatched open bracket in substitution")
+            scripts.append((text[i + 1:j], base_offset + i + 1))
+            i = j + 1
+            continue
+        i += 1
+    return scripts
+
+
+def _outside_brackets(text: str) -> List[Tuple[str, int]]:
+    """The chunks of ``text`` not inside any ``[...]`` region."""
+    chunks: List[Tuple[str, int]] = []
+    i = 0
+    n = len(text)
+    start = 0
+    while i < n:
+        ch = text[i]
+        if ch == "\\" and i + 1 < n:
+            i += 2
+            continue
+        if ch == "[":
+            if i > start:
+                chunks.append((text[start:i], start))
+            depth = 0
+            while i < n:
+                if text[i] == "\\" and i + 1 < n:
+                    i += 2
+                    continue
+                if text[i] == "[":
+                    depth += 1
+                elif text[i] == "]":
+                    depth -= 1
+                    if depth == 0:
+                        i += 1
+                        break
+                i += 1
+            start = i
+            continue
+        i += 1
+    if start < n:
+        chunks.append((text[start:], start))
+    return chunks

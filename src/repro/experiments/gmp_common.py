@@ -19,7 +19,7 @@ interface code where udp send and receive calls were made."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core import PFILayer, make_env

@@ -24,7 +24,6 @@ retransmission experiments need.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.core import PFILayer, make_env
 from repro.core.orchestrator import ExperimentEnv

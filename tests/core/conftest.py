@@ -3,7 +3,7 @@ PFI layer in the middle."""
 
 import pytest
 
-from repro.core import PFILayer, PacketStubs, ScriptSync, make_env
+from repro.core import PFILayer, PacketStubs, make_env
 from repro.xkernel.message import Message
 from repro.xkernel.protocol import Protocol
 from repro.xkernel.stack import ProtocolStack

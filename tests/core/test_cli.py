@@ -100,3 +100,59 @@ class TestSequenceCommand:
         out = capsys.readouterr().out
         assert "vendor" in out
         assert "SYN" in out
+
+
+class TestLintCommand:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        script = tmp_path / "ok.tcl"
+        script.write_text(
+            'if {[msg_type cur_msg] eq "ACK"} { xDelay 3.0 }\n')
+        assert main(["lint", str(script)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "0 error(s)" in out
+
+    def test_broken_file_exits_one(self, tmp_path, capsys):
+        script = tmp_path / "bad.tcl"
+        script.write_text("xDropp cur_msg\nchance 1.5\n")
+        assert main(["lint", str(script)]) == 1
+        out = capsys.readouterr().out
+        assert "SL001" in out and "SL006" in out
+        assert f"{script}:1:1" in out       # file:line:col shape
+
+    def test_directory_walk(self, tmp_path, capsys):
+        (tmp_path / "a.tcl").write_text("set x 1\n")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.tcl").write_text("chance 2.0\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "a.tcl" in out and "b.tcl" in out
+
+    def test_init_flag(self, tmp_path):
+        script = tmp_path / "counted.tcl"
+        script.write_text("if {$n > 3} { xDrop cur_msg }\n")
+        assert main(["lint", str(script)]) == 1       # $n undefined
+        assert main(["lint", str(script), "--init", "set n 0"]) == 0
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+        script = tmp_path / "bad.tcl"
+        script.write_text("chance 1.5\n")
+        assert main(["lint", str(script), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["ok"] is False
+        assert payload[0]["diagnostics"][0]["code"] == "SL006"
+
+    def test_gen_batteries(self, capsys):
+        assert main(["lint", "--gen", "tcp,gmp"]) == 0
+        out = capsys.readouterr().out
+        assert "generated:tcp" in out and "generated:gmp" in out
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["lint", "/nonexistent/x.tcl"]) == 2
+
+    def test_repo_example_corpus_clean(self, capsys):
+        import pathlib
+        corpus = pathlib.Path(__file__).resolve().parents[2] / (
+            "examples/filters")
+        assert main(["lint", str(corpus)]) == 0

@@ -67,8 +67,6 @@ def test_unserializable_attr_falls_back_to_repr():
 
 def test_experiment_runs_are_bit_identical():
     """Determinism pinning: the same experiment twice -> the same trace."""
-    from repro.experiments.tcp_retransmission import (
-        run_retransmission_experiment)
     from repro.tcp import SOLARIS_23
 
     traces = []

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.faults import FailureModel
-from repro.core.genscripts import (GeneratedScript, MessageTypeSpec,
+from repro.core.genscripts import (MessageTypeSpec,
                                    ProtocolSpec, campaign_by_model,
                                    generate_campaign, gmp_spec, tcp_spec)
 from tests.core.conftest import Harness

@@ -8,7 +8,7 @@ pin the shapes.
 
 import pytest
 
-from repro.analysis.shape import is_exponential_backoff, plateau_value
+from repro.analysis.shape import is_exponential_backoff
 from repro.experiments import (tcp_delayed_ack, tcp_keepalive,
                                tcp_reordering, tcp_retransmission,
                                tcp_zero_window)

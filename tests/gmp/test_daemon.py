@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments.gmp_common import build_gmp_cluster
-from repro.gmp import AS_DELIVERED, BugFlags, GmpTiming, IN_TRANSITION, STABLE
 from repro.gmp.daemon import gmp_stubs
 from repro.gmp.messages import GmpMessage, PROCLAIM
 from repro.xkernel.message import Message

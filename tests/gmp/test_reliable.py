@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import make_env
-from repro.gmp.reliable import RelHeader, ReliableChannel
+from repro.gmp.reliable import ReliableChannel
 from repro.gmp.udp import UDPProtocol
 from repro.xkernel.message import Message
 from repro.xkernel.protocol import Protocol

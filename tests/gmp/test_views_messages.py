@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.gmp.messages import (ACK, ALL_KINDS, COMMIT, DEAD_REPORT,
-                                HEARTBEAT, GmpMessage, PROCLAIM)
+from repro.gmp.messages import (ALL_KINDS, COMMIT, DEAD_REPORT,
+                                GmpMessage, PROCLAIM)
 from repro.gmp.views import GroupView, singleton_view
 
 

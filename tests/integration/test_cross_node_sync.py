@@ -7,7 +7,6 @@ state and flips a shared flag; filters on *other* machines change
 behaviour the moment the flag flips.
 """
 
-import pytest
 
 from repro.core import TclishFilter
 from repro.experiments.gmp_common import build_gmp_cluster

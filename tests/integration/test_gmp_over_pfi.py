@@ -1,11 +1,10 @@
 """Integration tests: GMP clusters under scripted fault injection."""
 
-import pytest
 
 from repro.core import TclishFilter
 from repro.core.faults import drop_by_type, send_omission
 from repro.experiments.gmp_common import build_gmp_cluster
-from repro.gmp import BugFlags, GmpTiming
+from repro.gmp import GmpTiming
 
 
 def test_cluster_forms_through_full_stacks():

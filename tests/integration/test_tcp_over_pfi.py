@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import PFILayer, TclishFilter
+from repro.core import TclishFilter
 from repro.experiments.tcp_common import (build_tcp_testbed, open_connection,
                                           stream_from_vendor)
 from repro.tcp import SOLARIS_23, SUNOS_413, XKERNEL

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.netsim.network import Network
-from repro.netsim.node import Node
 from repro.netsim.scheduler import Scheduler
 from repro.netsim.trace import TraceRecorder
 

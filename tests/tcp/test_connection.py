@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.tcp.connection import (CLOSED, ESTABLISHED, LISTEN, SYN_SENT,
-                                  TCPConnection)
-from repro.tcp.segment import ACK, RST, SYN, Segment
-from repro.tcp.vendors import SOLARIS_23, SUNOS_413, VendorProfile
+from repro.tcp.connection import CLOSED, ESTABLISHED
+from repro.tcp.segment import ACK, Segment
+from repro.tcp.vendors import SOLARIS_23
 from tests.tcp.conftest import ConnPair
 
 

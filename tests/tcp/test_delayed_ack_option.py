@@ -2,7 +2,6 @@
 
 import dataclasses
 
-import pytest
 
 from repro.tcp.vendors import SUNOS_413, XKERNEL
 from tests.tcp.conftest import ConnPair

@@ -1,6 +1,5 @@
 """Unit tests for the retransmission manager."""
 
-import pytest
 
 from repro.netsim.scheduler import Scheduler
 from repro.netsim.trace import TraceRecorder

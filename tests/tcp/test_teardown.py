@@ -4,7 +4,6 @@ import pytest
 
 from repro.tcp.connection import (CLOSE_WAIT, CLOSED, FIN_WAIT_1,
                                   FIN_WAIT_2, LAST_ACK, TIME_WAIT)
-from tests.tcp.conftest import ConnPair
 
 
 class TestActiveClose:
