@@ -44,8 +44,9 @@ def _from_jsonable(value: Any) -> Any:
 
 #: attributes that are process-global bookkeeping rather than experiment
 #: state: message uids keep counting across runs in one process, so two
-#: otherwise-identical runs differ in them
-VOLATILE_ATTRS = ("uid", "original")
+#: otherwise-identical runs differ in them.  ``original`` and ``parent``
+#: are lineage edges (uid-valued) and share the same volatility.
+VOLATILE_ATTRS = ("uid", "original", "parent")
 
 
 def entry_to_dict(entry: TraceEntry, *,

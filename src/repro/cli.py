@@ -311,6 +311,54 @@ def cmd_lint(args) -> int:
     return 1 if any(not r.ok() for r in reports) else 0
 
 
+def _load_trace_file(path: str):
+    from repro.analysis.export import load_trace
+    with open(path) as fp:
+        return load_trace(fp)
+
+
+def cmd_report(args) -> int:
+    """Reconstruct a run report from an exported JSON-lines trace.
+
+    The report covers the run summary, per-kind/per-node metrics, the
+    causal lineage of every derived message (delays, duplicates, holds/
+    releases, injections, retransmissions), and a timeline tail.
+    """
+    from repro.obs.lineage import Lineage
+    from repro.obs.report import render_report
+    trace = _load_trace_file(args.trace_file)
+    if args.uid is not None:
+        lineage = Lineage.from_trace(trace)
+        if args.uid not in lineage.uids():
+            print(f"repro report: uid {args.uid} does not appear in "
+                  f"{args.trace_file}", file=sys.stderr)
+            return 2
+        print(lineage.render(lineage.root_of(args.uid)))
+        return 0
+    print(render_report(trace, tail=args.tail, kind_prefix=args.kind))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Export a JSON-lines trace as Chrome-trace/Perfetto JSON.
+
+    Load the output in https://ui.perfetto.dev or ``chrome://tracing``:
+    nodes become processes, fault-injection delays and hold/release
+    windows become duration spans, everything else instant events.
+    """
+    from repro.obs.chrometrace import dump_chrome_trace
+    trace = _load_trace_file(args.trace_file)
+    text = dump_chrome_trace(trace, title=args.trace_file)
+    if args.out:
+        with open(args.out, "w") as fp:
+            fp.write(text)
+        print(f"wrote {args.out} ({len(trace)} entries); open in "
+              f"https://ui.perfetto.dev or chrome://tracing")
+    else:
+        print(text)
+    return 0
+
+
 def cmd_campaign(args) -> None:
     from repro.core.genscripts import (generate_campaign, gmp_spec,
                                        tcp_spec)
@@ -387,6 +435,26 @@ def build_parser() -> argparse.ArgumentParser:
     sequence.add_argument("--vendor", default="SunOS 4.1.3")
     sequence.add_argument("--duration", type=float, default=5.0)
     sequence.add_argument("--max-events", type=int, default=30)
+    report = sub.add_parser(
+        "report", help="summarize an exported JSON-lines trace: metrics, "
+                       "message lineage, timeline (docs/observability.md)")
+    report.add_argument("trace_file", help="JSON-lines trace "
+                                           "(analysis.export.dump_trace)")
+    report.add_argument("--tail", type=int, default=40,
+                        help="timeline entries to show (default 40)")
+    report.add_argument("--kind", default="",
+                        help="restrict the timeline to kinds with this "
+                             "prefix (e.g. 'pfi.')")
+    report.add_argument("--uid", type=int, default=None,
+                        help="print only the derivation tree containing "
+                             "this message uid")
+    chrome = sub.add_parser(
+        "trace", help="convert a JSON-lines trace to Chrome-trace/"
+                      "Perfetto JSON")
+    chrome.add_argument("trace_file", help="JSON-lines trace "
+                                           "(analysis.export.dump_trace)")
+    chrome.add_argument("--out", default="",
+                        help="write to this file instead of stdout")
     return parser
 
 
@@ -400,6 +468,10 @@ def main(argv=None) -> int:
         cmd_run_script(args)
     elif args.command == "sequence":
         cmd_sequence(args)
+    elif args.command == "report":
+        return cmd_report(args)
+    elif args.command == "trace":
+        return cmd_trace(args)
     else:
         COMMANDS[args.command](args)
     return 0

@@ -24,15 +24,21 @@ class MessageLog:
     """Formats and records intercepted messages."""
 
     def __init__(self, stubs: PacketStubs, trace: Optional[TraceRecorder] = None,
-                 node: str = ""):
+                 node: str = "", metrics=None):
         self._stubs = stubs
         self._trace = trace
         self._node = node
         self.lines: List[str] = []
+        # one counter handle, created up front (see repro.obs.metrics);
+        # None keeps the logger registry-free for standalone use
+        self._logged = (metrics.counter("pfi_logged", node=node)
+                        if metrics is not None else None)
 
     def log(self, msg: Message, *, t: float, direction: str,
             note: str = "") -> str:
         """Record one message; returns the formatted line."""
+        if self._logged is not None:
+            self._logged.inc()
         msg_type = self._stubs.msg_type(msg)
         fields = self._snapshot_fields(msg)
         detail = " ".join(f"{k}={v}" for k, v in fields.items())

@@ -16,13 +16,15 @@ from __future__ import annotations
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Tuple
+from time import perf_counter
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.distributions import DistributionSet, derive_seed
 from repro.core.sync import ScriptSync
 from repro.netsim.network import Network
 from repro.netsim.scheduler import Scheduler
 from repro.netsim.trace import TraceRecorder
+from repro.obs.telemetry import RunTelemetry, render_scorecard
 
 #: config keys whose string values are treated as tclish script sources
 SCRIPT_KEYS = ("script", "tclish", "tclish_source", "send_script",
@@ -79,11 +81,17 @@ def make_env(seed: int = 0, *, default_latency: float = 0.001) -> ExperimentEnv:
 
 @dataclass
 class RunResult:
-    """The outcome of one experiment configuration."""
+    """The outcome of one experiment configuration.
+
+    ``telemetry`` carries per-run timing and volume figures
+    (:class:`~repro.obs.telemetry.RunTelemetry`); it is ``None`` when the
+    campaign ran with ``telemetry=False``.
+    """
 
     config: Dict[str, Any]
     result: Any
     trace: TraceRecorder
+    telemetry: Optional[RunTelemetry] = None
 
 
 class CampaignScriptError(ValueError):
@@ -178,7 +186,8 @@ class Campaign:
         return failing
 
     def run(self, configs: Iterable[Dict[str, Any]], *,
-            workers: int = 1) -> List[RunResult]:
+            workers: int = 1, telemetry: bool = True,
+            scorecard: bool = False) -> List[RunResult]:
         """Execute the body once per configuration.
 
         With ``workers > 1`` the configurations run in a process pool;
@@ -188,6 +197,13 @@ class Campaign:
         :data:`SCRIPT_KEYS`) are statically analyzed first; any
         error-level diagnostic aborts the whole campaign before any
         worker runs (``Campaign(..., lint="off")`` skips this).
+
+        ``telemetry`` (default on) records per-configuration wall time,
+        dispatched-event count, final virtual time and trace volume onto
+        ``RunResult.telemetry``; ``telemetry=False`` restores the bare
+        execution path.  ``scorecard=True`` additionally prints the
+        campaign scorecard (:func:`repro.obs.telemetry.render_scorecard`)
+        after the sweep completes.
         """
         config_list = [dict(config) for config in configs]
         if self._lint != "off":
@@ -195,25 +211,55 @@ class Campaign:
             if failing:
                 raise CampaignScriptError(failing)
         if workers <= 1 or len(config_list) <= 1:
-            return [_execute_config(self._body, self._seed, config)
-                    for config in config_list]
-        try:
-            pickle.dumps(self._body)
-        except Exception as err:
-            raise TypeError(
-                "Campaign.run(workers>1) needs a picklable (module-level) "
-                f"body, got {self._body!r}: {err}") from err
-        pool_size = min(workers, len(config_list))
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            futures = [pool.submit(_execute_config, self._body, self._seed,
-                                   config) for config in config_list]
-            return [future.result() for future in futures]
+            results = [_execute_config(self._body, self._seed, config,
+                                       telemetry=telemetry)
+                       for config in config_list]
+        else:
+            try:
+                pickle.dumps(self._body)
+            except Exception as err:
+                raise TypeError(
+                    "Campaign.run(workers>1) needs a picklable "
+                    f"(module-level) body, got {self._body!r}: {err}"
+                ) from err
+            pool_size = min(workers, len(config_list))
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                futures = [pool.submit(_execute_config, self._body,
+                                       self._seed, config,
+                                       telemetry=telemetry)
+                           for config in config_list]
+                results = []
+                for index, future in enumerate(futures):
+                    try:
+                        results.append(future.result())
+                    except Exception as err:
+                        # name the failing configuration: a bare pool
+                        # traceback says nothing about which sweep point
+                        # died.  add_note keeps the original type and
+                        # message intact for callers matching on them.
+                        err.add_note(
+                            f"campaign config [{index}] failed: "
+                            f"{config_list[index]!r}")
+                        raise
+        if scorecard:
+            print(render_scorecard(results))
+        return results
 
 
 def _execute_config(body: Callable[[ExperimentEnv, Dict[str, Any]], Any],
-                    seed: int, config: Dict[str, Any]) -> RunResult:
+                    seed: int, config: Dict[str, Any], *,
+                    telemetry: bool = True) -> RunResult:
     """Run one configuration: the shared serial/parallel execution path."""
     run_seed = derive_seed(seed, repr(sorted(config.items())))
     env = make_env(seed=run_seed)
+    if not telemetry:
+        result = body(env, dict(config))
+        return RunResult(config=dict(config), result=result, trace=env.trace)
+    start = perf_counter()
     result = body(env, dict(config))
-    return RunResult(config=dict(config), result=result, trace=env.trace)
+    wall_s = perf_counter() - start
+    run_telemetry = RunTelemetry(
+        wall_s=wall_s, events=env.scheduler.dispatched_count,
+        virtual_s=env.scheduler.now, trace_entries=len(env.trace))
+    return RunResult(config=dict(config), result=result, trace=env.trace,
+                     telemetry=run_telemetry)

@@ -38,8 +38,14 @@ from repro.core.stubs import PacketStubs
 from repro.core.sync import ScriptSync
 from repro.netsim.scheduler import Scheduler
 from repro.netsim.trace import TraceRecorder
+from repro.obs.metrics import MetricsRegistry
 from repro.xkernel.message import Message
 from repro.xkernel.protocol import Protocol
+
+#: the layer's action counters, in presentation order; each becomes a
+#: ``pfi_<name>`` counter labelled with the node name
+_STAT_NAMES = ("send_seen", "receive_seen", "dropped", "delayed",
+               "duplicated", "injected", "held", "released")
 
 
 class PFILayer(Protocol):
@@ -49,7 +55,8 @@ class PFILayer(Protocol):
                  trace: Optional[TraceRecorder] = None,
                  sync: Optional[ScriptSync] = None,
                  dist: Optional[DistributionSet] = None,
-                 node: str = ""):
+                 node: str = "",
+                 metrics: Optional[MetricsRegistry] = None):
         super().__init__(name)
         self.scheduler = scheduler
         self.stubs = stubs
@@ -61,12 +68,31 @@ class PFILayer(Protocol):
         self.receive_filter: Optional[FilterScript] = None
         self.send_state: Dict[str, Any] = {}
         self.receive_state: Dict[str, Any] = {}
-        self.msglog = MessageLog(stubs, trace, node=self.node)
+        #: the layer's metrics registry; pass a shared one to aggregate
+        #: several layers (or a whole node) into a single snapshot
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.msglog = MessageLog(stubs, trace, node=self.node,
+                                 metrics=self.metrics)
         self._held: Dict[Tuple[str, str], List[Message]] = OrderedDict()
         self._killed = False
-        self.stats = {"send_seen": 0, "receive_seen": 0, "dropped": 0,
-                      "delayed": 0, "duplicated": 0, "injected": 0,
-                      "held": 0, "released": 0}
+        # counter handles are created once here so the data path does a
+        # bare attribute increment per event, never a registry lookup
+        self._counters = {stat: self.metrics.counter(f"pfi_{stat}",
+                                                     node=self.node)
+                          for stat in _STAT_NAMES}
+        self._seen_counters = {"send": self._counters["send_seen"],
+                               "receive": self._counters["receive_seen"]}
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """The classic counters as a plain dict.
+
+        Kept for callers that predate the metrics registry; the values
+        are read live from the registry, so ``pfi.stats["dropped"]`` and
+        ``pfi.metrics.counter("pfi_dropped", node=...)`` always agree.
+        """
+        return {stat: counter.value
+                for stat, counter in self._counters.items()}
 
     # ------------------------------------------------------------------
     # filter installation
@@ -109,10 +135,10 @@ class PFILayer(Protocol):
 
     def _process(self, msg: Message, direction: str) -> None:
         if self._killed:
-            self.stats["dropped"] += 1
+            self._counters["dropped"].inc()
             self._record("pfi.killed_drop", direction=direction, uid=msg.uid)
             return
-        self.stats[f"{direction}_seen"] += 1
+        self._seen_counters[direction].inc()
         script = self.send_filter if direction == "send" else self.receive_filter
         if script is None:
             self._forward(msg, direction)
@@ -130,7 +156,11 @@ class PFILayer(Protocol):
     def _apply(self, ctx: ScriptContext) -> None:
         direction = ctx.direction
         for injected, inj_direction, delay in ctx.injections:
-            self.inject(injected, inj_direction, delay=delay)
+            # the filtered message is the injection's causal parent --
+            # the lineage edge that lets `repro report` answer "which
+            # packet triggered this probe?"
+            self.inject(injected, inj_direction, delay=delay,
+                        parent=ctx.msg.uid)
 
         try:
             self._apply_verdict(ctx)
@@ -143,19 +173,19 @@ class PFILayer(Protocol):
     def _apply_verdict(self, ctx: ScriptContext) -> None:
         direction = ctx.direction
         if ctx.verdict == DROP:
-            self.stats["dropped"] += 1
+            self._counters["dropped"].inc()
             self._record("pfi.drop", direction=direction, uid=ctx.msg.uid,
                          msg_type=ctx.msg_type())
             return
         if ctx.verdict == HOLD:
-            self.stats["held"] += 1
+            self._counters["held"].inc()
             self._held.setdefault((direction, ctx.hold_tag), []).append(ctx.msg)
             self._record("pfi.hold", direction=direction, uid=ctx.msg.uid,
                          tag=ctx.hold_tag)
             return
 
         if ctx.delay_s > 0:
-            self.stats["delayed"] += 1
+            self._counters["delayed"].inc()
             self._record("pfi.delay", direction=direction, uid=ctx.msg.uid,
                          seconds=ctx.delay_s, msg_type=ctx.msg_type())
             self.scheduler.schedule(ctx.delay_s, self._forward, ctx.msg, direction)
@@ -163,7 +193,7 @@ class PFILayer(Protocol):
             self._forward(ctx.msg, direction)
 
         for extra_delay in ctx.duplicate_delays:
-            self.stats["duplicated"] += 1
+            self._counters["duplicated"].inc()
             copy = ctx.msg.copy()
             self._record("pfi.duplicate", direction=direction, uid=copy.uid,
                          original=ctx.msg.uid)
@@ -174,7 +204,7 @@ class PFILayer(Protocol):
 
     def _forward(self, msg: Message, direction: str) -> None:
         if self._killed:
-            self.stats["dropped"] += 1
+            self._counters["dropped"].inc()
             return
         if direction == "send":
             self.send_down(msg)
@@ -185,17 +215,25 @@ class PFILayer(Protocol):
     # injection / reordering helpers
     # ------------------------------------------------------------------
 
-    def inject(self, msg: Message, direction: str, *, delay: float = 0.0) -> None:
+    def inject(self, msg: Message, direction: str, *, delay: float = 0.0,
+               parent: Optional[int] = None) -> None:
         """Introduce a spontaneous message, bypassing the filters.
 
         ``direction='send'`` pushes toward the wire (probing remote
         participants); ``direction='receive'`` delivers up into the target
         layer (forging traffic the target believes it received).
+        ``parent`` is the uid of the message whose filtering triggered
+        this injection (set automatically for script-driven injections)
+        and becomes a lineage edge in the trace.
         """
-        self.stats["injected"] += 1
+        self._counters["injected"].inc()
         msg.meta["injected"] = True
-        self._record("pfi.inject", direction=direction, uid=msg.uid,
-                     msg_type=self.stubs.msg_type(msg))
+        if parent is None:
+            self._record("pfi.inject", direction=direction, uid=msg.uid,
+                         msg_type=self.stubs.msg_type(msg))
+        else:
+            self._record("pfi.inject", direction=direction, uid=msg.uid,
+                         msg_type=self.stubs.msg_type(msg), parent=parent)
         if delay > 0:
             self.scheduler.schedule(delay, self._forward, msg, direction)
         else:
@@ -203,9 +241,10 @@ class PFILayer(Protocol):
 
     def _release(self, direction: str, tag: str, delay: float) -> None:
         queue = self._held.pop((direction, tag), [])
-        for i, msg in enumerate(queue):
-            self.stats["released"] += 1
-            self._record("pfi.release", direction=direction, uid=msg.uid, tag=tag)
+        for position, msg in enumerate(queue):
+            self._counters["released"].inc()
+            self._record("pfi.release", direction=direction, uid=msg.uid,
+                         tag=tag, position=position)
             if delay > 0:
                 self.scheduler.schedule(delay, self._forward, msg, direction)
             else:

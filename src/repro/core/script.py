@@ -32,6 +32,7 @@ so lint and runtime can never disagree about the command surface.
 from __future__ import annotations
 
 import warnings
+from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
 from repro.core.context import ScriptContext
@@ -111,17 +112,48 @@ class TclishFilter(FilterScript):
                     TclishLintWarning, stacklevel=2)
         self.interp = Interp(compiled=compiled)
         self._ctx_cell: List[Optional[ScriptContext]] = [None]
+        self.profiler = None
         _register_bridge(self.interp, self._ctx_cell)
         if compiled:
             self.interp.compile(source)
         if init_script:
             self.interp.eval(init_script)
 
+    def enable_profiler(self, profiler=None):
+        """Attach a :class:`~repro.obs.profiler.ScriptProfiler`.
+
+        Instruments both granularities at once: per-command wall time in
+        the interpreter's compiled-exec path, and per-invocation wall
+        time of this filter recorded under its ``name``.  Pass a shared
+        profiler to aggregate several filters; returns the profiler so
+        ``prof = f.enable_profiler()`` reads naturally.
+        """
+        if profiler is None:
+            from repro.obs.profiler import ScriptProfiler
+            profiler = ScriptProfiler()
+        self.profiler = profiler
+        self.interp.profiler = profiler
+        return profiler
+
+    def disable_profiler(self) -> None:
+        """Detach the profiler; ``run`` goes back to the zero-cost path."""
+        self.profiler = None
+        self.interp.profiler = None
+
     def run(self, ctx: ScriptContext) -> None:
         self._ctx_cell[0] = ctx
+        profiler = self.profiler
+        if profiler is None:
+            try:
+                self.interp.eval(self.source)
+            finally:
+                self._ctx_cell[0] = None
+            return
+        start = perf_counter()
         try:
             self.interp.eval(self.source)
         finally:
+            profiler.record_script(self.name, perf_counter() - start)
             self._ctx_cell[0] = None
 
     @property

@@ -256,6 +256,13 @@ def cache_size() -> int:
     return len(_CACHE)
 
 
+def cache_stats() -> dict:
+    """Occupancy of every compile-path cache, for metrics snapshots."""
+    return {"script_cache": len(_CACHE),
+            "substitution_cache": len(_SUBST_CACHE),
+            "cache_max": CACHE_MAX}
+
+
 def clear_cache() -> None:
     """Drop every cached compilation (tests and long-lived processes)."""
     from repro.core.tclish import expr as _expr

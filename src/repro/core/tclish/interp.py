@@ -19,6 +19,7 @@ parse-per-eval path alive for equivalence testing and benchmarking.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.core.tclish import compiler, stdlib_loader
@@ -92,6 +93,10 @@ class Interp:
         self.cache_hits = 0
         #: evals that had to compile their source first
         self.cache_misses = 0
+        #: opt-in :class:`repro.obs.profiler.ScriptProfiler`; when set,
+        #: the compiled executor records per-command wall time.  The
+        #: disabled cost is one ``is not None`` test per command.
+        self.profiler = None
         stdlib_loader.install(self)
 
     # ------------------------------------------------------------------
@@ -219,6 +224,16 @@ class Interp:
             "cache_size": compiler.cache_size(),
         }
 
+    def fill_metrics(self, registry, **labels: Any) -> None:
+        """Absorb the engine counters into a metrics registry.
+
+        The registry form (see :mod:`repro.obs.metrics`) supersedes the
+        bare :meth:`stats` dict when snapshotting a whole run: labelled
+        gauges merge cleanly across filters and campaign workers.
+        """
+        for name, value in self.stats().items():
+            registry.gauge(f"tclish_{name}", **labels).set(value)
+
     def _exec_compiled(self, command: CompiledCommand) -> str:
         """Execute one compiled command: resolve words, then dispatch."""
         values: List[str] = []
@@ -232,6 +247,12 @@ class Interp:
                 append(get_var(word.text))
             else:
                 append(self._run_segments(word.segments))
+        profiler = self.profiler
+        if profiler is not None:
+            start = perf_counter()
+            result = self.call(values[0], values[1:])
+            profiler.record_command(values[0], perf_counter() - start)
+            return result
         return self.call(values[0], values[1:])
 
     def _run_segments(self, segments) -> str:

@@ -99,9 +99,11 @@ class ReliableChannel(Protocol):
             self._record("rel.abandon", dst=pending.dst, seq=pending.seq)
             return
         pending.retries += 1
+        wire = self._wire_copy(pending.msg)
         self._record("rel.retransmit", dst=pending.dst, seq=pending.seq,
-                     attempt=pending.retries)
-        self.send_down(self._wire_copy(pending.msg))
+                     attempt=pending.retries, uid=wire.uid,
+                     parent=pending.msg.uid, relation="retransmit")
+        self.send_down(wire)
         pending.timer.start(self.retry_interval)
 
     def _wire_copy(self, msg: Message) -> Message:

@@ -122,6 +122,42 @@ class TraceRecorder:
         matches = self.entries(kind, **attr_filter)
         return matches[-1] if matches else None
 
+    def count_by_kind(self, prefix: str = "") -> Dict[str, int]:
+        """``{kind: count}`` over the captured entries.
+
+        The cheap aggregate behind ``repro report`` summaries and
+        :func:`repro.obs.report.trace_metrics`.
+        """
+        counts: Dict[str, int] = {}
+        for entry in self._entries:
+            if prefix and not entry.kind.startswith(prefix):
+                continue
+            counts[entry.kind] = counts.get(entry.kind, 0) + 1
+        return counts
+
+    def span(self) -> Optional[tuple]:
+        """``(first_time, last_time)`` over all entries, or None if empty.
+
+        Entries arrive clock-ordered from a live run, but loaded or
+        merged traces may not be sorted, so both ends are scanned.
+        """
+        if not self._entries:
+            return None
+        times = [e.time for e in self._entries]
+        return (min(times), max(times))
+
+    def fill_metrics(self, registry, **labels: Any) -> None:
+        """Absorb this trace's aggregates into a metrics registry.
+
+        Writes one ``trace_entries`` gauge per kind (plus the total), so
+        a campaign worker's capture volume shows up next to the
+        scheduler/interp series in one snapshot.
+        """
+        registry.gauge("trace_entries_total", **labels).set(
+            len(self._entries))
+        for kind, count in self.count_by_kind().items():
+            registry.gauge("trace_entries", kind=kind, **labels).set(count)
+
     def clear(self) -> None:
         """Drop all captured entries."""
         self._entries.clear()

@@ -1,0 +1,48 @@
+"""repro.obs: the unified observability layer.
+
+The paper derives every result from monitoring -- "each packet was logged
+with a timestamp by the receive filter script" is the entire evidence
+pipeline -- and this package is that pipeline grown up.  It threads four
+capabilities through every layer of the toolchain:
+
+- :mod:`~repro.obs.metrics` -- a labelled counter/gauge/histogram
+  registry that supersedes the bare ``stats`` dicts on ``PFILayer``,
+  ``Interp`` and ``Scheduler``; snapshotable per run and mergeable
+  across campaign workers;
+- :mod:`~repro.obs.lineage` -- causal parent->child message derivation
+  reconstructed from a trace (duplicates, injections, retransmits), so
+  "where did this packet come from?" has an answer;
+- :mod:`~repro.obs.profiler` -- an opt-in tclish script profiler
+  reporting per-command and per-script wall time, hooked into the
+  compiled execution path;
+- :mod:`~repro.obs.telemetry` -- per-configuration campaign timing
+  (wall/virtual-time ratio, event counts) rendered as a scorecard;
+- :mod:`~repro.obs.chrometrace` / :mod:`~repro.obs.report` -- exporters:
+  Chrome-trace/Perfetto JSON and the ``repro report`` text rendering.
+
+Everything here is read-side or explicitly opt-in: with no trace bound
+and no profiler attached the instrumented hot paths stay guard-only
+(one ``is not None`` test, no allocation).
+"""
+
+from repro.obs.chrometrace import chrome_trace, dump_chrome_trace
+from repro.obs.lineage import Lineage, LineageNode
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiler import ScriptProfiler
+from repro.obs.report import render_report
+from repro.obs.telemetry import RunTelemetry, render_scorecard
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Lineage",
+    "LineageNode",
+    "MetricsRegistry",
+    "RunTelemetry",
+    "ScriptProfiler",
+    "chrome_trace",
+    "dump_chrome_trace",
+    "render_report",
+    "render_scorecard",
+]

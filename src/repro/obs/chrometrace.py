@@ -1,0 +1,123 @@
+"""Chrome-trace / Perfetto export of experiment traces.
+
+Converts a :class:`~repro.netsim.trace.TraceRecorder` (live or loaded
+from a JSON-lines archive) into the Trace Event Format consumed by
+``chrome://tracing`` and https://ui.perfetto.dev: open the JSON, and the
+run becomes a zoomable timeline with one process row per node and one
+thread row per direction/subsystem.
+
+Mapping:
+
+- virtual seconds -> microsecond timestamps (``ts``);
+- a node (``node`` attr, falling back to ``conn``, else ``run``) -> a
+  ``pid`` with a ``process_name`` metadata record;
+- the entry's ``direction`` attr (else its kind prefix, "tcp", "gmp",
+  ...) -> a ``tid`` with a ``thread_name`` record;
+- ``pfi.delay`` -> a complete span (``ph: "X"``) of the delay duration;
+- ``pfi.hold`` ... ``pfi.release`` of the same uid -> a complete span
+  from park to re-emission;
+- everything else -> a thread-scoped instant event (``ph: "i"``).
+
+All attribute payloads ride along under ``args`` (JSON-sanitized), so
+clicking any event in the viewer shows the original trace entry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.analysis.export import _jsonable
+from repro.netsim.trace import TraceEntry
+
+_US = 1_000_000  # virtual seconds -> trace microseconds
+
+
+def _lane(entry: TraceEntry) -> Tuple[str, str]:
+    """(process, thread) placement for one entry."""
+    node = entry.get("node")
+    if node is None:
+        node = entry.get("conn")
+    if node is None:
+        node = "run"
+    direction = entry.get("direction")
+    if direction is None:
+        direction = entry.kind.split(".", 1)[0]
+    return str(node), str(direction)
+
+
+def chrome_trace(trace: Iterable[TraceEntry], *,
+                 title: str = "repro run") -> Dict[str, Any]:
+    """Build the Trace Event Format dict for a trace."""
+    events: List[Dict[str, Any]] = []
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[str, str], int] = {}
+    open_holds: Dict[Any, Tuple[TraceEntry, int, int]] = {}
+
+    def lane_ids(entry: TraceEntry) -> Tuple[int, int]:
+        process, thread = _lane(entry)
+        pid = pids.get(process)
+        if pid is None:
+            pid = pids[process] = len(pids) + 1
+            events.append({"ph": "M", "name": "process_name", "pid": pid,
+                           "tid": 0, "args": {"name": process}})
+        key = (process, thread)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = len(tids) + 1
+            events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                           "tid": tid, "args": {"name": thread}})
+        return pid, tid
+
+    def args_of(entry: TraceEntry) -> Dict[str, Any]:
+        return {k: _jsonable(v) for k, v in entry.attrs.items()}
+
+    for entry in trace:
+        pid, tid = lane_ids(entry)
+        ts = entry.time * _US
+        if entry.kind == "pfi.delay":
+            events.append({"ph": "X", "name": f"delay uid={entry.get('uid')}",
+                           "cat": "pfi", "ts": ts,
+                           "dur": float(entry.get("seconds", 0.0)) * _US,
+                           "pid": pid, "tid": tid, "args": args_of(entry)})
+            continue
+        if entry.kind == "pfi.hold":
+            open_holds[entry.get("uid")] = (entry, pid, tid)
+            continue
+        if entry.kind == "pfi.release":
+            held = open_holds.pop(entry.get("uid"), None)
+            if held is not None:
+                hold_entry, hold_pid, hold_tid = held
+                events.append({
+                    "ph": "X",
+                    "name": f"hold uid={entry.get('uid')} "
+                            f"tag={entry.get('tag')}",
+                    "cat": "pfi", "ts": hold_entry.time * _US,
+                    "dur": (entry.time - hold_entry.time) * _US,
+                    "pid": hold_pid, "tid": hold_tid,
+                    "args": args_of(entry)})
+                continue
+            # release with no recorded hold: fall through as an instant
+        events.append({"ph": "i", "name": entry.kind,
+                       "cat": entry.kind.split(".", 1)[0], "ts": ts,
+                       "s": "t", "pid": pid, "tid": tid,
+                       "args": args_of(entry)})
+
+    # messages still parked when the run ended: zero-length markers
+    for hold_entry, pid, tid in open_holds.values():
+        events.append({"ph": "i",
+                       "name": f"held (never released) "
+                               f"uid={hold_entry.get('uid')}",
+                       "cat": "pfi", "ts": hold_entry.time * _US, "s": "t",
+                       "pid": pid, "tid": tid, "args": args_of(hold_entry)})
+
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"title": title,
+                          "generator": "repro.obs.chrometrace"}}
+
+
+def dump_chrome_trace(trace: Iterable[TraceEntry], *,
+                      title: str = "repro run", indent: int = 0) -> str:
+    """The Trace Event Format JSON text for a trace."""
+    return json.dumps(chrome_trace(trace, title=title), sort_keys=True,
+                      indent=indent or None)

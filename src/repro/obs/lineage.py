@@ -1,0 +1,184 @@
+"""Causal message lineage reconstructed from a trace.
+
+Every fault-injection action that creates or re-emits a message records
+the message uids involved: ``pfi.duplicate`` carries ``original -> uid``,
+``pfi.inject`` carries the ``parent`` that triggered it, TCP and the GMP
+reliable layer record ``parent -> uid`` edges for each retransmitted wire
+message.  This module folds those edges (plus every per-uid event such as
+``pfi.delay``, ``pfi.hold``, ``pfi.release``, ``pfi.drop``, ``pfi.log``)
+into a forest, so the full derivation tree of any packet -- *why does
+this message exist, and what happened to it?* -- is a query over an
+archived run rather than archaeology.
+
+Build one with :meth:`Lineage.from_trace` (works on a live
+:class:`~repro.netsim.trace.TraceRecorder` or one loaded back via
+:func:`repro.analysis.export.load_trace`), then ask for ``tree(uid)``,
+``root_of(uid)``, or a rendered ``render(uid)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.netsim.trace import TraceEntry
+
+#: trace kinds that carry an explicit parent attribute name -> relation
+_EDGE_ATTRS = {
+    "pfi.duplicate": ("original", "duplicate"),
+    "pfi.inject": ("parent", "inject"),
+}
+
+#: attrs that are bookkeeping on the entry itself, not worth echoing in
+#: rendered event lines
+_QUIET_ATTRS = {"uid", "original", "parent", "trigger", "node", "conn",
+                "relation"}
+
+
+class LineageNode:
+    """One message in a derivation tree."""
+
+    __slots__ = ("uid", "relation", "events", "children")
+
+    def __init__(self, uid: int, relation: str = "root"):
+        self.uid = uid
+        #: how this message came to exist ("root", "duplicate",
+        #: "inject", "retransmit", ...)
+        self.relation = relation
+        #: trace entries mentioning this uid, in capture order
+        self.events: List[TraceEntry] = []
+        self.children: List["LineageNode"] = []
+
+    def walk(self) -> Iterable["LineageNode"]:
+        """This node and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return (f"LineageNode(uid={self.uid}, {self.relation}, "
+                f"{len(self.events)} events, "
+                f"{len(self.children)} children)")
+
+
+class Lineage:
+    """The parent->child uid graph of one run."""
+
+    def __init__(self):
+        self._parent: Dict[int, Tuple[int, str]] = {}
+        self._children: Dict[int, List[Tuple[int, str]]] = {}
+        self._events: Dict[int, List[TraceEntry]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_trace(cls, trace: Iterable[TraceEntry]) -> "Lineage":
+        """Scan a trace (live or loaded) and build the derivation graph."""
+        lineage = cls()
+        for entry in trace:
+            uid = entry.get("uid")
+            if uid is None:
+                continue
+            lineage._events.setdefault(uid, []).append(entry)
+            parent_attr, relation = _EDGE_ATTRS.get(entry.kind,
+                                                    ("parent", None))
+            parent = entry.get(parent_attr)
+            if parent is None or parent == uid:
+                continue
+            if relation is None:
+                relation = entry.get("relation") or entry.kind
+            lineage._add_edge(parent, uid, relation)
+        return lineage
+
+    def _add_edge(self, parent: int, child: int, relation: str) -> None:
+        self._parent.setdefault(child, (parent, relation))
+        self._children.setdefault(parent, []).append((child, relation))
+        self._events.setdefault(parent, [])
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def uids(self) -> List[int]:
+        """Every uid the trace mentioned, sorted."""
+        return sorted(self._events)
+
+    def parent_of(self, uid: int) -> Optional[Tuple[int, str]]:
+        """``(parent_uid, relation)`` or None for roots/unknowns."""
+        return self._parent.get(uid)
+
+    def children_of(self, uid: int) -> List[Tuple[int, str]]:
+        """Direct derived messages as ``(uid, relation)`` pairs."""
+        return list(self._children.get(uid, ()))
+
+    def events_of(self, uid: int) -> List[TraceEntry]:
+        """Trace entries that mention this uid, in capture order."""
+        return list(self._events.get(uid, ()))
+
+    def root_of(self, uid: int) -> int:
+        """Walk parent edges to the origin of a derivation chain."""
+        seen = {uid}
+        while True:
+            link = self._parent.get(uid)
+            if link is None:
+                return uid
+            uid = link[0]
+            if uid in seen:  # defensive: corrupt traces must not hang us
+                return uid
+            seen.add(uid)
+
+    def roots(self) -> List[int]:
+        """Uids that are nobody's child but have derived descendants."""
+        return sorted(uid for uid in self._children
+                      if uid not in self._parent)
+
+    def derived_count(self) -> int:
+        """Total number of parent->child edges in the run."""
+        return len(self._parent)
+
+    def tree(self, uid: int) -> LineageNode:
+        """The full derivation tree hanging below ``uid``."""
+        relation = self._parent.get(uid, (None, "root"))[1]
+        node = LineageNode(uid, relation)
+        node.events = self.events_of(uid)
+        for child_uid, _rel in self._children.get(uid, ()):
+            node.children.append(self.tree(child_uid))
+        return node
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def render(self, uid: Optional[int] = None, *,
+               max_events: int = 8) -> str:
+        """ASCII derivation tree(s): one root, or every root in the run."""
+        roots = [uid] if uid is not None else self.roots()
+        if not roots:
+            return "(no derived messages in this trace)"
+        blocks = [self._render_node(self.tree(root), "", max_events)
+                  for root in roots]
+        return "\n".join(blocks)
+
+    def _render_node(self, node: LineageNode, indent: str,
+                     max_events: int) -> str:
+        tag = "" if node.relation == "root" else f" [{node.relation}]"
+        lines = [f"{indent}uid {node.uid}{tag}"]
+        body = indent + ("  " if not indent else "  ")
+        shown = node.events[:max_events]
+        for entry in shown:
+            detail = " ".join(f"{k}={v}" for k, v in sorted(
+                entry.attrs.items()) if k not in _QUIET_ATTRS)
+            lines.append(f"{body}@{entry.time:.3f} {entry.kind}"
+                         + (f" {detail}" if detail else ""))
+        if len(node.events) > len(shown):
+            lines.append(f"{body}... {len(node.events) - len(shown)} "
+                         f"more event(s)")
+        for child in node.children:
+            lines.append(self._render_node(child, indent + "  ",
+                                           max_events))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"Lineage({len(self._events)} uids, "
+                f"{self.derived_count()} edges)")

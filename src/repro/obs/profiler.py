@@ -1,0 +1,108 @@
+"""The tclish script profiler.
+
+A million-event campaign spends most of its wall clock inside filter
+scripts; when one is slow, the question is *which command* is eating the
+time.  :class:`ScriptProfiler` answers it: attach one to an interpreter
+(``interp.profiler = profiler``) or a filter
+(:meth:`~repro.core.script.TclishFilter.enable_profiler`) and the
+compiled execution path records per-command invocation counts and wall
+time, while ``TclishFilter.run`` records per-script totals.
+
+The hook is strictly opt-in: with no profiler attached the compiled
+executor pays one ``is not None`` test per command and allocates
+nothing.  Command times are *inclusive* -- ``if``/``while``/``proc``
+bodies evaluated inside a command are charged to that command as well as
+to their own commands -- which is the useful shape for "where does the
+time go" questions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class ScriptProfiler:
+    """Accumulates per-command and per-script wall time."""
+
+    __slots__ = ("commands", "scripts")
+
+    def __init__(self):
+        #: command name -> [invocations, total seconds] (inclusive)
+        self.commands: Dict[str, List[float]] = {}
+        #: script label -> [runs, total seconds]
+        self.scripts: Dict[str, List[float]] = {}
+
+    # ------------------------------------------------------------------
+    # capture (called from the interpreter hot path)
+    # ------------------------------------------------------------------
+
+    def record_command(self, name: str, seconds: float) -> None:
+        cell = self.commands.get(name)
+        if cell is None:
+            self.commands[name] = [1, seconds]
+        else:
+            cell[0] += 1
+            cell[1] += seconds
+
+    def record_script(self, label: str, seconds: float) -> None:
+        cell = self.scripts.get(label)
+        if cell is None:
+            self.scripts[label] = [1, seconds]
+        else:
+            cell[0] += 1
+            cell[1] += seconds
+
+    # ------------------------------------------------------------------
+    # aggregation / reporting
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "ScriptProfiler") -> "ScriptProfiler":
+        """Fold another profiler (e.g. the peer filter's) into this one."""
+        for table_name in ("commands", "scripts"):
+            mine, theirs = getattr(self, table_name), getattr(other,
+                                                             table_name)
+            for key, (count, total) in theirs.items():
+                cell = mine.get(key)
+                if cell is None:
+                    mine[key] = [count, total]
+                else:
+                    cell[0] += count
+                    cell[1] += total
+        return self
+
+    def command_rows(self) -> List[Tuple[str, int, float, float]]:
+        """``(name, calls, total_s, per_call_us)`` sorted by total desc."""
+        rows = [(name, int(count), total, total / count * 1e6)
+                for name, (count, total) in self.commands.items()]
+        rows.sort(key=lambda row: row[2], reverse=True)
+        return rows
+
+    def script_rows(self) -> List[Tuple[str, int, float, float]]:
+        """``(label, runs, total_s, per_run_us)`` sorted by total desc."""
+        rows = [(label, int(count), total, total / count * 1e6)
+                for label, (count, total) in self.scripts.items()]
+        rows.sort(key=lambda row: row[2], reverse=True)
+        return rows
+
+    def report(self, *, top: int = 20) -> str:
+        """Aligned text report: scripts first, then the command ranking."""
+        lines: List[str] = []
+        if self.scripts:
+            lines.append(f"{'script':<32} {'runs':>8} {'total s':>10} "
+                         f"{'us/run':>10}")
+            for label, runs, total, per in self.script_rows()[:top]:
+                lines.append(f"{label:<32} {runs:>8} {total:>10.4f} "
+                             f"{per:>10.1f}")
+        if self.commands:
+            if lines:
+                lines.append("")
+            lines.append(f"{'command':<32} {'calls':>8} {'total s':>10} "
+                         f"{'us/call':>10}")
+            for name, calls, total, per in self.command_rows()[:top]:
+                lines.append(f"{name:<32} {calls:>8} {total:>10.4f} "
+                             f"{per:>10.1f}")
+        return "\n".join(lines) if lines else "(profiler captured nothing)"
+
+    def __repr__(self) -> str:
+        return (f"ScriptProfiler({len(self.commands)} commands, "
+                f"{len(self.scripts)} scripts)")

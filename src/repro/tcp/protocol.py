@@ -44,6 +44,10 @@ class TCPProtocol(Protocol):
         self._connections: Dict[ConnKey, TCPConnection] = {}
         self._listeners: Dict[int, TCPConnection] = {}
         self._next_iss = 1000
+        # uid of the first wire message carrying each payload range, so a
+        # retransmission records a lineage edge back to the original
+        # transmission; only maintained while a trace is attached
+        self._first_uids: Dict[Tuple[str, int, int], int] = {}
 
     # ------------------------------------------------------------------
     # connection management
@@ -89,6 +93,20 @@ class TCPProtocol(Protocol):
         msg = Message(payload=b"", headers=[seg])
         msg.meta["dst"] = conn.remote_address
         msg.meta["src"] = self.local_address
+        if self.trace is not None and seg.payload:
+            # lineage edge: a re-sent payload range points back to the
+            # uid that first carried it.  Recorded as its own additive
+            # kind so existing tcp.* queries and entry ordering are
+            # untouched.
+            key = (conn.name, seg.seq, seg.seq + len(seg.payload))
+            parent = self._first_uids.get(key)
+            if parent is None:
+                self._first_uids[key] = msg.uid
+            else:
+                self.trace.record(
+                    "tcp.lineage", t=self.scheduler.now, node=self.host,
+                    conn=conn.name, seq=seg.seq, uid=msg.uid,
+                    parent=parent, relation="retransmit")
         self.send_down(msg)
 
     # ------------------------------------------------------------------

@@ -164,6 +164,31 @@ class TestMessageLog:
         assert len(log.dump().splitlines()) == 2
         assert len(log) == 2
 
+    def test_reserved_field_names_get_payload_prefix(self):
+        # a GMP-style payload field called "kind" collides with the trace
+        # entry's own kind; it must land as payload_kind, untouched
+        log, trace = self.make_log()
+        msg = Message(payload={"kind": "HEARTBEAT", "seq": 3},
+                      meta={"type": "GMP"})
+        log.log(msg, t=1.0, direction="send")
+        entry = trace.entries("pfi.log")[0]
+        assert entry.kind == "pfi.log"
+        assert entry["payload_kind"] == "HEARTBEAT"
+        assert entry["seq"] == 3
+        assert "seq=3" in log.lines[-1]
+
+    def test_metrics_counter_counts_log_calls(self):
+        from repro.obs.metrics import MetricsRegistry
+        sched = Scheduler()
+        trace = TraceRecorder(clock=lambda: sched.now)
+        stubs = PacketStubs()
+        stubs.register_recognizer(lambda m: m.meta.get("type"))
+        registry = MetricsRegistry()
+        log = MessageLog(stubs, trace, node="host", metrics=registry)
+        log.log(Message(meta={"type": "A"}), t=0.0, direction="send")
+        log.log(Message(meta={"type": "B"}), t=1.0, direction="send")
+        assert registry.counter("pfi_logged", node="host").value == 2
+
 
 class BottomSink(Protocol):
     def __init__(self):

@@ -104,3 +104,65 @@ def test_iteration_in_capture_order():
     trace.record("b")
     trace.record("a")
     assert [e.kind for e in trace] == ["b", "a"]
+
+
+def test_pickle_roundtrip_drops_bound_clock():
+    trace, clock = make_trace()
+    clock[0] = 3.0
+    trace.record("evt", n=1)
+    import pickle
+    clone = pickle.loads(pickle.dumps(trace))
+    assert [e.kind for e in clone] == ["evt"]
+    assert clone.first("evt").time == 3.0
+    # the clock closed over local state and must not survive the trip
+    with pytest.raises(RuntimeError):
+        clone.record("evt2")
+    # rebinding restores clockless recording
+    clone.bind_clock(lambda: 9.0)
+    assert clone.record("evt2").time == 9.0
+
+
+def test_entries_with_prefix_empty_prefix_matches_all():
+    trace, _ = make_trace()
+    trace.record("tcp.a")
+    trace.record("gmp.b")
+    assert len(trace.entries_with_prefix("")) == 2
+
+
+def test_entries_with_prefix_attr_filters():
+    trace, _ = make_trace()
+    trace.record("tcp.a", conn="x")
+    trace.record("tcp.b", conn="y")
+    assert len(trace.entries_with_prefix("tcp.", conn="x")) == 1
+    # filtering on an attr no entry carries matches nothing
+    assert trace.entries_with_prefix("tcp.", missing=1) == []
+
+
+def test_entries_with_prefix_no_match():
+    trace, _ = make_trace()
+    trace.record("tcp.a")
+    assert trace.entries_with_prefix("udp.") == []
+    assert TraceRecorder().entries_with_prefix("tcp.") == []
+
+
+def test_count_by_kind_and_span():
+    trace, clock = make_trace()
+    for t, kind in ((1.0, "tcp.a"), (2.0, "tcp.a"), (5.0, "gmp.b")):
+        clock[0] = t
+        trace.record(kind)
+    assert trace.count_by_kind() == {"tcp.a": 2, "gmp.b": 1}
+    assert trace.count_by_kind("tcp.") == {"tcp.a": 2}
+    assert trace.span() == (1.0, 5.0)
+    assert TraceRecorder().span() is None
+
+
+def test_fill_metrics_gauges():
+    from repro.obs.metrics import MetricsRegistry
+    trace, _ = make_trace()
+    trace.record("tcp.a")
+    trace.record("tcp.a")
+    registry = MetricsRegistry()
+    trace.fill_metrics(registry, run="r0")
+    snap = registry.snapshot()
+    assert snap["trace_entries_total{run=r0}"] == 2
+    assert snap["trace_entries{kind=tcp.a,run=r0}"] == 2

@@ -1,0 +1,10 @@
+"""Fixtures for observability tests: reuse the core PFI harness."""
+
+import pytest
+
+from tests.core.conftest import Harness
+
+
+@pytest.fixture
+def harness():
+    return Harness()

@@ -1,0 +1,78 @@
+"""Chrome-trace / Perfetto export."""
+
+import json
+
+from repro.obs.chrometrace import chrome_trace, dump_chrome_trace
+
+
+def _events(trace, ph=None, name_part=None):
+    out = []
+    for event in chrome_trace(trace)["traceEvents"]:
+        if ph is not None and event["ph"] != ph:
+            continue
+        if name_part is not None and name_part not in event["name"]:
+            continue
+        out.append(event)
+    return out
+
+
+def delay_hold_run(harness):
+    harness.pfi.set_send_filter(lambda ctx: ctx.delay(0.5))
+    harness.send_down("DATA")
+    harness.pfi.set_send_filter(lambda ctx: ctx.hold("q"))
+    harness.send_down("DATA")
+    harness.run(2.0)
+    harness.pfi.set_send_filter(lambda ctx: ctx.release("q"))
+    harness.send_down("DATA")
+    harness.run(3.0)
+    return harness.env.trace
+
+
+class TestSchema:
+    def test_output_is_valid_json_with_trace_events(self, harness):
+        trace = delay_hold_run(harness)
+        data = json.loads(dump_chrome_trace(trace))
+        assert isinstance(data["traceEvents"], list)
+        assert data["traceEvents"]
+        for event in data["traceEvents"]:
+            assert {"ph", "name", "pid", "tid"} <= set(event)
+            if event["ph"] != "M":
+                assert "ts" in event
+
+    def test_metadata_names_processes_and_threads(self, harness):
+        trace = delay_hold_run(harness)
+        meta = _events(trace, ph="M")
+        names = {e["name"]: e["args"]["name"] for e in meta}
+        assert names.get("process_name") == "testnode"
+
+
+class TestSpans:
+    def test_delay_becomes_duration_span(self, harness):
+        trace = delay_hold_run(harness)
+        spans = _events(trace, ph="X", name_part="delay")
+        assert len(spans) == 1
+        assert spans[0]["dur"] == 0.5 * 1_000_000
+
+    def test_hold_release_pair_becomes_one_span(self, harness):
+        trace = delay_hold_run(harness)
+        spans = _events(trace, ph="X", name_part="hold")
+        assert len(spans) == 1
+        hold = trace.first("pfi.hold")
+        release = trace.first("pfi.release")
+        assert spans[0]["ts"] == hold.time * 1_000_000
+        assert spans[0]["dur"] == (release.time - hold.time) * 1_000_000
+
+    def test_unreleased_hold_becomes_marker(self, harness):
+        harness.pfi.set_send_filter(lambda ctx: ctx.hold("stuck"))
+        harness.send_down("DATA")
+        harness.run(1.0)
+        markers = _events(harness.env.trace, ph="i",
+                          name_part="never released")
+        assert len(markers) == 1
+
+    def test_other_kinds_become_instants(self, harness):
+        harness.pfi.set_send_filter(lambda ctx: ctx.drop())
+        harness.send_down("DATA")
+        instants = _events(harness.env.trace, ph="i", name_part="pfi.drop")
+        assert len(instants) == 1
+        assert instants[0]["s"] == "t"

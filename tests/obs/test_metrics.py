@@ -1,0 +1,135 @@
+"""Metrics registry: get-or-create, labels, snapshots, merging."""
+
+import pickle
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestGetOrCreate:
+    def test_same_name_and_labels_share_one_counter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("pfi_dropped", node="m1")
+        b = registry.counter("pfi_dropped", node="m1")
+        assert a is b
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", node="m1", direction="send")
+        b = registry.counter("x", direction="send", node="m1")
+        assert a is b
+
+    def test_different_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("pfi_dropped", node="m1")
+        b = registry.counter("pfi_dropped", node="m2")
+        assert a is not b
+        a.inc(3)
+        assert b.value == 0
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x", node="m1")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x", node="m1")
+
+
+class TestValues:
+    def test_counter_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_sets(self):
+        gauge = Gauge("g")
+        gauge.set(7.5)
+        gauge.set(2)
+        assert gauge.value == 2
+
+    def test_histogram_summary(self):
+        hist = Histogram("h")
+        for v in (1.0, 3.0, 2.0):
+            hist.observe(v)
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.mean == 2.0
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_keys_carry_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("pfi_dropped", node="m1").inc(2)
+        registry.gauge("now").set(1.5)
+        snap = registry.snapshot()
+        assert snap["pfi_dropped{node=m1}"] == 2
+        assert snap["now"] == 1.5
+
+    def test_histogram_snapshot_is_summary_dict(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(0.25)
+        snap = registry.snapshot()["lat"]
+        assert snap == {"count": 1, "total": 0.25, "mean": 0.25,
+                        "min": 0.25, "max": 0.25}
+
+    def test_render_is_prefix_filterable(self):
+        registry = MetricsRegistry()
+        registry.counter("pfi_dropped", node="m1").inc()
+        registry.gauge("scheduler_now_s").set(3.0)
+        text = registry.render(prefix="pfi_")
+        assert "pfi_dropped{node=m1}" in text
+        assert "scheduler_now_s" not in text
+
+
+class TestMerge:
+    def test_counters_add_and_gauges_overwrite(self):
+        ours = MetricsRegistry()
+        ours.counter("c", node="m1").inc(2)
+        ours.gauge("g").set(1)
+        theirs = MetricsRegistry()
+        theirs.counter("c", node="m1").inc(5)
+        theirs.gauge("g").set(9)
+        ours.merge(theirs)
+        assert ours.counter("c", node="m1").value == 7
+        assert ours.gauge("g").value == 9
+
+    def test_merge_creates_missing_series(self):
+        ours = MetricsRegistry()
+        theirs = MetricsRegistry()
+        theirs.counter("only_there", node="m2").inc(3)
+        ours.merge(theirs)
+        assert ours.counter("only_there", node="m2").value == 3
+        # the merged-in metric is a clone, not a shared object
+        theirs.counter("only_there", node="m2").inc()
+        assert ours.counter("only_there", node="m2").value == 3
+
+    def test_histograms_merge_bounds(self):
+        ours = MetricsRegistry()
+        ours.histogram("h").observe(2.0)
+        theirs = MetricsRegistry()
+        theirs.histogram("h").observe(10.0)
+        ours.merge(theirs)
+        hist = ours.histogram("h")
+        assert hist.count == 2
+        assert (hist.min, hist.max) == (2.0, 10.0)
+
+    def test_merge_kind_conflict_raises(self):
+        ours = MetricsRegistry()
+        ours.counter("x")
+        theirs = MetricsRegistry()
+        theirs.gauge("x")
+        with pytest.raises(TypeError, match="cannot merge"):
+            ours.merge(theirs)
+
+    def test_registry_pickles_across_processes(self):
+        # campaign workers ship their registries back pickled
+        registry = MetricsRegistry()
+        registry.counter("c", node="w0").inc(4)
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.snapshot() == registry.snapshot()

@@ -1,0 +1,95 @@
+"""The tclish script profiler: opt-in hook in the compiled-exec path."""
+
+from repro.core.script import TclishFilter
+from repro.core.tclish import Interp
+from repro.obs.profiler import ScriptProfiler
+
+
+class TestInterpHook:
+    def test_disabled_by_default(self):
+        interp = Interp()
+        assert interp.profiler is None
+        interp.eval("set x 1")  # no profiler -> nothing recorded anywhere
+
+    def test_records_command_counts_and_time(self):
+        interp = Interp()
+        profiler = ScriptProfiler()
+        interp.profiler = profiler
+        interp.eval("set x 0\nincr x\nincr x")
+        assert profiler.commands["set"][0] == 1
+        assert profiler.commands["incr"][0] == 2
+        assert profiler.commands["incr"][1] >= 0.0
+
+    def test_control_flow_bodies_are_charged_inclusively(self):
+        interp = Interp()
+        profiler = ScriptProfiler()
+        interp.profiler = profiler
+        interp.eval("set x 0\nwhile {$x < 3} {incr x}")
+        assert profiler.commands["incr"][0] == 3
+        assert profiler.commands["while"][0] == 1
+        # inclusive: the while command's time covers its body
+        assert profiler.commands["while"][1] >= profiler.commands["incr"][1]
+
+
+class TestFilterProfiling:
+    def test_enable_profiler_instruments_both_levels(self, harness):
+        script = TclishFilter("set n [expr $n + 1]", init_script="set n 0",
+                              name="counting")
+        profiler = script.enable_profiler()
+        harness.pfi.set_send_filter(script)
+        harness.send_down("DATA")
+        harness.send_down("DATA")
+        assert profiler.scripts["counting"][0] == 2
+        assert profiler.commands["expr"][0] == 2
+
+    def test_shared_profiler_aggregates_filters(self, harness):
+        shared = ScriptProfiler()
+        send = TclishFilter("set a 1", name="send-side")
+        receive = TclishFilter("set b 2", name="receive-side")
+        send.enable_profiler(shared)
+        receive.enable_profiler(shared)
+        harness.pfi.set_send_filter(send)
+        harness.pfi.set_receive_filter(receive)
+        harness.send_down("DATA")
+        harness.send_up("DATA")
+        assert shared.scripts["send-side"][0] == 1
+        assert shared.scripts["receive-side"][0] == 1
+
+    def test_disable_profiler_restores_bare_path(self, harness):
+        script = TclishFilter("set a 1", name="f")
+        profiler = script.enable_profiler()
+        harness.pfi.set_send_filter(script)
+        harness.send_down("DATA")
+        script.disable_profiler()
+        harness.send_down("DATA")
+        assert profiler.scripts["f"][0] == 1
+        assert script.interp.profiler is None
+
+
+class TestAggregation:
+    def test_merge_adds_counts_and_times(self):
+        a = ScriptProfiler()
+        a.record_command("set", 0.5)
+        a.record_script("f", 1.0)
+        b = ScriptProfiler()
+        b.record_command("set", 0.25)
+        b.record_command("puts", 0.1)
+        a.merge(b)
+        assert a.commands["set"] == [2, 0.75]
+        assert a.commands["puts"] == [1, 0.1]
+        assert a.scripts["f"] == [1, 1.0]
+
+    def test_rows_sorted_by_total_desc(self):
+        profiler = ScriptProfiler()
+        profiler.record_command("cheap", 0.1)
+        profiler.record_command("hot", 2.0)
+        assert [row[0] for row in profiler.command_rows()] == ["hot",
+                                                               "cheap"]
+
+    def test_report_text(self):
+        profiler = ScriptProfiler()
+        profiler.record_script("f", 0.5)
+        profiler.record_command("set", 0.25)
+        text = profiler.report()
+        assert "f" in text and "set" in text
+        assert ScriptProfiler().report() == "(profiler captured nothing)"

@@ -1,0 +1,123 @@
+"""`repro report` / `repro trace`: reconstruct a run from its archive."""
+
+import json
+
+from repro.analysis.export import dump_trace
+from repro.cli import main
+from repro.obs.report import kind_counts, render_report, trace_metrics
+
+
+def chain_run(harness):
+    """delay -> duplicate -> hold/release chain, archived to JSON lines."""
+    def first(ctx):
+        if not ctx.state.get("fired"):
+            ctx.state["fired"] = True
+            ctx.delay(0.5)
+            ctx.duplicate(1)
+    harness.pfi.set_send_filter(first)
+    root = harness.send_down("DATA")
+    harness.pfi.set_send_filter(lambda ctx: ctx.hold("q"))
+    held = harness.send_down("DATA")
+    harness.pfi.set_send_filter(lambda ctx: ctx.release("q"))
+    harness.send_down("DATA")
+    harness.run(2.0)
+    return root, held, dump_trace(harness.env.trace)
+
+
+class TestRenderReport:
+    def test_report_reconstructs_lineage_from_archive(self, harness,
+                                                      tmp_path):
+        root, held, text = chain_run(harness)
+        path = tmp_path / "run.jsonl"
+        path.write_text(text)
+        rc = main(["report", str(path)])
+        assert rc == 0
+
+    def test_sections_present(self, harness):
+        _root, _held, _text = chain_run(harness)
+        report = render_report(harness.env.trace)
+        for section in ("run summary", "metrics", "message lineage",
+                        "timeline"):
+            assert section in report
+
+    def test_lineage_section_shows_derivation(self, harness):
+        root, _held, _text = chain_run(harness)
+        report = render_report(harness.env.trace)
+        assert f"uid {root.uid}" in report
+        assert "[duplicate]" in report
+
+    def test_kind_prefix_restricts(self, harness):
+        chain_run(harness)
+        harness.env.trace.record("other.event", t=9.0)
+        report = render_report(harness.env.trace, kind_prefix="pfi.")
+        assert "other.event" not in report
+
+    def test_tail_elides_earlier_entries(self, harness):
+        chain_run(harness)
+        report = render_report(harness.env.trace, tail=2)
+        assert "earlier entries elided" in report
+
+
+class TestReportCli:
+    def test_report_output_contains_lineage(self, harness, tmp_path,
+                                            capsys):
+        root, _held, text = chain_run(harness)
+        path = tmp_path / "run.jsonl"
+        path.write_text(text)
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"uid {root.uid}" in out
+        assert "[duplicate]" in out
+        assert "pfi_duplicated{node=testnode}" in out
+
+    def test_report_uid_prints_single_tree(self, harness, tmp_path,
+                                           capsys):
+        root, _held, text = chain_run(harness)
+        dup_uid = harness.env.trace.first("pfi.duplicate")["uid"]
+        path = tmp_path / "run.jsonl"
+        path.write_text(text)
+        assert main(["report", str(path), "--uid", str(dup_uid)]) == 0
+        out = capsys.readouterr().out
+        # asking about the duplicate renders the tree from its root
+        assert f"uid {root.uid}" in out
+
+    def test_report_unknown_uid_fails(self, harness, tmp_path):
+        _root, _held, text = chain_run(harness)
+        path = tmp_path / "run.jsonl"
+        path.write_text(text)
+        assert main(["report", str(path), "--uid", "999999"]) == 2
+
+
+class TestTraceCli:
+    def test_trace_stdout_is_valid_json(self, harness, tmp_path, capsys):
+        _root, _held, text = chain_run(harness)
+        path = tmp_path / "run.jsonl"
+        path.write_text(text)
+        assert main(["trace", str(path)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["traceEvents"]
+
+    def test_trace_out_writes_file(self, harness, tmp_path):
+        _root, _held, text = chain_run(harness)
+        path = tmp_path / "run.jsonl"
+        path.write_text(text)
+        out = tmp_path / "run.trace.json"
+        assert main(["trace", str(path), "--out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert any(e["ph"] == "X" for e in data["traceEvents"])
+
+
+class TestTraceMetrics:
+    def test_counters_recovered_from_trace(self, harness):
+        chain_run(harness)
+        snap = trace_metrics(harness.env.trace).snapshot()
+        assert snap["pfi_delayed{node=testnode}"] == 1
+        assert snap["pfi_duplicated{node=testnode}"] == 1
+        assert snap["pfi_released{node=testnode}"] == 1
+        assert snap["trace_entries{kind=pfi.hold}"] == 1
+
+    def test_kind_counts(self, harness):
+        chain_run(harness)
+        counts = kind_counts(harness.env.trace)
+        assert counts["pfi.duplicate"] == 1
+        assert list(counts) == sorted(counts)
