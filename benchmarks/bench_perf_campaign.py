@@ -2,12 +2,16 @@
 
 Each configuration is an independent seeded discrete-event run (a chain
 of jittered timer events), exactly the shape of the paper's per-vendor
-sweeps.  Measures ``Campaign.run`` serially and with ``workers=4``,
-verifies the two produce identical results in identical order, and
-reports both wall-clocks.  On a single-core box the parallel time is
-expected to be no better than serial (the win is on multi-core hardware);
-what this bench guards is the determinism contract plus the cost
-trajectory of both paths.
+sweeps.  Always verifies the determinism contract -- a parallel sweep
+must produce identical results in identical order to a serial one -- and
+on multi-core hardware additionally measures the wall-clock speedup of
+``workers=4`` over serial.
+
+On a single-CPU box a 4-worker pool is process-switching overhead with
+nothing to parallelize, so the timing comparison would only record noise:
+the bench marks the speedup section ``{"skipped": "1 cpu"}`` instead of
+publishing a misleading sub-1x number, and CI (which runs multi-core)
+carries the real gate.
 """
 
 from __future__ import annotations
@@ -51,6 +55,7 @@ def run_bench(configs: int = 8, events: int = 20_000,
     """Measure serial vs parallel sweeps; returns the JSON payload."""
     campaign = Campaign(campaign_body, seed=42)
     sweep = _configs(configs, events)
+    cpu_count = os.cpu_count() or 1
 
     start = time.perf_counter()
     serial = campaign.run(sweep)
@@ -69,17 +74,25 @@ def run_bench(configs: int = 8, events: int = 20_000,
         "configs": configs,
         "events_per_config": events,
         "workers": WORKERS,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
         "serial_seconds": round(serial_s, 4),
-        "parallel_seconds": round(parallel_s, 4),
-        "speedup": round(serial_s / parallel_s, 2),
         "identical": identical,
     }
+    if cpu_count >= 2:
+        payload["parallel_seconds"] = round(parallel_s, 4)
+        payload["speedup"] = round(serial_s / parallel_s, 2)
+    else:
+        payload["speedup"] = {"skipped": "1 cpu"}
     if verbose:
-        print(f"campaign sweep: {configs} configs x {events} events")
+        print(f"campaign sweep: {configs} configs x {events} events "
+              f"({cpu_count} cpu)")
         print(f"  serial   : {serial_s:8.3f}s")
-        print(f"  workers={WORKERS}: {parallel_s:8.3f}s "
-              f"({payload['speedup']:.2f}x)")
+        if cpu_count >= 2:
+            print(f"  workers={WORKERS}: {parallel_s:8.3f}s "
+                  f"({payload['speedup']:.2f}x)")
+        else:
+            print(f"  workers={WORKERS}: speedup not measured on 1 cpu "
+                  "(determinism contract still checked)")
         print(f"  identical results, identical order: {identical}")
     return payload
 
@@ -103,4 +116,6 @@ if __name__ == "__main__":
         result = run_bench(configs=args.configs, events=args.events)
     assert result["identical"], result
     if not args.quick:
+        if isinstance(result["speedup"], (int, float)):
+            assert result["speedup"] >= 1.5, result
         perf_common.update_bench_json("campaign", result)

@@ -9,8 +9,8 @@
   the style of the paper's Tables 1-8.
 """
 
-from repro.analysis.export import (VOLATILE_ATTRS, dump_trace, load_trace,
-                                   traces_equal)
+from repro.analysis.export import (VOLATILE_ATTRS, dump_trace, export_trace,
+                                   load_trace, stream_trace, traces_equal)
 from repro.analysis.series import retransmission_series, transmissions_of_seq
 from repro.analysis.shape import (first_interval, intervals_plateau,
                                   is_exponential_backoff, is_roughly_constant,
@@ -21,8 +21,10 @@ from repro.analysis.timeline import SequenceDiagram, gmp_sequence, tcp_sequence
 __all__ = [
     "VOLATILE_ATTRS",
     "dump_trace",
+    "export_trace",
     "first_interval",
     "load_trace",
+    "stream_trace",
     "traces_equal",
     "intervals_plateau",
     "is_exponential_backoff",

@@ -13,6 +13,7 @@ comparison helpers normalize.
 from __future__ import annotations
 
 import json
+from pathlib import Path
 from typing import IO, Any, Dict, Iterable, Optional, Union
 
 from repro.netsim.trace import TraceEntry, TraceRecorder
@@ -77,6 +78,41 @@ def dump_trace(trace: Iterable[TraceEntry],
         if lines:
             fp.write("\n")
     return text
+
+
+def stream_trace(trace: Iterable[TraceEntry], fp: IO[str], *,
+                 exclude_attrs: Iterable[str] = (),
+                 buffer_lines: int = 1024) -> int:
+    """Write a trace to ``fp`` as JSON lines without building the full text.
+
+    Lines are flushed in batches of ``buffer_lines``, so exporting a
+    million-entry campaign trace holds at most one batch of rendered lines
+    in memory instead of the whole dump (:func:`dump_trace` materializes
+    everything because it also returns the text).  The byte output is
+    identical to ``dump_trace(trace, fp)``.  Returns the entry count.
+    """
+    exclude = tuple(exclude_attrs)
+    buffer: list = []
+    count = 0
+    for entry in trace:
+        buffer.append(json.dumps(entry_to_dict(entry, exclude_attrs=exclude),
+                                 sort_keys=True))
+        count += 1
+        if len(buffer) >= buffer_lines:
+            fp.write("\n".join(buffer))
+            fp.write("\n")
+            buffer.clear()
+    if buffer:
+        fp.write("\n".join(buffer))
+        fp.write("\n")
+    return count
+
+
+def export_trace(trace: Iterable[TraceEntry], path: Union[str, Path], *,
+                 exclude_attrs: Iterable[str] = ()) -> int:
+    """Stream a trace to a JSONL file on disk; returns the entry count."""
+    with open(path, "w", encoding="utf-8") as fp:
+        return stream_trace(trace, fp, exclude_attrs=exclude_attrs)
 
 
 def load_trace(source: Union[str, IO[str]]) -> TraceRecorder:

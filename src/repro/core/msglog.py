@@ -19,9 +19,16 @@ from repro.xkernel.message import Message
 _COMMON_FIELDS = ("seq", "ack", "flags", "window", "kind", "sender",
                   "originator", "group_id")
 
+# trace-attribute names the logger itself writes; snapshot fields that
+# collide are prefixed so neither side clobbers the other
+_RESERVED = frozenset({"kind", "t", "node", "direction", "msg_type",
+                       "note", "uid"})
+
 
 class MessageLog:
     """Formats and records intercepted messages."""
+
+    __slots__ = ("_stubs", "_trace", "_node", "lines", "_logged")
 
     def __init__(self, stubs: PacketStubs, trace: Optional[TraceRecorder] = None,
                  node: str = "", metrics=None):
@@ -48,9 +55,7 @@ class MessageLog:
             line = f"{line}  # {note}"
         self.lines.append(line)
         if self._trace is not None:
-            reserved = {"kind", "t", "node", "direction", "msg_type",
-                        "note", "uid"}
-            attrs = {(f"payload_{k}" if k in reserved else k): v
+            attrs = {(f"payload_{k}" if k in _RESERVED else k): v
                      for k, v in fields.items()}
             self._trace.record(
                 "pfi.log", t=t, node=self._node, direction=direction,

@@ -9,20 +9,34 @@ protocol machinery, install filter scripts, run, query the trace.
 (e.g. the four TCP vendor profiles) and collects per-configuration
 results, which is how each paper table with one row per vendor is
 produced.
+
+Sweep-scale layout: parallel campaigns dispatch *chunks* of configurations
+to a persistent :class:`~concurrent.futures.ProcessPoolExecutor` (one pool
+per process, grown on demand, torn down at interpreter exit), so a
+thousand-point sweep pays worker startup once and pickles one task per
+chunk instead of one per configuration.  ``workers="auto"`` sizes the pool
+from ``os.cpu_count()`` and falls back to serial execution when the sweep
+is too small to amortize the pool.  An optional :class:`RunCache` keyed on
+the body's code, the campaign seed, and the configuration makes repeated
+sweeps (bench reruns, notebook iterations) skip already-computed points.
 """
 
 from __future__ import annotations
 
+import atexit
+import hashlib
+import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from time import perf_counter
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.distributions import DistributionSet, derive_seed
 from repro.core.sync import ScriptSync
 from repro.netsim.network import Network
-from repro.netsim.scheduler import Scheduler
+from repro.netsim.scheduler import Scheduler, SchedulerError
 from repro.netsim.trace import TraceRecorder
 from repro.obs.telemetry import RunTelemetry, render_scorecard
 
@@ -34,6 +48,14 @@ SCRIPT_KEYS = ("script", "tclish", "tclish_source", "send_script",
 _INIT_KEYS = {"script": "init_script", "tclish": "tclish_init",
               "tclish_source": "tclish_init", "send_script": "send_init",
               "receive_script": "receive_init"}
+
+#: sweeps smaller than this run serially even under ``workers="auto"``;
+#: pool startup + pickling dominates below it
+_AUTO_SERIAL_THRESHOLD = 4
+
+#: chunks submitted per worker slot -- small enough to amortize dispatch,
+#: large enough that one slow chunk cannot serialize the whole sweep
+_CHUNKS_PER_WORKER = 4
 
 
 @dataclass
@@ -57,15 +79,10 @@ class ExperimentEnv:
     def run_until_quiet(self, max_time: float = 1e9,
                         max_events: int = 2_000_000) -> float:
         """Run until no events remain (or max_time); returns final time."""
-        fired = 0
-        while True:
-            next_time = self.scheduler.peek_time()
-            if next_time is None or next_time > max_time:
-                break
-            self.scheduler.step()
-            fired += 1
-            if fired >= max_events:
-                raise RuntimeError("experiment did not quiesce")
+        try:
+            self.scheduler.run_until_quiet(max_time, max_events=max_events)
+        except SchedulerError as err:
+            raise RuntimeError("experiment did not quiesce") from err
         return self.scheduler.now
 
 
@@ -92,6 +109,81 @@ class RunResult:
     result: Any
     trace: TraceRecorder
     telemetry: Optional[RunTelemetry] = None
+
+
+class RunCache:
+    """Content-addressed store of pickled :class:`RunResult` objects.
+
+    The cache key hashes everything that determines a configuration's
+    outcome: the body's module, qualname and compiled bytecode, the
+    campaign seed, the configuration contents, and the telemetry flag.
+    Editing the body function, changing the seed, or touching the config
+    therefore all miss naturally -- no explicit invalidation step exists or
+    is needed; stale entries are simply never addressed again (delete the
+    cache directory to reclaim the space).
+
+    Configurations whose values cannot be pickled deterministically fall
+    back to ``repr``; a value whose repr embeds an object id (the default
+    ``<Foo object at 0x...>`` form) yields a fresh key every process, which
+    degrades to a guaranteed miss -- never to a wrong hit.
+
+    The cache is opt-in (``Campaign.run(..., cache=RunCache(path))``)
+    because a cached sweep skips the body entirely: wall-time telemetry of
+    a hit reflects the original run, and side effects the body may have
+    (prints, file output) do not reoccur.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, body: Callable, seed: int, config: Dict[str, Any], *,
+            telemetry: bool) -> str:
+        digest = hashlib.sha256()
+        digest.update(getattr(body, "__module__", "").encode())
+        digest.update(getattr(body, "__qualname__", repr(body)).encode())
+        code = getattr(body, "__code__", None)
+        if code is not None:
+            digest.update(code.co_code)
+            digest.update(repr(code.co_consts).encode())
+        digest.update(str(seed).encode())
+        digest.update(b"telemetry" if telemetry else b"bare")
+        for k in sorted(config):
+            digest.update(k.encode())
+            value = config[k]
+            try:
+                digest.update(pickle.dumps(value))
+            except Exception:
+                digest.update(repr(value).encode())
+        return digest.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult) -> bool:
+        """Store one result; returns False if it is not picklable."""
+        try:
+            blob = pickle.dumps(result)
+        except Exception:
+            return False
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+        return True
 
 
 class CampaignScriptError(ValueError):
@@ -136,6 +228,54 @@ def _config_scripts(config: Dict[str, Any], index: int
     return scripts
 
 
+# ----------------------------------------------------------------------
+# persistent worker pool
+# ----------------------------------------------------------------------
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_size = 0
+
+
+def _get_pool(size: int) -> ProcessPoolExecutor:
+    """The process-wide campaign pool, grown (never shrunk) to ``size``.
+
+    Keeping one pool alive across ``Campaign.run`` calls means a bench
+    loop or notebook session pays worker startup once, not per sweep.
+    """
+    global _pool, _pool_size
+    if _pool is not None and _pool_size >= size:
+        return _pool
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+    _pool = ProcessPoolExecutor(max_workers=size)
+    _pool_size = size
+    return _pool
+
+
+def _shutdown_pool() -> None:
+    global _pool, _pool_size
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+        _pool_size = 0
+
+
+atexit.register(_shutdown_pool)
+
+
+def _chunk_ranges(total: int, workers: int) -> List[Tuple[int, int]]:
+    """Contiguous ``(start, stop)`` chunks covering ``range(total)``.
+
+    Aims for :data:`_CHUNKS_PER_WORKER` chunks per worker slot so uneven
+    per-config workloads still load-balance, while never creating more
+    chunks than configs.
+    """
+    target = min(total, workers * _CHUNKS_PER_WORKER)
+    size = -(-total // target)  # ceil division
+    return [(start, min(start + size, total))
+            for start in range(0, total, size)]
+
+
 class Campaign:
     """Run an experiment body across a sweep of configurations.
 
@@ -146,14 +286,15 @@ class Campaign:
 
     Because every configuration is an independent seeded simulation, the
     sweep is embarrassingly parallel: ``run(configs, workers=N)`` fans the
-    configurations out over ``N`` worker processes.  Serial and parallel
-    execution share :func:`_execute_config`, so parallel results are
-    identical to serial ones and are returned in input order.  Requirements
-    for ``workers > 1``: the body must be a module-level (picklable)
-    callable, and its result values must be picklable too.  Each worker
-    builds its own :class:`ExperimentEnv` -- in particular each process
-    gets its own ``ScriptSync``, so cross-configuration coordination is
-    impossible by construction (it would break determinism anyway).
+    configurations out over ``N`` worker processes (``workers="auto"``
+    sizes the pool from the machine).  Serial and parallel execution share
+    :func:`_execute_config`, so parallel results are identical to serial
+    ones and are returned in input order.  Requirements for parallel runs:
+    the body must be a module-level (picklable) callable, and its result
+    values must be picklable too.  Each worker builds its own
+    :class:`ExperimentEnv` -- in particular each process gets its own
+    ``ScriptSync``, so cross-configuration coordination is impossible by
+    construction (it would break determinism anyway).
     """
 
     def __init__(self, body: Callable[[ExperimentEnv, Dict[str, Any]], Any],
@@ -185,17 +326,31 @@ class Campaign:
                     failing.append(report)
         return failing
 
+    def _resolve_workers(self, workers: Union[int, str], jobs: int) -> int:
+        if workers == "auto":
+            cpus = os.cpu_count() or 1
+            if cpus < 2 or jobs < _AUTO_SERIAL_THRESHOLD:
+                return 1
+            return min(cpus, jobs)
+        if not isinstance(workers, int):
+            raise ValueError(f'workers must be an int or "auto", '
+                             f"got {workers!r}")
+        return workers
+
     def run(self, configs: Iterable[Dict[str, Any]], *,
-            workers: int = 1, telemetry: bool = True,
-            scorecard: bool = False) -> List[RunResult]:
+            workers: Union[int, str] = 1, telemetry: bool = True,
+            scorecard: bool = False,
+            cache: Optional[RunCache] = None) -> List[RunResult]:
         """Execute the body once per configuration.
 
-        With ``workers > 1`` the configurations run in a process pool;
-        results are byte-identical to serial execution and come back in
-        input order.  The default stays serial so existing sweeps are
-        untouched.  Configs carrying tclish scripts (see
-        :data:`SCRIPT_KEYS`) are statically analyzed first; any
-        error-level diagnostic aborts the whole campaign before any
+        With ``workers > 1`` the configurations run chunked over a
+        persistent process pool; results are byte-identical to serial
+        execution and come back in input order.  ``workers="auto"`` picks
+        ``os.cpu_count()`` workers, staying serial on single-CPU machines
+        and for sweeps too small to amortize the pool.  The default stays
+        serial so existing sweeps are untouched.  Configs carrying tclish
+        scripts (see :data:`SCRIPT_KEYS`) are statically analyzed first;
+        any error-level diagnostic aborts the whole campaign before any
         worker runs (``Campaign(..., lint="off")`` skips this).
 
         ``telemetry`` (default on) records per-configuration wall time,
@@ -204,43 +359,66 @@ class Campaign:
         execution path.  ``scorecard=True`` additionally prints the
         campaign scorecard (:func:`repro.obs.telemetry.render_scorecard`)
         after the sweep completes.
+
+        ``cache`` (a :class:`RunCache`, default off) returns stored
+        results for configurations this body+seed has already computed
+        and stores fresh ones; see the class docstring for the
+        invalidation rules.
         """
         config_list = [dict(config) for config in configs]
         if self._lint != "off":
             failing = self.validate_scripts(config_list)
             if failing:
                 raise CampaignScriptError(failing)
-        if workers <= 1 or len(config_list) <= 1:
-            results = [_execute_config(self._body, self._seed, config,
-                                       telemetry=telemetry)
-                       for config in config_list]
+
+        slots: List[Optional[RunResult]] = [None] * len(config_list)
+        keys: List[Optional[str]] = [None] * len(config_list)
+        todo: List[int] = []
+        if cache is not None:
+            for index, config in enumerate(config_list):
+                key = cache.key(self._body, self._seed, config,
+                                telemetry=telemetry)
+                keys[index] = key
+                cached = cache.get(key)
+                if cached is not None:
+                    slots[index] = cached
+                else:
+                    todo.append(index)
         else:
-            try:
-                pickle.dumps(self._body)
-            except Exception as err:
-                raise TypeError(
-                    "Campaign.run(workers>1) needs a picklable "
-                    f"(module-level) body, got {self._body!r}: {err}"
-                ) from err
-            pool_size = min(workers, len(config_list))
-            with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                futures = [pool.submit(_execute_config, self._body,
-                                       self._seed, config,
-                                       telemetry=telemetry)
-                           for config in config_list]
-                results = []
-                for index, future in enumerate(futures):
-                    try:
-                        results.append(future.result())
-                    except Exception as err:
-                        # name the failing configuration: a bare pool
-                        # traceback says nothing about which sweep point
-                        # died.  add_note keeps the original type and
-                        # message intact for callers matching on them.
-                        err.add_note(
-                            f"campaign config [{index}] failed: "
-                            f"{config_list[index]!r}")
-                        raise
+            todo = list(range(len(config_list)))
+
+        pool_size = self._resolve_workers(workers, len(todo))
+        if todo:
+            if pool_size <= 1 or len(todo) <= 1:
+                for index in todo:
+                    slots[index] = _execute_config(
+                        self._body, self._seed, config_list[index],
+                        telemetry=telemetry)
+            else:
+                try:
+                    pickle.dumps(self._body)
+                except Exception as err:
+                    raise TypeError(
+                        "Campaign.run(workers>1) needs a picklable "
+                        f"(module-level) body, got {self._body!r}: {err}"
+                    ) from err
+                pool = _get_pool(min(pool_size, len(todo)))
+                futures = []
+                for start, stop in _chunk_ranges(len(todo), pool_size):
+                    indices = todo[start:stop]
+                    futures.append((indices, pool.submit(
+                        _execute_chunk, self._body, self._seed,
+                        [config_list[i] for i in indices], indices,
+                        telemetry=telemetry)))
+                for indices, future in futures:
+                    chunk_results = future.result()
+                    for index, run_result in zip(indices, chunk_results):
+                        slots[index] = run_result
+            if cache is not None:
+                for index in todo:
+                    cache.put(keys[index], slots[index])
+
+        results = [result for result in slots if result is not None]
         if scorecard:
             print(render_scorecard(results))
         return results
@@ -263,3 +441,25 @@ def _execute_config(body: Callable[[ExperimentEnv, Dict[str, Any]], Any],
         virtual_s=env.scheduler.now, trace_entries=len(env.trace))
     return RunResult(config=dict(config), result=result, trace=env.trace,
                      telemetry=run_telemetry)
+
+
+def _execute_chunk(body: Callable[[ExperimentEnv, Dict[str, Any]], Any],
+                   seed: int, configs: List[Dict[str, Any]],
+                   indices: List[int], *,
+                   telemetry: bool = True) -> List[RunResult]:
+    """Worker-side loop over one chunk of configurations.
+
+    A failure is annotated with the *global* sweep index before it
+    propagates (exception notes survive pickling back to the parent), so
+    a bare pool traceback still names which sweep point died.
+    """
+    results = []
+    for index, config in zip(indices, configs):
+        try:
+            results.append(_execute_config(body, seed, config,
+                                           telemetry=telemetry))
+        except Exception as err:
+            err.add_note(
+                f"campaign config [{index}] failed: {config!r}")
+            raise
+    return results

@@ -61,6 +61,10 @@ class GmpMessage:
                           group_id=self.group_id, members=tuple(self.members),
                           down=self.down)
 
+    #: opt-in to the Message ``clone()`` protocol so duplicating a wrapped
+    #: GMP wire message never reaches ``copy.deepcopy``
+    clone = copy
+
     def __repr__(self) -> str:
         extra = ""
         if self.kind == DEAD_REPORT:

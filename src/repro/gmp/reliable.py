@@ -21,7 +21,7 @@ retransmissions as distinct wire messages to drop or delay.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.netsim.scheduler import Scheduler
@@ -38,6 +38,10 @@ class RelHeader:
     seq: int
     is_ack: bool = False
     reliable: bool = True
+
+    def clone(self) -> "RelHeader":
+        """Message header ``clone()`` protocol: cheap dataclass replace."""
+        return replace(self)
 
 
 @dataclass

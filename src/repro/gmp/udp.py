@@ -10,7 +10,7 @@ business, not UDP's.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.xkernel.message import Message
 from repro.xkernel.protocol import Protocol
@@ -22,6 +22,10 @@ class UDPHeader:
 
     src_port: int
     dst_port: int
+
+    def clone(self) -> "UDPHeader":
+        """Message header ``clone()`` protocol: cheap dataclass replace."""
+        return replace(self)
 
 
 class UDPProtocol(Protocol):

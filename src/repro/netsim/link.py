@@ -14,7 +14,8 @@ simpler and stricter semantics of dropping anything not yet delivered).
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Optional
 
 from repro.netsim.scheduler import Event, Scheduler
 
@@ -63,7 +64,7 @@ class Link:
         self.name = name
         self._up = True
         self._last_arrival = 0.0
-        self._in_flight: List[Event] = []
+        self._in_flight: Deque[Event] = deque()
         self.sent_count = 0
         self.delivered_count = 0
         self.dropped_count = 0
@@ -111,8 +112,11 @@ class Link:
         return True
 
     def _arrive(self, payload: Any) -> None:
-        self._in_flight = [e for e in self._in_flight if not e.cancelled
-                           and e.time > self._scheduler.now]
+        # FIFO delivery means the event firing now is always the oldest
+        # undelivered one: dropping the deque head replaces the per-arrival
+        # list rebuild (O(in-flight) each time) with an O(1) popleft
+        if self._in_flight:
+            self._in_flight.popleft()
         if not self._up:
             self.dropped_count += 1
             return

@@ -8,13 +8,25 @@ produce identical event orderings.
 Events scheduled for the same instant fire in the order they were scheduled
 (a monotonically increasing sequence number breaks ties), which mirrors the
 FIFO behaviour of a real event loop and keeps traces stable.
+
+Hot-path layout: the heap stores plain ``(time, seq, callback, args,
+event)`` tuples rather than :class:`Event` objects, so every sift
+comparison during push/pop is a C-level tuple comparison (the unique
+``seq`` guarantees the comparison never reaches the non-orderable tail).
+:class:`Event` survives purely as the cancellation handle returned to
+callers; it never participates in heap ordering.  The ``run*`` loops pop
+and dispatch inline instead of going through :meth:`step`/:meth:`peek_time`
+per event, which removes one method call and one redundant heap traversal
+per dispatched event.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SchedulerError(Exception):
@@ -22,14 +34,18 @@ class SchedulerError(Exception):
 
 
 class Event:
-    """A scheduled callback.
+    """A scheduled callback's cancellation handle.
 
     Returned by :meth:`Scheduler.schedule` so callers can cancel it later.
     Cancellation is lazy: the heap entry stays put and is skipped when it
-    surfaces, which keeps cancel O(1).
+    surfaces, which keeps cancel O(1).  Cancelling an event that has
+    already fired (or was already cancelled) is a harmless no-op, so
+    callers may keep stale handles around without corrupting the
+    scheduler's pending count.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_scheduler")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "dispatched",
+                 "_scheduler")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., Any],
                  args: tuple, scheduler: "Optional[Scheduler]" = None):
@@ -38,23 +54,35 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.dispatched = False
         self._scheduler = scheduler
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Safe to call more than once."""
-        if self.cancelled:
+        """Prevent the event from firing.  Safe to call more than once,
+        and safe to call after the event has already fired."""
+        if self.cancelled or self.dispatched:
             return
         self.cancelled = True
-        if self._scheduler is not None:
-            self._scheduler._pending -= 1
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler._cancelled += 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:
-        status = "cancelled" if self.cancelled else "pending"
+        if self.cancelled:
+            status = "cancelled"
+        elif self.dispatched:
+            status = "fired"
+        else:
+            status = "pending"
         name = getattr(self.callback, "__name__", repr(self.callback))
         return f"Event(t={self.time:.6f}, {name}, {status})"
+
+
+#: heap entry shape: (time, seq, callback, args, handle)
+_HeapEntry = Tuple[float, int, Callable[..., Any], tuple, Event]
 
 
 class Scheduler:
@@ -68,10 +96,11 @@ class Scheduler:
 
     def __init__(self, start_time: float = 0.0):
         self._now = start_time
-        self._heap: List[Event] = []
-        self._seq = itertools.count()
+        self._heap: List[_HeapEntry] = []
+        self._next_seq = 0
         self._dispatched = 0
-        self._pending = 0
+        self._scheduled = 0
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -82,10 +111,11 @@ class Scheduler:
     def pending_count(self) -> int:
         """Number of not-yet-cancelled events still on the heap.
 
-        Maintained as a live counter (push/cancel/dispatch) rather than a
-        heap scan, so polling it inside an event loop stays O(1).
+        Derived from three live counters (scheduled/cancelled/dispatched)
+        rather than a heap scan, so polling it inside an event loop stays
+        O(1) and the dispatch loop never has to maintain a fourth counter.
         """
-        return self._pending
+        return self._scheduled - self._cancelled - self._dispatched
 
     @property
     def dispatched_count(self) -> int:
@@ -103,13 +133,19 @@ class Scheduler:
         registry.gauge("scheduler_now_s", **labels).set(self._now)
         registry.gauge("scheduler_dispatched", **labels).set(
             self._dispatched)
-        registry.gauge("scheduler_pending", **labels).set(self._pending)
+        registry.gauge("scheduler_pending", **labels).set(self.pending_count)
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SchedulerError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        time = self._now + delay
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, seq, callback, args, scheduler=self)
+        _heappush(self._heap, (time, seq, callback, args, event))
+        self._scheduled += 1
+        return event
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at an absolute virtual time."""
@@ -117,30 +153,35 @@ class Scheduler:
             raise SchedulerError(
                 f"cannot schedule at t={time} which is before now={self._now}"
             )
-        event = Event(time, next(self._seq), callback, args, scheduler=self)
-        heapq.heappush(self._heap, event)
-        self._pending += 1
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, seq, callback, args, scheduler=self)
+        _heappush(self._heap, (time, seq, callback, args, event))
+        self._scheduled += 1
         return event
 
     def _pop_next(self) -> Optional[Event]:
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            entry = _heappop(heap)
+            event = entry[4]
             if not event.cancelled:
-                self._pending -= 1
                 return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next pending event, or ``None`` if idle."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][4].cancelled:
+            _heappop(heap)
+        return heap[0][0] if heap else None
 
     def step(self) -> bool:
         """Dispatch the single next event.  Returns False if none remained."""
         event = self._pop_next()
         if event is None:
             return False
+        event.dispatched = True
         self._now = event.time
         self._dispatched += 1
         event.callback(*event.args)
@@ -148,8 +189,17 @@ class Scheduler:
 
     def run(self, max_events: int = 1_000_000) -> int:
         """Run until the heap drains.  Returns the number of events fired."""
+        heap = self._heap
+        pop = _heappop
         fired = 0
-        while self.step():
+        while heap:
+            time, _seq, callback, args, event = pop(heap)
+            if event.cancelled:
+                continue
+            event.dispatched = True
+            self._now = time
+            self._dispatched += 1
+            callback(*args)
             fired += 1
             if fired >= max_events:
                 raise SchedulerError(
@@ -168,18 +218,49 @@ class Scheduler:
             raise SchedulerError(
                 f"deadline {deadline} is before current time {self._now}"
             )
+        heap = self._heap
+        pop = _heappop
         fired = 0
-        while True:
-            next_time = self.peek_time()
-            if next_time is None or next_time > deadline:
-                break
-            self.step()
+        while heap and heap[0][0] <= deadline:
+            time, _seq, callback, args, event = pop(heap)
+            if event.cancelled:
+                continue
+            event.dispatched = True
+            self._now = time
+            self._dispatched += 1
+            callback(*args)
             fired += 1
             if fired >= max_events:
                 raise SchedulerError(
                     f"exceeded max_events={max_events}; probable event cascade"
                 )
         self._now = deadline
+        return fired
+
+    def run_until_quiet(self, max_time: float = 1e9,
+                        max_events: int = 1_000_000) -> int:
+        """Run until no events at or before ``max_time`` remain.
+
+        Unlike :meth:`run_until`, the clock is left at the last dispatched
+        event rather than advanced to ``max_time``, matching "run until the
+        experiment quiesces" semantics.  Returns the number of events fired.
+        """
+        heap = self._heap
+        pop = _heappop
+        fired = 0
+        while heap and heap[0][0] <= max_time:
+            time, _seq, callback, args, event = pop(heap)
+            if event.cancelled:
+                continue
+            event.dispatched = True
+            self._now = time
+            self._dispatched += 1
+            callback(*args)
+            fired += 1
+            if fired >= max_events:
+                raise SchedulerError(
+                    f"exceeded max_events={max_events}; probable event cascade"
+                )
         return fired
 
     def run_for(self, duration: float, max_events: int = 1_000_000) -> int:

@@ -5,27 +5,54 @@ the retransmission-interval tables come from filtering retransmit events,
 the GMP tables from membership-change events, and so on.  A trace entry is a
 (virtual time, kind, attributes) triple; kinds use dotted names
 ("tcp.retransmit", "gmp.commit", "pfi.drop") so queries can match by prefix.
+
+Capture-path layout: entries are ``__slots__`` objects (no per-entry
+``__dict__``) and kind strings are interned, so a million-entry trace costs
+one small object plus one attrs dict per entry and every ``entry.kind ==
+kind`` comparison short-circuits on pointer identity.  Queries go through a
+lazily built per-kind index that is advanced incrementally as new entries
+arrive, turning exact-kind and kind-prefix scans from O(n) per query into
+O(matches) after the first.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+import sys
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+_intern = sys.intern
 
 
-@dataclass(frozen=True)
 class TraceEntry:
     """One recorded event."""
 
-    time: float
-    kind: str
-    attrs: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("time", "kind", "attrs")
+
+    def __init__(self, time: float, kind: str, attrs: Dict[str, Any]):
+        self.time = time
+        self.kind = kind
+        self.attrs = attrs
 
     def __getitem__(self, key: str) -> Any:
         return self.attrs[key]
 
     def get(self, key: str, default: Any = None) -> Any:
         return self.attrs.get(key, default)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEntry):
+            return NotImplemented
+        return (self.time == other.time and self.kind == other.kind
+                and self.attrs == other.attrs)
+
+    # attrs is a dict, so entries are unhashable -- same as the frozen
+    # dataclass this class replaced, where hash() raised on the dict field
+    __hash__ = None  # type: ignore[assignment]
+
+    def __reduce__(self):
+        # compact pickle form: campaign workers ship whole traces back to
+        # the parent process, so per-entry pickle size is an IPC hot path
+        return (TraceEntry, (self.time, self.kind, self.attrs))
 
     def __repr__(self) -> str:
         attrs = ", ".join(f"{k}={v!r}" for k, v in sorted(self.attrs.items()))
@@ -36,12 +63,21 @@ class TraceRecorder:
     """Append-only store of :class:`TraceEntry` objects.
 
     The recorder is deliberately permissive about attribute payloads; shape
-    checking belongs to the analysis layer, not the capture path.
+    checking belongs to the analysis layer, not the capture path.  The
+    capture path never touches the query index: :meth:`record` is a bare
+    construct-and-append, and the index catches up lazily on the next
+    indexed query.
     """
+
+    __slots__ = ("_entries", "_clock", "_kind_index", "_kind_upto",
+                 "_prefix_cache")
 
     def __init__(self, clock: Optional[Callable[[], float]] = None):
         self._entries: List[TraceEntry] = []
         self._clock = clock
+        self._kind_index: Dict[str, List[TraceEntry]] = {}
+        self._kind_upto = 0
+        self._prefix_cache: Dict[str, Tuple[int, List[TraceEntry]]] = {}
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the time source used when ``record`` is called without t."""
@@ -49,21 +85,66 @@ class TraceRecorder:
 
     def __getstate__(self) -> dict:
         # the bound clock usually closes over a live scheduler and is not
-        # picklable; recorded entries are what travels between campaign
-        # worker processes -- rebind a clock after unpickling if needed
-        state = self.__dict__.copy()
-        state["_clock"] = None
-        return state
+        # picklable, and the query indexes are pure caches; recorded
+        # entries are what travels between campaign worker processes --
+        # rebind a clock after unpickling if needed
+        return {"entries": self._entries}
+
+    def __setstate__(self, state: dict) -> None:
+        self._entries = state["entries"]
+        self._clock = None
+        self._kind_index = {}
+        self._kind_upto = 0
+        self._prefix_cache = {}
 
     def record(self, kind: str, *, t: Optional[float] = None, **attrs: Any) -> TraceEntry:
         """Append an entry.  Time defaults to the bound clock."""
         if t is None:
-            if self._clock is None:
+            clock = self._clock
+            if clock is None:
                 raise RuntimeError("TraceRecorder has no clock bound; pass t=")
-            t = self._clock()
-        entry = TraceEntry(t, kind, attrs)
+            t = clock()
+        entry = TraceEntry(t, _intern(kind), attrs)
         self._entries.append(entry)
         return entry
+
+    # ------------------------------------------------------------------
+    # index maintenance
+    # ------------------------------------------------------------------
+
+    def _kind_lists(self) -> Dict[str, List[TraceEntry]]:
+        """The per-kind index, advanced to cover every entry recorded so
+        far.  Amortized O(1) per recorded entry across all queries."""
+        entries = self._entries
+        upto = self._kind_upto
+        if upto < len(entries):
+            index = self._kind_index
+            for entry in entries[upto:]:
+                bucket = index.get(entry.kind)
+                if bucket is None:
+                    index[entry.kind] = [entry]
+                else:
+                    bucket.append(entry)
+            self._kind_upto = len(entries)
+        return self._kind_index
+
+    def _prefix_list(self, prefix: str) -> List[TraceEntry]:
+        """Capture-ordered entries whose kind starts with ``prefix``,
+        memoized per prefix and extended incrementally."""
+        entries = self._entries
+        cached = self._prefix_cache.get(prefix)
+        if cached is None:
+            upto, matches = 0, []
+        else:
+            upto, matches = cached
+        if upto < len(entries):
+            for entry in entries[upto:]:
+                if entry.kind.startswith(prefix):
+                    matches.append(entry)
+            self._prefix_cache[prefix] = (len(entries), matches)
+        elif cached is None:
+            self._prefix_cache[prefix] = (0, matches)
+        return matches
 
     # ------------------------------------------------------------------
     # queries
@@ -77,23 +158,24 @@ class TraceRecorder:
 
     def entries(self, kind: Optional[str] = None, **attr_filter: Any) -> List[TraceEntry]:
         """Entries matching an exact kind and attribute equality filters."""
-        result = []
-        for entry in self._entries:
-            if kind is not None and entry.kind != kind:
-                continue
-            if all(entry.get(k) == v for k, v in attr_filter.items()):
-                result.append(entry)
-        return result
+        if kind is None:
+            candidates: List[TraceEntry] = self._entries
+        else:
+            candidates = self._kind_lists().get(kind, [])
+        if not attr_filter:
+            return list(candidates)
+        return [entry for entry in candidates
+                if all(entry.attrs.get(k) == v
+                       for k, v in attr_filter.items())]
 
     def entries_with_prefix(self, prefix: str, **attr_filter: Any) -> List[TraceEntry]:
         """Entries whose kind starts with ``prefix`` ("tcp." etc.)."""
-        result = []
-        for entry in self._entries:
-            if not entry.kind.startswith(prefix):
-                continue
-            if all(entry.get(k) == v for k, v in attr_filter.items()):
-                result.append(entry)
-        return result
+        candidates = self._prefix_list(prefix)
+        if not attr_filter:
+            return list(candidates)
+        return [entry for entry in candidates
+                if all(entry.attrs.get(k) == v
+                       for k, v in attr_filter.items())]
 
     def times(self, kind: str, **attr_filter: Any) -> List[float]:
         """Timestamps of matching entries, in capture order."""
@@ -110,6 +192,8 @@ class TraceRecorder:
 
     def count(self, kind: str, **attr_filter: Any) -> int:
         """Number of matching entries."""
+        if not attr_filter:
+            return len(self._kind_lists().get(kind, ()))
         return len(self.entries(kind, **attr_filter))
 
     def first(self, kind: str, **attr_filter: Any) -> Optional[TraceEntry]:
@@ -126,14 +210,12 @@ class TraceRecorder:
         """``{kind: count}`` over the captured entries.
 
         The cheap aggregate behind ``repro report`` summaries and
-        :func:`repro.obs.report.trace_metrics`.
+        :func:`repro.obs.report.trace_metrics`.  Kinds appear in
+        first-capture order, as they always have.
         """
-        counts: Dict[str, int] = {}
-        for entry in self._entries:
-            if prefix and not entry.kind.startswith(prefix):
-                continue
-            counts[entry.kind] = counts.get(entry.kind, 0) + 1
-        return counts
+        return {kind: len(bucket)
+                for kind, bucket in self._kind_lists().items()
+                if not prefix or kind.startswith(prefix)}
 
     def span(self) -> Optional[tuple]:
         """``(first_time, last_time)`` over all entries, or None if empty.
@@ -159,8 +241,11 @@ class TraceRecorder:
             registry.gauge("trace_entries", kind=kind, **labels).set(count)
 
     def clear(self) -> None:
-        """Drop all captured entries."""
+        """Drop all captured entries (and the indexes built over them)."""
         self._entries.clear()
+        self._kind_index.clear()
+        self._kind_upto = 0
+        self._prefix_cache.clear()
 
     def dump(self, kind_prefix: str = "") -> str:
         """Human-readable rendering, optionally restricted by kind prefix."""

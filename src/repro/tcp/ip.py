@@ -9,7 +9,7 @@ Routing itself is the network simulator's job; the anchor layer reads
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.xkernel.message import Message
 from repro.xkernel.protocol import Protocol
@@ -23,6 +23,10 @@ class IPHeader:
     dst: int
     proto: str = "tcp"
     ttl: int = 64
+
+    def clone(self) -> "IPHeader":
+        """Message header ``clone()`` protocol: cheap dataclass replace."""
+        return replace(self)
 
 
 class IPProtocol(Protocol):

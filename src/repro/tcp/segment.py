@@ -123,6 +123,11 @@ class Segment:
         """An independent copy (payload bytes are shared, immutable)."""
         return replace(self)
 
+    #: opt-in to the Message header ``clone()`` protocol: duplicating a
+    #: message clones its Segment header with a dataclass replace instead
+    #: of running it through ``copy.deepcopy``
+    clone = copy
+
     def __repr__(self) -> str:
         return (f"Segment({self.flag_names()} seq={self.seq} ack={self.ack} "
                 f"win={self.window} len={len(self.payload)})")

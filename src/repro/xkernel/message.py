@@ -10,8 +10,17 @@ stubs inspect them to classify messages by type.
 Messages also carry a free-form ``meta`` dictionary for bookkeeping that is
 not part of the wire format -- e.g. the PFI layer stamps injected messages,
 and experiments tag messages for later trace correlation.  ``meta`` is
-copied shallowly by :meth:`copy`, headers and payload deeply enough to make
-duplicate-and-modify fault injection safe.
+copied shallowly by :meth:`copy`.
+
+Copying is copy-on-write over the header stack: :meth:`copy` shares the
+original's header list and defers duplication until either side next
+touches its headers, so duplicate-then-drop fault injection never pays for
+a copy at all.  When a stack does materialize, each header is duplicated
+through the ``clone()`` protocol -- any header exposing a ``clone()``
+method (TCP segments, GMP wire messages, the UDP/IP/reliable-delivery
+headers) is copied by that method instead of ``copy.deepcopy``, which
+keeps the duplicate path free of the deepcopy machinery for every header
+type the simulator ships.
 """
 
 from __future__ import annotations
@@ -22,22 +31,55 @@ from typing import Any, Dict, List, Optional
 
 _message_ids = itertools.count(1)
 
+#: payload types that are immutable and therefore shared by :meth:`copy`
+_IMMUTABLE = (bytes, str, int, float, bool, type(None))
+
+
+def _clone_header(header: Any) -> Any:
+    """Duplicate one header: ``clone()`` protocol first, deepcopy fallback."""
+    clone = getattr(header, "clone", None)
+    if clone is not None:
+        return clone()
+    return _copy.deepcopy(header)
+
 
 class Message:
     """A payload with a header stack, travelling through protocol layers."""
 
-    __slots__ = ("payload", "headers", "meta", "uid")
+    __slots__ = ("payload", "_headers", "_share", "meta", "uid")
 
     def __init__(self, payload: Any = b"", headers: Optional[List[Any]] = None,
                  meta: Optional[Dict[str, Any]] = None):
         self.payload = payload
-        self.headers: List[Any] = list(headers) if headers else []
+        self._headers: List[Any] = list(headers) if headers else []
+        self._share: Optional[List[int]] = None
         self.meta: Dict[str, Any] = dict(meta) if meta else {}
         self.uid = next(_message_ids)
 
     # ------------------------------------------------------------------
     # header stack
     # ------------------------------------------------------------------
+
+    @property
+    def headers(self) -> List[Any]:
+        """The header stack (innermost first).
+
+        Accessing it on a message whose stack is still shared with a
+        copy-on-write sibling materializes a private stack first, so the
+        returned list (and the headers in it) are always safe to mutate.
+        """
+        if self._share is not None:
+            self._materialize()
+        return self._headers
+
+    def _materialize(self) -> None:
+        # leave the share group; the last member keeps the pristine list,
+        # earlier leavers clone so the remaining members stay unaffected
+        share = self._share
+        self._share = None
+        share[0] -= 1
+        if share[0] > 0:
+            self._headers = [_clone_header(h) for h in self._headers]
 
     def push_header(self, header: Any) -> "Message":
         """Add a header on the way down the stack.  Returns self."""
@@ -46,14 +88,16 @@ class Message:
 
     def pop_header(self) -> Any:
         """Remove and return the outermost header on the way up the stack."""
-        if not self.headers:
+        headers = self.headers
+        if not headers:
             raise IndexError("message has no headers to pop")
-        return self.headers.pop()
+        return headers.pop()
 
     @property
     def top_header(self) -> Any:
         """The outermost header (most recently pushed), or None."""
-        return self.headers[-1] if self.headers else None
+        headers = self.headers
+        return headers[-1] if headers else None
 
     def find_header(self, header_type: type) -> Optional[Any]:
         """The innermost-to-outermost search for a header of a given type."""
@@ -69,27 +113,41 @@ class Message:
     def copy(self) -> "Message":
         """Deep-enough copy for duplicate/modify fault injection.
 
-        Headers are deep-copied so mutating a duplicate's TCP header does
-        not corrupt the original; bytes payloads are immutable and shared,
-        other payloads are deep-copied.  The copy receives a fresh uid.
+        The header stack is shared copy-on-write (see the module
+        docstring); mutating either side's headers never leaks into the
+        other.  Bytes and other immutable payloads are shared; payloads
+        exposing ``clone()`` use it; anything else is deep-copied.  The
+        copy receives a fresh uid.
         """
         payload = self.payload
-        if not isinstance(payload, (bytes, str, int, float, type(None))):
-            payload = _copy.deepcopy(payload)
-        clone = Message(payload, headers=_copy.deepcopy(self.headers),
-                        meta=dict(self.meta))
+        if not isinstance(payload, _IMMUTABLE):
+            clone_fn = getattr(payload, "clone", None)
+            payload = clone_fn() if clone_fn is not None \
+                else _copy.deepcopy(payload)
+        share = self._share
+        if share is None:
+            share = [1]
+            self._share = share
+        share[0] += 1
+        clone = Message.__new__(Message)
+        clone.payload = payload
+        clone._headers = self._headers
+        clone._share = share
+        clone.meta = dict(self.meta)
+        clone.uid = next(_message_ids)
         clone.meta["copied_from"] = self.uid
         return clone
 
     def __len__(self) -> int:
         """Payload length in bytes when the payload is bytes-like, else 0."""
-        if isinstance(self.payload, (bytes, bytearray)):
-            return len(self.payload)
-        if isinstance(self.payload, str):
-            return len(self.payload.encode())
+        payload = self.payload
+        if isinstance(payload, (bytes, bytearray)):
+            return len(payload)
+        if isinstance(payload, str):
+            return len(payload.encode())
         return 0
 
     def __repr__(self) -> str:
-        names = [type(h).__name__ for h in self.headers]
+        names = [type(h).__name__ for h in self._headers]
         return (f"Message(uid={self.uid}, headers={names}, "
                 f"payload_len={len(self)})")

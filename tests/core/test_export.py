@@ -82,3 +82,34 @@ def test_experiment_runs_are_bit_identical():
         traces.append(dump_trace(testbed.trace,
                                  exclude_attrs=VOLATILE_ATTRS))
     assert traces[0] == traces[1]
+
+
+def test_stream_trace_bytes_match_dump_trace():
+    from repro.analysis.export import stream_trace
+    trace = make_trace()
+    whole = io.StringIO()
+    dump_trace(trace, whole)
+    streamed = io.StringIO()
+    count = stream_trace(trace, streamed, buffer_lines=2)  # force flushes
+    assert streamed.getvalue() == whole.getvalue()
+    assert count == len(trace)
+
+
+def test_stream_trace_excludes_attrs():
+    from repro.analysis.export import stream_trace
+    trace = TraceRecorder(clock=lambda: 0.0)
+    trace.record("a", t=1.0, uid=5, keep="yes")
+    out = io.StringIO()
+    stream_trace(trace, out, exclude_attrs=VOLATILE_ATTRS)
+    assert "uid" not in out.getvalue()
+    assert "keep" in out.getvalue()
+
+
+def test_export_trace_roundtrips_via_file(tmp_path):
+    from repro.analysis.export import export_trace
+    trace = make_trace()
+    path = tmp_path / "run.jsonl"
+    count = export_trace(trace, path)
+    assert count == len(trace)
+    restored = load_trace(path.read_text())
+    assert traces_equal(trace, restored)

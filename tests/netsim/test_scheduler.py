@@ -225,3 +225,58 @@ def test_pending_count_cancelled_events_drain_cleanly():
     sched.run()
     assert sched.pending_count == 0
     assert sched.dispatched_count == 1
+
+
+def test_cancel_after_fire_is_harmless():
+    # the paper's timer code keeps stale handles around; cancelling an
+    # already-fired event must neither raise nor corrupt pending_count
+    sched = Scheduler()
+    fired = []
+    event = sched.schedule(1.0, lambda: fired.append(True))
+    sched.run()
+    assert fired == [True]
+    event.cancel()
+    event.cancel()
+    assert sched.pending_count == 0
+    assert sched.dispatched_count == 1
+
+
+def test_cancel_then_reschedule_same_instant():
+    # cancel one event at t and immediately schedule a replacement at the
+    # exact same instant: the replacement fires, the victim does not, and
+    # pending_count stays exact throughout
+    sched = Scheduler()
+    fired = []
+    victim = sched.schedule(5.0, lambda: fired.append("victim"))
+    assert sched.pending_count == 1
+    victim.cancel()
+    assert sched.pending_count == 0
+    replacement = sched.schedule(5.0, lambda: fired.append("replacement"))
+    assert sched.pending_count == 1
+    victim.cancel()  # double-cancel after replacement exists
+    assert sched.pending_count == 1
+    sched.run()
+    assert fired == ["replacement"]
+    assert sched.pending_count == 0
+    assert not replacement.cancelled
+
+
+def test_run_until_quiet_leaves_clock_at_last_event():
+    sched = Scheduler()
+    times = []
+    for t in (1.0, 2.5, 4.0):
+        sched.schedule_at(t, lambda t=t: times.append(t))
+    fired = sched.run_until_quiet()
+    assert fired == 3
+    assert times == [1.0, 2.5, 4.0]
+    assert sched.now == 4.0  # not advanced past the last event
+
+
+def test_run_until_quiet_respects_max_time():
+    sched = Scheduler()
+    fired = []
+    sched.schedule_at(1.0, lambda: fired.append(1))
+    sched.schedule_at(10.0, lambda: fired.append(10))
+    sched.run_until_quiet(max_time=5.0)
+    assert fired == [1]
+    assert sched.pending_count == 1  # the t=10 event survives

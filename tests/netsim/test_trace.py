@@ -166,3 +166,74 @@ def test_fill_metrics_gauges():
     snap = registry.snapshot()
     assert snap["trace_entries_total{run=r0}"] == 2
     assert snap["trace_entries{kind=tcp.a,run=r0}"] == 2
+
+
+class TestKindIndex:
+    """The lazy per-kind index must stay coherent with interleaved
+    record/query traffic -- the pattern experiments actually produce."""
+
+    def _trace(self):
+        trace = TraceRecorder(clock=lambda: 0.0)
+        for i in range(10):
+            trace.record("tcp.send", t=float(i), seq=i)
+            if i % 2 == 0:
+                trace.record("tcp.retransmit", t=float(i) + 0.5, seq=i)
+            trace.record("gmp.heartbeat", t=float(i) + 0.7, node=i % 3)
+        return trace
+
+    def test_index_matches_linear_scan(self):
+        trace = self._trace()
+        for kind in ("tcp.send", "tcp.retransmit", "gmp.heartbeat", "nope"):
+            assert trace.entries(kind) == [
+                e for e in trace if e.kind == kind]
+
+    def test_queries_see_entries_recorded_after_first_query(self):
+        trace = self._trace()
+        assert trace.count("tcp.send") == 10  # builds the index
+        trace.record("tcp.send", t=99.0, seq=99)
+        assert trace.count("tcp.send") == 11
+        assert trace.last("tcp.send").time == 99.0
+
+    def test_prefix_queries_see_later_entries(self):
+        trace = self._trace()
+        assert len(trace.entries_with_prefix("tcp.")) == 15
+        trace.record("tcp.drop", t=50.0)
+        assert len(trace.entries_with_prefix("tcp.")) == 16
+        assert len(trace.entries_with_prefix("gmp.")) == 10
+
+    def test_attr_filters_still_apply(self):
+        trace = self._trace()
+        assert trace.count("tcp.retransmit", seq=4) == 1
+        assert [e.time for e in trace.entries_with_prefix("gmp.", node=0)] \
+            == [0.7, 3.7, 6.7, 9.7]
+
+    def test_clear_resets_index(self):
+        trace = self._trace()
+        assert trace.count("tcp.send") == 10
+        trace.clear()
+        assert trace.count("tcp.send") == 0
+        assert trace.entries_with_prefix("tcp.") == []
+        trace.record("tcp.send", t=1.0)
+        assert trace.count("tcp.send") == 1
+
+    def test_count_by_kind_first_capture_order(self):
+        trace = self._trace()
+        assert list(trace.count_by_kind()) == [
+            "tcp.send", "tcp.retransmit", "gmp.heartbeat"]
+
+    def test_pickle_roundtrip_drops_caches_keeps_entries(self):
+        import pickle
+        trace = self._trace()
+        trace.entries("tcp.send")  # populate the index first
+        clone = pickle.loads(pickle.dumps(trace))
+        assert list(clone) == list(trace)
+        assert clone.entries("tcp.send") == trace.entries("tcp.send")
+
+    def test_entries_are_interned_and_slotted(self):
+        import sys
+        trace = TraceRecorder(clock=lambda: 0.0)
+        a = trace.record("x.y", t=0.0)
+        b = trace.record("x" + ".y", t=1.0)  # distinct source strings
+        assert a.kind is b.kind  # interned to one object
+        assert not hasattr(a, "__dict__")
+        assert sys.getsizeof(a) < 100  # slots, not a dict-backed object
