@@ -9,6 +9,7 @@ work; this CLI is that tool's headless form.  Usage::
     python -m repro all               # everything
     python -m repro campaign gmp      # auto-generated script battery
     python -m repro campaign tcp --tclish   # show the tclish sources
+    python -m repro fuzz --protocol gmp --seed 0   # oracle-guided fuzzing
 
 Each table command runs the live experiment (nothing is cached) and
 prints the paper-shaped rows.
@@ -335,7 +336,16 @@ def cmd_report(args) -> int:
             return 2
         print(lineage.render(lineage.root_of(args.uid)))
         return 0
-    print(render_report(trace, tail=args.tail, kind_prefix=args.kind))
+    oracle = None
+    if args.oracle:
+        from repro.oracle import packs_by_name
+        try:
+            oracle = packs_by_name(args.oracle.split(","))
+        except ValueError as exc:
+            print(f"repro report: {exc}", file=sys.stderr)
+            return 2
+    print(render_report(trace, tail=args.tail, kind_prefix=args.kind,
+                        oracle=oracle))
     return 0
 
 
@@ -356,6 +366,39 @@ def cmd_trace(args) -> int:
               f"https://ui.perfetto.dev or chrome://tracing")
     else:
         print(text)
+    return 0
+
+
+def cmd_fuzz(args) -> int:
+    """Coverage-guided fault-scenario fuzzing (docs/conformance.md).
+
+    Draws tclish fault scripts from the PFI-command grammar, runs them
+    through the parallel campaign engine with the protocol's invariant
+    pack as the oracle, and keeps coverage-novel cases as mutation
+    parents.  ``--save-repro`` shrinks every finding (delta debugging
+    over script clauses, then seed minimization) and writes a
+    deterministic JSON repro artifact into the regression corpus.
+    """
+    from repro.oracle.fuzz import run_fuzz
+    report = run_fuzz(args.protocol, seed=args.seed, budget=args.budget,
+                      workers=args.workers)
+    print(report.render())
+    if not args.save_repro:
+        return 0
+    if not report.findings:
+        print("no findings to shrink")
+        return 0
+    from pathlib import Path
+
+    from repro.oracle.shrink import artifact_name, shrink_finding
+    out_dir = Path(args.save_repro)
+    for finding in report.findings:
+        artifact, stats = shrink_finding(finding, campaign_seed=args.seed)
+        path = artifact.save(out_dir / artifact_name(artifact))
+        print(f"  shrunk {finding.case.script.name}: "
+              f"{stats.clauses_before}->{stats.clauses_after} clause(s), "
+              f"seed {stats.seed_before}->{stats.seed_after} "
+              f"({stats.runs} runs) -> {path}")
     return 0
 
 
@@ -448,6 +491,24 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--uid", type=int, default=None,
                         help="print only the derivation tree containing "
                              "this message uid")
+    report.add_argument("--oracle", default="",
+                        help="add a conformance section: comma list of "
+                             "invariant packs (tcp,gmp)")
+    fuzz = sub.add_parser(
+        "fuzz", help="coverage-guided fault-scenario fuzzing with the "
+                     "conformance oracle as verdict (docs/conformance.md)")
+    fuzz.add_argument("--protocol", choices=["tcp", "gmp"], default="gmp")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed; the whole session is "
+                           "deterministic in it (default 0)")
+    fuzz.add_argument("--budget", type=int, default=24,
+                      help="number of cases to execute (default 24)")
+    fuzz.add_argument("--workers", type=int, default=1,
+                      help="parallel campaign workers (default 1; does "
+                           "not perturb results)")
+    fuzz.add_argument("--save-repro", default="", metavar="DIR",
+                      help="shrink findings and write JSON repro "
+                           "artifacts into DIR (e.g. tests/regressions)")
     chrome = sub.add_parser(
         "trace", help="convert a JSON-lines trace to Chrome-trace/"
                       "Perfetto JSON")
@@ -472,6 +533,8 @@ def main(argv=None) -> int:
         return cmd_report(args)
     elif args.command == "trace":
         return cmd_trace(args)
+    elif args.command == "fuzz":
+        return cmd_fuzz(args)
     else:
         COMMANDS[args.command](args)
     return 0

@@ -102,13 +102,21 @@ class RunResult:
 
     ``telemetry`` carries per-run timing and volume figures
     (:class:`~repro.obs.telemetry.RunTelemetry`); it is ``None`` when the
-    campaign ran with ``telemetry=False``.
+    campaign ran with ``telemetry=False``.  ``violations`` holds the
+    :class:`~repro.oracle.Violation` list from the campaign's conformance
+    oracle (``Campaign.run(..., oracle=...)``); it is ``None`` when no
+    oracle ran, and ``[]`` when one ran and found the trace clean.
     """
 
     config: Dict[str, Any]
     result: Any
     trace: TraceRecorder
     telemetry: Optional[RunTelemetry] = None
+    violations: Optional[List[Any]] = None
+
+    def ok(self) -> bool:
+        """True when the run's oracle (if any) reported no violations."""
+        return not self.violations
 
 
 class RunCache:
@@ -139,7 +147,7 @@ class RunCache:
         self.misses = 0
 
     def key(self, body: Callable, seed: int, config: Dict[str, Any], *,
-            telemetry: bool) -> str:
+            telemetry: bool, oracle: Optional[Callable] = None) -> str:
         digest = hashlib.sha256()
         digest.update(getattr(body, "__module__", "").encode())
         digest.update(getattr(body, "__qualname__", repr(body)).encode())
@@ -149,6 +157,10 @@ class RunCache:
             digest.update(repr(code.co_consts).encode())
         digest.update(str(seed).encode())
         digest.update(b"telemetry" if telemetry else b"bare")
+        if oracle is not None:
+            digest.update(getattr(oracle, "__module__", "").encode())
+            digest.update(getattr(oracle, "__qualname__",
+                                  repr(oracle)).encode())
         for k in sorted(config):
             digest.update(k.encode())
             value = config[k]
@@ -340,7 +352,9 @@ class Campaign:
     def run(self, configs: Iterable[Dict[str, Any]], *,
             workers: Union[int, str] = 1, telemetry: bool = True,
             scorecard: bool = False,
-            cache: Optional[RunCache] = None) -> List[RunResult]:
+            cache: Optional[RunCache] = None,
+            oracle: Optional[Callable[[], List[Any]]] = None
+            ) -> List[RunResult]:
         """Execute the body once per configuration.
 
         With ``workers > 1`` the configurations run chunked over a
@@ -364,6 +378,15 @@ class Campaign:
         results for configurations this body+seed has already computed
         and stores fresh ones; see the class docstring for the
         invalidation rules.
+
+        ``oracle`` (default off) is an invariant-pack factory -- a
+        zero-argument callable returning fresh
+        :class:`~repro.oracle.Invariant` instances, e.g.
+        :func:`repro.oracle.tcp_pack`.  When given, every configuration's
+        trace is evaluated against a fresh pack *in the worker that ran
+        it* (the trace is already hot there), and the resulting violation
+        list lands on ``RunResult.violations``.  Parallel runs need the
+        factory picklable, i.e. module-level -- the same rule as the body.
         """
         config_list = [dict(config) for config in configs]
         if self._lint != "off":
@@ -377,7 +400,7 @@ class Campaign:
         if cache is not None:
             for index, config in enumerate(config_list):
                 key = cache.key(self._body, self._seed, config,
-                                telemetry=telemetry)
+                                telemetry=telemetry, oracle=oracle)
                 keys[index] = key
                 cached = cache.get(key)
                 if cached is not None:
@@ -393,15 +416,15 @@ class Campaign:
                 for index in todo:
                     slots[index] = _execute_config(
                         self._body, self._seed, config_list[index],
-                        telemetry=telemetry)
+                        telemetry=telemetry, oracle=oracle)
             else:
                 try:
-                    pickle.dumps(self._body)
+                    pickle.dumps((self._body, oracle))
                 except Exception as err:
                     raise TypeError(
                         "Campaign.run(workers>1) needs a picklable "
-                        f"(module-level) body, got {self._body!r}: {err}"
-                    ) from err
+                        "(module-level) body and oracle, got "
+                        f"{self._body!r} / {oracle!r}: {err}") from err
                 pool = _get_pool(min(pool_size, len(todo)))
                 futures = []
                 for start, stop in _chunk_ranges(len(todo), pool_size):
@@ -409,7 +432,7 @@ class Campaign:
                     futures.append((indices, pool.submit(
                         _execute_chunk, self._body, self._seed,
                         [config_list[i] for i in indices], indices,
-                        telemetry=telemetry)))
+                        telemetry=telemetry, oracle=oracle)))
                 for indices, future in futures:
                     chunk_results = future.result()
                     for index, run_result in zip(indices, chunk_results):
@@ -426,13 +449,15 @@ class Campaign:
 
 def _execute_config(body: Callable[[ExperimentEnv, Dict[str, Any]], Any],
                     seed: int, config: Dict[str, Any], *,
-                    telemetry: bool = True) -> RunResult:
+                    telemetry: bool = True,
+                    oracle: Optional[Callable] = None) -> RunResult:
     """Run one configuration: the shared serial/parallel execution path."""
     run_seed = derive_seed(seed, repr(sorted(config.items())))
     env = make_env(seed=run_seed)
     if not telemetry:
         result = body(env, dict(config))
-        return RunResult(config=dict(config), result=result, trace=env.trace)
+        return RunResult(config=dict(config), result=result, trace=env.trace,
+                         violations=_oracle_violations(env.trace, oracle))
     start = perf_counter()
     result = body(env, dict(config))
     wall_s = perf_counter() - start
@@ -440,13 +465,24 @@ def _execute_config(body: Callable[[ExperimentEnv, Dict[str, Any]], Any],
         wall_s=wall_s, events=env.scheduler.dispatched_count,
         virtual_s=env.scheduler.now, trace_entries=len(env.trace))
     return RunResult(config=dict(config), result=result, trace=env.trace,
-                     telemetry=run_telemetry)
+                     telemetry=run_telemetry,
+                     violations=_oracle_violations(env.trace, oracle))
+
+
+def _oracle_violations(trace: TraceRecorder,
+                       oracle: Optional[Callable]) -> Optional[List[Any]]:
+    """Evaluate a fresh pack from ``oracle`` over ``trace`` (None: skip)."""
+    if oracle is None:
+        return None
+    from repro.oracle import evaluate
+    return evaluate(trace, oracle()).violations
 
 
 def _execute_chunk(body: Callable[[ExperimentEnv, Dict[str, Any]], Any],
                    seed: int, configs: List[Dict[str, Any]],
                    indices: List[int], *,
-                   telemetry: bool = True) -> List[RunResult]:
+                   telemetry: bool = True,
+                   oracle: Optional[Callable] = None) -> List[RunResult]:
     """Worker-side loop over one chunk of configurations.
 
     A failure is annotated with the *global* sweep index before it
@@ -457,7 +493,8 @@ def _execute_chunk(body: Callable[[ExperimentEnv, Dict[str, Any]], Any],
     for index, config in zip(indices, configs):
         try:
             results.append(_execute_config(body, seed, config,
-                                           telemetry=telemetry))
+                                           telemetry=telemetry,
+                                           oracle=oracle))
         except Exception as err:
             err.add_note(
                 f"campaign config [{index}] failed: {config!r}")

@@ -20,12 +20,10 @@ exactly reproducible and insensitive to script-list reordering.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import render_table
-from repro.core.distributions import derive_seed
 from repro.core.faults import FailureModel
 from repro.core.genscripts import GeneratedScript
 
@@ -121,16 +119,26 @@ def run_campaign(scripts: Sequence[GeneratedScript], trial: TrialFn, *,
 
     ``sample`` draws that many scripts (without replacement, seeded) for
     quick probabilistic sweeps over large campaigns.
+
+    .. deprecated::
+        This runner predates the conformance oracle layer and survives
+        as a thin back-compat wrapper: its sampling and per-trial seed
+        derivation now delegate to :func:`repro.oracle.grammar
+        .seeded_sample` and :func:`repro.oracle.grammar.trial_seed` (the
+        same helpers the fuzzer uses), so the two sides cannot drift
+        again.  New probabilistic campaigns should prefer
+        :func:`repro.oracle.fuzz.run_fuzz`, which adds coverage
+        guidance, oracle verdicts, and shrinking on top of the same
+        deterministic sampling.
     """
-    chosen: List[GeneratedScript] = list(scripts)
-    if sample is not None and sample < len(chosen):
-        rng = random.Random(seed)
-        chosen = rng.sample(chosen, sample)
+    from repro.oracle.grammar import seeded_sample, trial_seed
+    chosen = (seeded_sample(scripts, sample, seed=seed)
+              if sample is not None else list(scripts))
     scorecard = Scorecard()
     for script in chosen:
         for repetition in range(repetitions):
-            trial_seed = derive_seed(seed, script.name, repetition)
-            outcome = trial(script, trial_seed)
-            scorecard.add(TrialRecord(script=script, seed=trial_seed,
+            run_seed = trial_seed(seed, script.name, repetition)
+            outcome = trial(script, run_seed)
+            scorecard.add(TrialRecord(script=script, seed=run_seed,
                                       outcome=outcome))
     return scorecard

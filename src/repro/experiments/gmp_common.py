@@ -73,13 +73,17 @@ def build_gmp_cluster(world: Sequence[int], *,
                       default_bugs: BugFlags = FIXED,
                       timing: GmpTiming = GmpTiming(),
                       seed: int = 0,
-                      latency: float = 0.001) -> GmpCluster:
+                      latency: float = 0.001,
+                      env: ExperimentEnv = None) -> GmpCluster:
     """Wire up one machine per world address.
 
     ``bugs`` overrides the bug flags per machine; everyone else gets
-    ``default_bugs``.
+    ``default_bugs``.  ``env`` reuses an existing environment (e.g. the
+    one a :class:`~repro.core.orchestrator.Campaign` hands its body)
+    instead of building a private one.
     """
-    env = make_env(seed=seed, default_latency=latency)
+    if env is None:
+        env = make_env(seed=seed, default_latency=latency)
     stubs = gmp_stubs()
     daemons: Dict[int, Daemon] = {}
     pfis: Dict[int, PFILayer] = {}

@@ -92,9 +92,10 @@ def drop_heartbeats_filter(*, to_others_only: bool = False,
     return send_filter
 
 
-def run_self_death(*, bugs_on: bool, seed: int = 0,
-                   via_suspend: bool = False) -> SelfDeathResult:
-    """Drop all heartbeats on one machine (or suspend it)."""
+def execute_self_death(*, bugs_on: bool, seed: int = 0,
+                       via_suspend: bool = False):
+    """Drive the drop-all-heartbeats (or suspend) scenario; returns the
+    cluster after the fault, the probe, and (when fixed) the heal."""
     flags = {FAULTY: BugFlags(self_death=True, proclaim_forward_param=True)
              if bugs_on else FIXED}
     cluster = build_gmp_cluster(WORLD, bugs=flags, seed=seed)
@@ -119,6 +120,21 @@ def run_self_death(*, bugs_on: bool, seed: int = 0,
     cluster.pfis[FAULTY].inject(probe, "receive")
     cluster.run_until(fault_time + 55.0)
 
+    if not bugs_on:
+        # heal the fault and let the fixed daemon rejoin cleanly
+        if via_suspend:
+            pass  # resume already scheduled
+        else:
+            cluster.pfis[FAULTY].clear_filters()
+        cluster.run_until(cluster.scheduler.now + 30.0)
+    return cluster
+
+
+def run_self_death(*, bugs_on: bool, seed: int = 0,
+                   via_suspend: bool = False) -> SelfDeathResult:
+    """Drop all heartbeats on one machine (or suspend it)."""
+    cluster = execute_self_death(bugs_on=bugs_on, seed=seed,
+                                 via_suspend=via_suspend)
     trace = cluster.trace
     node = FAULTY
     self_death = trace.count("gmp.self_death_bug", node=node) > 0
@@ -127,15 +143,7 @@ def run_self_death(*, bugs_on: bool, seed: int = 0,
     forward_bug = trace.count("gmp.forward_param_bug", node=node) > 0
     daemon = cluster.daemons[FAULTY]
     stayed = (not singleton) and len(daemon.view.members) > 1
-    rejoined = False
-    if not bugs_on:
-        # heal the fault and verify the fixed daemon rejoins cleanly
-        if via_suspend:
-            pass  # resume already scheduled
-        else:
-            cluster.pfis[FAULTY].clear_filters()
-        cluster.run_until(cluster.scheduler.now + 30.0)
-        rejoined = cluster.all_in_one_group()
+    rejoined = (not bugs_on) and cluster.all_in_one_group()
     return SelfDeathResult(
         bugs_on=bugs_on,
         self_death_bug_fired=self_death,
@@ -150,9 +158,8 @@ def run_self_death(*, bugs_on: bool, seed: int = 0,
 # sub-experiment 2: drop heartbeats to others only
 # ----------------------------------------------------------------------
 
-def run_kick_rejoin_cycle(*, seed: int = 0,
-                          observe_for: float = 120.0) -> KickRejoinResult:
-    """Drop only outbound heartbeats to other members; watch the cycle."""
+def execute_kick_rejoin(*, seed: int = 0, observe_for: float = 120.0):
+    """Drive the drop-heartbeats-to-others scenario; returns the cluster."""
     cluster = build_gmp_cluster(WORLD, seed=seed)
     cluster.start()
     cluster.run_until(10.0)
@@ -161,7 +168,13 @@ def run_kick_rejoin_cycle(*, seed: int = 0,
     cluster.pfis[FAULTY].set_send_filter(
         drop_heartbeats_filter(to_others_only=True, local_address=FAULTY))
     cluster.run_until(10.0 + observe_for)
+    return cluster
 
+
+def run_kick_rejoin_cycle(*, seed: int = 0,
+                          observe_for: float = 120.0) -> KickRejoinResult:
+    """Drop only outbound heartbeats to other members; watch the cycle."""
+    cluster = execute_kick_rejoin(seed=seed, observe_for=observe_for)
     # kicked out: the leader adopts a view without FAULTY; rejoined: a
     # later leader view contains FAULTY again
     views = [tuple(e.get("members")) for e in
@@ -187,8 +200,8 @@ def run_kick_rejoin_cycle(*, seed: int = 0,
 # sub-experiment 3: drop ACKs of MEMBERSHIP_CHANGE at the leader
 # ----------------------------------------------------------------------
 
-def run_ack_drop(*, seed: int = 0) -> AckDropResult:
-    """The leader never sees compsun1's ACKs; compsun1 is never admitted."""
+def execute_ack_drop(*, seed: int = 0):
+    """Drive the ACK-drop scenario; returns the cluster."""
     cluster = build_gmp_cluster(WORLD, seed=seed)
     cluster.start(1, 2)
     cluster.run_until(8.0)
@@ -201,7 +214,12 @@ def run_ack_drop(*, seed: int = 0) -> AckDropResult:
 
     cluster.start(JOINER)
     cluster.run_until(60.0)
+    return cluster
 
+
+def run_ack_drop(*, seed: int = 0) -> AckDropResult:
+    """The leader never sees compsun1's ACKs; compsun1 is never admitted."""
+    cluster = execute_ack_drop(seed=seed)
     trace = cluster.trace
     joiner = cluster.daemons[JOINER]
     committed = any(JOINER in e.get("members")
@@ -223,8 +241,8 @@ def run_ack_drop(*, seed: int = 0) -> AckDropResult:
 # sub-experiment 4: drop COMMITs at the joiner
 # ----------------------------------------------------------------------
 
-def run_commit_drop(*, seed: int = 0) -> CommitDropResult:
-    """compsun1 never sees COMMITs: stuck IN_TRANSITION, then kicked."""
+def execute_commit_drop(*, seed: int = 0):
+    """Drive the COMMIT-drop scenario; returns the cluster."""
     cluster = build_gmp_cluster(WORLD, seed=seed)
     cluster.start(1, 2)
     cluster.run_until(8.0)
@@ -237,7 +255,12 @@ def run_commit_drop(*, seed: int = 0) -> CommitDropResult:
 
     cluster.start(JOINER)
     cluster.run_until(60.0)
+    return cluster
 
+
+def run_commit_drop(*, seed: int = 0) -> CommitDropResult:
+    """compsun1 never sees COMMITs: stuck IN_TRANSITION, then kicked."""
+    cluster = execute_commit_drop(seed=seed)
     trace = cluster.trace
     in_transition = trace.count("gmp.in_transition", node=JOINER) > 0
     commits_with_joiner = [e for e in trace.entries("gmp.commit_sent",
@@ -272,3 +295,28 @@ def run_all(seed: int = 0) -> Dict[str, object]:
         "ack_drop": run_ack_drop(seed=seed),
         "commit_drop": run_commit_drop(seed=seed),
     }
+
+
+def invariants():
+    """The conformance pack that must hold over this experiment's traces."""
+    from repro.oracle import gmp_pack
+    return gmp_pack()
+
+
+def conformance_runs(seed: int = 0):
+    """Representative labelled traces for the conformance suite.
+
+    Only the fixed-daemon variants: the buggy variants violate by
+    design and belong to the known-bug detection tests.
+    """
+    yield ("packet_interruption/self_death_fixed",
+           execute_self_death(bugs_on=False, seed=seed).trace)
+    yield ("packet_interruption/suspend_fixed",
+           execute_self_death(bugs_on=False, via_suspend=True,
+                              seed=seed).trace)
+    yield ("packet_interruption/kick_rejoin",
+           execute_kick_rejoin(seed=seed).trace)
+    yield ("packet_interruption/ack_drop",
+           execute_ack_drop(seed=seed).trace)
+    yield ("packet_interruption/commit_drop",
+           execute_commit_drop(seed=seed).trace)

@@ -64,9 +64,9 @@ def partition_send_filter(my_side: Set[int]):
     return send_filter
 
 
-def run_oscillating_partition(*, seed: int = 0,
-                              cycles: int = 2) -> PartitionResult:
-    """Sub-experiment A."""
+def execute_oscillating_partition(*, seed: int = 0, cycles: int = 2):
+    """Drive sub-experiment A; returns ``(cluster, split_ok, merged_ok)``
+    with the per-cycle phase verdicts sampled while the run advanced."""
     cluster = build_gmp_cluster(WORLD5, seed=seed)
     cluster.start()
     cluster.run_until(PHASE - 5.0)          # settle inside phase 0 (whole)
@@ -76,15 +76,13 @@ def run_oscillating_partition(*, seed: int = 0,
         side = set(GROUP_A) if address in GROUP_A else set(GROUP_B)
         cluster.pfis[address].set_send_filter(partition_send_filter(side))
 
-    snapshots: List[Dict[int, tuple]] = []
-    merged_ok = []
-    split_ok = []
+    merged_ok: List[bool] = []
+    split_ok: List[bool] = []
     for cycle in range(cycles):
         # partitioned phase: sample views near its end
         split_end = (2 * cycle + 2) * PHASE
         cluster.run_until(split_end - 2.0)
         views = cluster.views()
-        snapshots.append(views)
         split_ok.append(
             all(views[a] == GROUP_A for a in GROUP_A)
             and all(views[a] == GROUP_B for a in GROUP_B))
@@ -92,7 +90,14 @@ def run_oscillating_partition(*, seed: int = 0,
         heal_end = (2 * cycle + 3) * PHASE
         cluster.run_until(heal_end - 2.0)
         merged_ok.append(cluster.all_in_one_group())
+    return cluster, split_ok, merged_ok
 
+
+def run_oscillating_partition(*, seed: int = 0,
+                              cycles: int = 2) -> PartitionResult:
+    """Sub-experiment A."""
+    _cluster, split_ok, merged_ok = execute_oscillating_partition(
+        seed=seed, cycles=cycles)
     return PartitionResult(
         disjoint_groups_formed=all(split_ok),
         groups_during_partition=(GROUP_A, GROUP_B),
@@ -109,15 +114,9 @@ def separation_filter(other: int, start_at: float):
     return send_filter
 
 
-def run_leader_prince_separation(*, first_detector: str = "leader",
-                                 seed: int = 0) -> SeparationResult:
-    """Sub-experiment B, forcing one of the two event orderings.
-
-    ``first_detector`` controls who stops *receiving* first and therefore
-    who initiates the membership change first: cutting 2->1 early makes
-    the leader (1) miss heartbeats first; cutting 1->2 early favours the
-    crown prince (2).
-    """
+def execute_leader_prince_separation(*, first_detector: str = "leader",
+                                     seed: int = 0):
+    """Drive sub-experiment B; returns ``(cluster, cut_time)``."""
     if first_detector not in ("leader", "prince"):
         raise ValueError("first_detector must be 'leader' or 'prince'")
     cluster = build_gmp_cluster(WORLD5, seed=seed)
@@ -136,7 +135,20 @@ def run_leader_prince_separation(*, first_detector: str = "leader",
     cluster.pfis[1].set_send_filter(separation_filter(2, leader_cut))
 
     cluster.run_until(now + 60.0)
+    return cluster, now
 
+
+def run_leader_prince_separation(*, first_detector: str = "leader",
+                                 seed: int = 0) -> SeparationResult:
+    """Sub-experiment B, forcing one of the two event orderings.
+
+    ``first_detector`` controls who stops *receiving* first and therefore
+    who initiates the membership change first: cutting 2->1 early makes
+    the leader (1) miss heartbeats first; cutting 1->2 early favours the
+    crown prince (2).
+    """
+    cluster, now = execute_leader_prince_separation(
+        first_detector=first_detector, seed=seed)
     trace = cluster.trace
     mc_events = [e for e in trace.entries("gmp.mc_sent") if e.time > now
                  and e.get("node") in (1, 2)]
@@ -164,3 +176,19 @@ def run_all(seed: int = 0) -> Dict[str, object]:
         "prince_detects_first": run_leader_prince_separation(
             first_detector="prince", seed=seed),
     }
+
+
+def invariants():
+    """The conformance pack that must hold over this experiment's traces."""
+    from repro.oracle import gmp_pack
+    return gmp_pack()
+
+
+def conformance_runs(seed: int = 0):
+    """Representative labelled traces for the conformance suite."""
+    yield ("partition/oscillating",
+           execute_oscillating_partition(seed=seed)[0].trace)
+    for who in ("leader", "prince"):
+        yield (f"partition/separation_{who}_first",
+               execute_leader_prince_separation(
+                   first_detector=who, seed=seed)[0].trace)

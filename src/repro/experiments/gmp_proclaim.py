@@ -49,9 +49,9 @@ def drop_proclaims_to_leader(ctx: ScriptContext) -> None:
         ctx.drop()
 
 
-def run_proclaim_forwarding(*, bugs_on: bool, seed: int = 0,
-                            observe_for: float = 5.0) -> ProclaimResult:
-    """Run Table 7 with the forwarding bug on or off."""
+def execute_proclaim_forwarding(*, bugs_on: bool, seed: int = 0,
+                                observe_for: float = 5.0):
+    """Drive Table 7; returns ``(cluster, newcomer_start_time)``."""
     flags = BugFlags(proclaim_reply_to_sender=True) if bugs_on else FIXED
     cluster = build_gmp_cluster(WORLD, default_bugs=flags, seed=seed)
     cluster.start(LEADER, CROWN_PRINCE)
@@ -62,7 +62,14 @@ def run_proclaim_forwarding(*, bugs_on: bool, seed: int = 0,
     cluster.start(NEWCOMER)
     start = cluster.scheduler.now
     cluster.run_until(start + observe_for)
+    return cluster, start
 
+
+def run_proclaim_forwarding(*, bugs_on: bool, seed: int = 0,
+                            observe_for: float = 5.0) -> ProclaimResult:
+    """Run Table 7 with the forwarding bug on or off."""
+    cluster, start = execute_proclaim_forwarding(
+        bugs_on=bugs_on, seed=seed, observe_for=observe_for)
     trace = cluster.trace
     # proclaims flowing between leader and crown prince after the newcomer
     # appeared: the loop signature
@@ -93,3 +100,19 @@ def run_all(seed: int = 0) -> Dict[str, ProclaimResult]:
         "buggy": run_proclaim_forwarding(bugs_on=True, seed=seed),
         "fixed": run_proclaim_forwarding(bugs_on=False, seed=seed),
     }
+
+
+def invariants():
+    """The conformance pack that must hold over this experiment's traces."""
+    from repro.oracle import gmp_pack
+    return gmp_pack()
+
+
+def conformance_runs(seed: int = 0):
+    """Representative labelled traces for the conformance suite.
+
+    Only the fixed variant: the buggy run deliberately violates
+    GMP-PROCLAIM-REPLY and belongs to the known-bug detection tests.
+    """
+    yield ("proclaim/forwarding_fixed",
+           execute_proclaim_forwarding(bugs_on=False, seed=seed)[0].trace)

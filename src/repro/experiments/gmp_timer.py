@@ -54,8 +54,8 @@ def drop_after_second_change():
     return receive_filter
 
 
-def run_timer_test(*, bugs_on: bool, seed: int = 0) -> TimerTestResult:
-    """Run Table 8 with the inverted-unregister bug on or off."""
+def execute_timer_test(*, bugs_on: bool, seed: int = 0):
+    """Drive Table 8; returns ``(cluster, start, armed_snapshot)``."""
     flags = {COMPSUN1: BugFlags(inverted_timer_unregister=True)
              if bugs_on else FIXED}
     cluster = build_gmp_cluster(WORLD, bugs=flags, seed=seed)
@@ -85,7 +85,13 @@ def run_timer_test(*, bugs_on: bool, seed: int = 0) -> TimerTestResult:
     for tick in range(1, 40):
         cluster.scheduler.schedule(tick * 0.1, sample_if_in_transition)
     cluster.run_until(start + 10.0)
+    return cluster, start, armed_snapshot
 
+
+def run_timer_test(*, bugs_on: bool, seed: int = 0) -> TimerTestResult:
+    """Run Table 8 with the inverted-unregister bug on or off."""
+    cluster, _start, armed_snapshot = execute_timer_test(
+        bugs_on=bugs_on, seed=seed)
     trace = cluster.trace
     return TimerTestResult(
         bugs_on=bugs_on,
@@ -105,3 +111,19 @@ def run_all(seed: int = 0) -> Dict[str, TimerTestResult]:
         "buggy": run_timer_test(bugs_on=True, seed=seed),
         "fixed": run_timer_test(bugs_on=False, seed=seed),
     }
+
+
+def invariants():
+    """The conformance pack that must hold over this experiment's traces."""
+    from repro.oracle import gmp_pack
+    return gmp_pack()
+
+
+def conformance_runs(seed: int = 0):
+    """Representative labelled traces for the conformance suite.
+
+    Only the fixed variant: the buggy run deliberately violates
+    GMP-TIMER and belongs to the known-bug detection tests.
+    """
+    yield ("timer/unregister_fixed",
+           execute_timer_test(bugs_on=False, seed=seed)[0].trace)

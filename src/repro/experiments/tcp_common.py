@@ -60,9 +60,17 @@ class TCPTestbed:
 
 def build_tcp_testbed(vendor: VendorProfile, *, seed: int = 0,
                       latency: float = 0.002,
-                      xk_profile: VendorProfile = XKERNEL) -> TCPTestbed:
-    """Construct the two-machine rig with the PFI layer on the x-Kernel side."""
-    env = make_env(seed=seed, default_latency=latency)
+                      xk_profile: VendorProfile = XKERNEL,
+                      env: ExperimentEnv = None) -> TCPTestbed:
+    """Construct the two-machine rig with the PFI layer on the x-Kernel side.
+
+    ``env`` reuses an existing environment (a :class:`~repro.core
+    .orchestrator.Campaign` hands each body one) instead of building a
+    private one, so campaign-level machinery -- telemetry, the trace on
+    ``RunResult``, the conformance oracle -- observes the testbed's run.
+    """
+    if env is None:
+        env = make_env(seed=seed, default_latency=latency)
     vendor_node = env.network.add_node("vendor", VENDOR_ADDR)
     xk_node = env.network.add_node("xkernel", XKERNEL_ADDR)
     stubs = tcp_stubs()

@@ -87,10 +87,9 @@ def drop_when_armed_receive_filter():
     return receive_filter
 
 
-def run_delayed_ack_experiment(vendor: VendorProfile, ack_delay: float, *,
-                               seed: int = 0,
-                               max_time: float = 3000.0) -> DelayedAckResult:
-    """Run one (vendor, delay) cell of Table 2."""
+def execute(vendor: VendorProfile, ack_delay: float, *, seed: int = 0,
+            max_time: float = 3000.0):
+    """Drive one (vendor, delay) cell; returns the run testbed."""
     testbed = build_tcp_testbed(vendor, seed=seed)
     client, _server = open_connection(testbed)
     # the vendor app writes briskly; ACK delays will throttle the window
@@ -98,7 +97,14 @@ def run_delayed_ack_experiment(vendor: VendorProfile, ack_delay: float, *,
     testbed.pfi.set_send_filter(delay_acks_send_filter(ack_delay))
     testbed.pfi.set_receive_filter(drop_when_armed_receive_filter())
     testbed.env.run_until(max_time)
+    return testbed
 
+
+def run_delayed_ack_experiment(vendor: VendorProfile, ack_delay: float, *,
+                               seed: int = 0,
+                               max_time: float = 3000.0) -> DelayedAckResult:
+    """Run one (vendor, delay) cell of Table 2."""
+    testbed = execute(vendor, ack_delay, seed=seed, max_time=max_time)
     conn = "vendor:5000"
     trace = testbed.trace
     seq = most_retransmitted_seq(trace, conn)
@@ -116,11 +122,11 @@ def run_delayed_ack_experiment(vendor: VendorProfile, ack_delay: float, *,
     )
 
 
-def run_global_counter_probe(vendor: VendorProfile, *, seed: int = 0,
-                             ack_delay: float = 35.0,
-                             pass_count: int = 30,
-                             max_time: float = 3000.0) -> GlobalCounterResult:
-    """The 35-second-delayed-ACK experiment that exposed Solaris's counter."""
+def execute_global_counter_probe(vendor: VendorProfile, *, seed: int = 0,
+                                 ack_delay: float = 35.0,
+                                 pass_count: int = 30,
+                                 max_time: float = 3000.0):
+    """Drive the m1/m2 global-fault-counter probe; returns the testbed."""
     testbed = build_tcp_testbed(vendor, seed=seed)
     client, _server = open_connection(testbed)
     stream_from_vendor(testbed, client, segments=60, interval=0.4)
@@ -151,7 +157,17 @@ def run_global_counter_probe(vendor: VendorProfile, *, seed: int = 0,
     testbed.pfi.set_receive_filter(receive_filter)
     testbed.pfi.set_send_filter(send_filter)
     testbed.env.run_until(max_time)
+    return testbed
 
+
+def run_global_counter_probe(vendor: VendorProfile, *, seed: int = 0,
+                             ack_delay: float = 35.0,
+                             pass_count: int = 30,
+                             max_time: float = 3000.0) -> GlobalCounterResult:
+    """The 35-second-delayed-ACK experiment that exposed Solaris's counter."""
+    testbed = execute_global_counter_probe(
+        vendor, seed=seed, ack_delay=ack_delay, pass_count=pass_count,
+        max_time=max_time)
     conn = "vendor:5000"
     counts = retransmit_counts_by_seq(testbed.trace, conn)
     ordered = sorted(counts.items(), key=lambda kv: kv[0])
@@ -171,6 +187,22 @@ def run_all(ack_delay: float, seed: int = 0) -> Dict[str, DelayedAckResult]:
     """One Table 2 column (3 s or 8 s)."""
     return {name: run_delayed_ack_experiment(profile, ack_delay, seed=seed)
             for name, profile in VENDORS.items()}
+
+
+def invariants():
+    """The conformance pack that must hold over this experiment's traces."""
+    from repro.oracle import tcp_pack
+    return tcp_pack()
+
+
+def conformance_runs(seed: int = 0):
+    """Representative labelled traces for the conformance suite."""
+    for name, profile in VENDORS.items():
+        yield (f"delayed_ack/{name}",
+               execute(profile, 3.0, seed=seed).trace)
+    yield ("delayed_ack/global_counter/Solaris 2.3",
+           execute_global_counter_probe(VENDORS["Solaris 2.3"],
+                                        seed=seed).trace)
 
 
 def table_rows(results: Dict[str, DelayedAckResult]) -> List[List[object]]:

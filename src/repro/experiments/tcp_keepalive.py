@@ -58,16 +58,23 @@ def drop_all_incoming():
     return receive_filter
 
 
-def run_keepalive_dropped(vendor: VendorProfile, *, seed: int = 0,
-                          max_time: float = 40_000.0) -> KeepAliveResult:
-    """Variant A: keep-alive probes never answered."""
+def execute_dropped(vendor: VendorProfile, *, seed: int = 0,
+                    max_time: float = 40_000.0):
+    """Drive variant A; returns ``(testbed, client, opened_at)``."""
     testbed = build_tcp_testbed(vendor, seed=seed)
     client, _server = open_connection(testbed)
     opened_at = testbed.scheduler.now
     client.enable_keepalive()
     testbed.pfi.set_receive_filter(drop_all_incoming())
     testbed.env.run_until(max_time)
+    return testbed, client, opened_at
 
+
+def run_keepalive_dropped(vendor: VendorProfile, *, seed: int = 0,
+                          max_time: float = 40_000.0) -> KeepAliveResult:
+    """Variant A: keep-alive probes never answered."""
+    testbed, client, opened_at = execute_dropped(vendor, seed=seed,
+                                                 max_time=max_time)
     conn = "vendor:5000"
     trace = testbed.trace
     probes = trace.entries("tcp.transmit", conn=conn, purpose="keepalive_probe")
@@ -92,16 +99,23 @@ def run_keepalive_dropped(vendor: VendorProfile, *, seed: int = 0,
     )
 
 
-def run_keepalive_answered(vendor: VendorProfile, *, seed: int = 0,
-                           probes_to_observe: int = 5) -> KeepAliveResult:
-    """Variant B: probes are ACKed; measure the inter-probe interval."""
+def execute_answered(vendor: VendorProfile, *, seed: int = 0,
+                     probes_to_observe: int = 5):
+    """Drive variant B; returns ``(testbed, client)``."""
     testbed = build_tcp_testbed(vendor, seed=seed)
     client, _server = open_connection(testbed)
     client.enable_keepalive()
     # no filters: the x-kernel TCP answers each probe with a duplicate ACK
     horizon = vendor.ka_idle * (probes_to_observe + 1.5)
     testbed.env.run_until(horizon)
+    return testbed, client
 
+
+def run_keepalive_answered(vendor: VendorProfile, *, seed: int = 0,
+                           probes_to_observe: int = 5) -> KeepAliveResult:
+    """Variant B: probes are ACKed; measure the inter-probe interval."""
+    testbed, client = execute_answered(vendor, seed=seed,
+                                       probes_to_observe=probes_to_observe)
     conn = "vendor:5000"
     probes = testbed.trace.entries("tcp.transmit", conn=conn,
                                    purpose="keepalive_probe")
@@ -125,6 +139,21 @@ def run_all(seed: int = 0) -> Dict[str, KeepAliveResult]:
         dropped.answered_still_open = answered.answered_still_open
         results[name] = dropped
     return results
+
+
+def invariants():
+    """The conformance pack that must hold over this experiment's traces."""
+    from repro.oracle import tcp_pack
+    return tcp_pack()
+
+
+def conformance_runs(seed: int = 0):
+    """Representative labelled traces for the conformance suite."""
+    for name, profile in VENDORS.items():
+        yield (f"keepalive/dropped/{name}",
+               execute_dropped(profile, seed=seed)[0].trace)
+        yield (f"keepalive/answered/{name}",
+               execute_answered(profile, seed=seed)[0].trace)
 
 
 def table_rows(results: Dict[str, KeepAliveResult]) -> List[List[object]]:

@@ -60,9 +60,9 @@ def reorder_send_filter(delay: float = FIRST_SEGMENT_DELAY):
     return send_filter
 
 
-def run_reordering_experiment(vendor: VendorProfile, *, seed: int = 0,
-                              max_time: float = 30.0) -> ReorderingResult:
-    """Run Experiment 5 against one vendor (as the receiver)."""
+def execute(vendor: VendorProfile, *, seed: int = 0,
+            max_time: float = 30.0):
+    """Drive Experiment 5; returns ``(testbed, client, server)``."""
     testbed = build_tcp_testbed(vendor, seed=seed)
     # x-Kernel machine actively opens toward the vendor machine
     server = testbed.vendor_tcp.listen(80)
@@ -79,7 +79,15 @@ def run_reordering_experiment(vendor: VendorProfile, *, seed: int = 0,
     client.send(payload_a)
     testbed.scheduler.schedule(0.05, client.send, payload_b)
     testbed.env.run_until(max_time)
+    return testbed, client, server
 
+
+def run_reordering_experiment(vendor: VendorProfile, *, seed: int = 0,
+                              max_time: float = 30.0) -> ReorderingResult:
+    """Run Experiment 5 against one vendor (as the receiver)."""
+    testbed, client, server = execute(vendor, seed=seed, max_time=max_time)
+    payload_a = b"A" * client.profile.mss
+    payload_b = b"B" * client.profile.mss
     trace = testbed.trace
     vendor_conn = "vendor:80"
     queued = trace.count("tcp.ooo_queued", conn=vendor_conn) > 0
@@ -104,3 +112,15 @@ def run_all(seed: int = 0) -> Dict[str, ReorderingResult]:
     """Experiment 5 across all vendors."""
     return {name: run_reordering_experiment(profile, seed=seed)
             for name, profile in VENDORS.items()}
+
+
+def invariants():
+    """The conformance pack that must hold over this experiment's traces."""
+    from repro.oracle import tcp_pack
+    return tcp_pack()
+
+
+def conformance_runs(seed: int = 0):
+    """Representative labelled traces for the conformance suite."""
+    for name, profile in VENDORS.items():
+        yield f"reordering/{name}", execute(profile, seed=seed)[0].trace

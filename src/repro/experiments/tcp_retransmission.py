@@ -67,10 +67,15 @@ if {$seen > $limit} {
 """
 
 
-def run_retransmission_experiment(vendor: VendorProfile, *, seed: int = 0,
-                                  max_time: float = 2000.0,
-                                  use_tclish: bool = False) -> RetransmissionResult:
-    """Run Experiment 1 against one vendor profile."""
+def execute(vendor: VendorProfile, *, seed: int = 0,
+            max_time: float = 2000.0,
+            use_tclish: bool = False) -> TCPTestbed:
+    """Drive Experiment 1 against one vendor; returns the run testbed.
+
+    Split from :func:`run_retransmission_experiment` so the conformance
+    oracle can evaluate the raw trace of exactly the run the table is
+    summarized from.
+    """
     testbed = build_tcp_testbed(vendor, seed=seed)
     client, _server = open_connection(testbed)
     stream_from_vendor(testbed, client, segments=40, interval=0.5)
@@ -84,6 +89,15 @@ def run_retransmission_experiment(vendor: VendorProfile, *, seed: int = 0,
         testbed.pfi.set_receive_filter(drop_after_script())
 
     testbed.env.run_until(max_time)
+    return testbed
+
+
+def run_retransmission_experiment(vendor: VendorProfile, *, seed: int = 0,
+                                  max_time: float = 2000.0,
+                                  use_tclish: bool = False) -> RetransmissionResult:
+    """Run Experiment 1 against one vendor profile."""
+    testbed = execute(vendor, seed=seed, max_time=max_time,
+                      use_tclish=use_tclish)
     return summarize(testbed, vendor)
 
 
@@ -111,6 +125,18 @@ def run_all(seed: int = 0) -> Dict[str, RetransmissionResult]:
     """Table 1: every vendor."""
     return {name: run_retransmission_experiment(profile, seed=seed)
             for name, profile in VENDORS.items()}
+
+
+def invariants():
+    """The conformance pack that must hold over this experiment's traces."""
+    from repro.oracle import tcp_pack
+    return tcp_pack()
+
+
+def conformance_runs(seed: int = 0):
+    """Representative labelled traces for the conformance suite."""
+    for name, profile in VENDORS.items():
+        yield f"retransmission/{name}", execute(profile, seed=seed).trace
 
 
 def table_rows(results: Dict[str, RetransmissionResult]) -> List[List[object]]:

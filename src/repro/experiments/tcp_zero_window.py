@@ -56,9 +56,10 @@ def _fill_receiver_window(testbed, client, server) -> None:
     client.send(b"Z" * total)
 
 
-def run_zero_window(vendor: VendorProfile, *, variant: str = "acked",
-                    seed: int = 0, run_for: float = 1800.0) -> ZeroWindowResult:
-    """Run one Table 4 cell."""
+def execute(vendor: VendorProfile, *, variant: str = "acked",
+            seed: int = 0, run_for: float = 1800.0):
+    """Drive one Table 4 cell; returns ``(testbed, client,
+    probes_after_replug)``."""
     if variant not in ("acked", "unacked", "unplugged"):
         raise ValueError(f"unknown variant {variant!r}")
     testbed = build_tcp_testbed(vendor, seed=seed)
@@ -83,7 +84,6 @@ def run_zero_window(vendor: VendorProfile, *, variant: str = "acked",
         # filter's state, which is exactly what drop_after_zero_window reads
 
     testbed.env.run_until(run_for)
-    probes_before_unplug = _probe_times(testbed)
 
     probes_after_replug = 0
     if variant == "unplugged":
@@ -93,7 +93,14 @@ def run_zero_window(vendor: VendorProfile, *, variant: str = "acked",
         mark = len(_probe_times(testbed))
         testbed.env.run_until(run_for + 2 * DAY + 600.0)
         probes_after_replug = len(_probe_times(testbed)) - mark
+    return testbed, client, probes_after_replug
 
+
+def run_zero_window(vendor: VendorProfile, *, variant: str = "acked",
+                    seed: int = 0, run_for: float = 1800.0) -> ZeroWindowResult:
+    """Run one Table 4 cell."""
+    testbed, client, probes_after_replug = execute(
+        vendor, variant=variant, seed=seed, run_for=run_for)
     probe_times = _probe_times(testbed)
     intervals = intervals_of(probe_times)
     recent = [t for t in probe_times
@@ -122,6 +129,25 @@ def run_all(variant: str = "acked", seed: int = 0) -> Dict[str, ZeroWindowResult
     """One Table 4 column across vendors."""
     return {name: run_zero_window(profile, variant=variant, seed=seed)
             for name, profile in VENDORS.items()}
+
+
+def invariants():
+    """The conformance pack that must hold over this experiment's traces."""
+    from repro.oracle import tcp_pack
+    return tcp_pack()
+
+
+def conformance_runs(seed: int = 0):
+    """Representative labelled traces for the conformance suite.
+
+    Both answered and unanswered probing are covered; the two-day
+    unplug coda exercises no additional probe mechanics, so it stays in
+    the (slower) experiment tests.
+    """
+    for name, profile in VENDORS.items():
+        for variant in ("acked", "unacked"):
+            yield (f"zero_window/{variant}/{name}",
+                   execute(profile, variant=variant, seed=seed)[0].trace)
 
 
 def table_rows(results: Dict[str, ZeroWindowResult]) -> List[List[object]]:

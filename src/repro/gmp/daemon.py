@@ -205,7 +205,8 @@ class Daemon(Protocol):
         msg.meta["reliable"] = reliable and kind != m.HEARTBEAT
         self.sent_counts[kind] = self.sent_counts.get(kind, 0) + 1
         self._record("gmp.send", msg_kind=kind, dst=dst,
-                     originator=gmsg.originator, group_id=group_id)
+                     originator=gmsg.originator, subject=subject,
+                     group_id=group_id)
         self.send_down(msg)
 
     def _send_proclaims(self) -> None:
@@ -517,10 +518,11 @@ class Daemon(Protocol):
         reply_to = msg.sender if buggy else msg.originator
         if self.address < msg.originator:
             self._record("gmp.proclaim_reply", to=reply_to,
-                         reply_kind=m.PROCLAIM)
+                         originator=msg.originator, reply_kind=m.PROCLAIM)
             self._send(m.PROCLAIM, reply_to)
         else:
-            self._record("gmp.proclaim_reply", to=reply_to, reply_kind=m.JOIN)
+            self._record("gmp.proclaim_reply", to=reply_to,
+                         originator=msg.originator, reply_kind=m.JOIN)
             self._send(m.JOIN, reply_to, members=self.view.members,
                        group_id=self.view.group_id)
 

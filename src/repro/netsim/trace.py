@@ -18,7 +18,8 @@ O(matches) after the first.
 from __future__ import annotations
 
 import sys
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
+                    Tuple)
 
 _intern = sys.intern
 
@@ -176,6 +177,35 @@ class TraceRecorder:
         return [entry for entry in candidates
                 if all(entry.attrs.get(k) == v
                        for k, v in attr_filter.items())]
+
+    def iter_subscribed(self, kinds: Iterable[str] = (),
+                        prefixes: Iterable[str] = ()) -> Iterator[TraceEntry]:
+        """Capture-ordered entries whose kind is in ``kinds`` or starts
+        with one of ``prefixes``.
+
+        This is the oracle layer's subscription primitive: an invariant
+        declares the kinds it cares about and the engine walks every
+        subscribed entry exactly once.  Prefix subscriptions are resolved
+        to the concrete kinds recorded so far through the per-kind index,
+        so the common cases stay cheap: an unrecorded subscription costs
+        nothing, a single-kind subscription iterates its index bucket
+        directly (O(matches)), and a multi-kind subscription does one
+        interned-set membership test per entry.
+        """
+        index = self._kind_lists()
+        resolved = {kind for kind in (_intern(k) for k in kinds)
+                    if kind in index}
+        for prefix in prefixes:
+            resolved.update(kind for kind in index
+                            if kind.startswith(prefix))
+        if not resolved:
+            return
+        if len(resolved) == 1:
+            yield from index[next(iter(resolved))]
+            return
+        for entry in self._entries:
+            if entry.kind in resolved:
+                yield entry
 
     def times(self, kind: str, **attr_filter: Any) -> List[float]:
         """Timestamps of matching entries, in capture order."""

@@ -8,9 +8,11 @@ run's scorecard in four sections:
 2. **metrics**: per-kind event counts plus the PFI action counters
    reconstructed from the trace itself (drops, delays, duplicates,
    holds, releases, injections, per node);
-3. **lineage**: every derivation tree with at least one parent->child
+3. **conformance** (with ``--oracle``): the invariant-pack verdict over
+   the trace (see :mod:`repro.oracle`);
+4. **lineage**: every derivation tree with at least one parent->child
    edge (see :mod:`repro.obs.lineage`);
-4. **timeline**: the trace tail, one line per entry.
+5. **timeline**: the trace tail, one line per entry.
 
 Everything is computed from the trace alone, so a run archived last
 month reports identically to the live object it came from.
@@ -87,14 +89,32 @@ def _timeline(entries: List[TraceEntry], tail: int) -> str:
 
 def render_report(trace: TraceRecorder, *, tail: int = 40,
                   kind_prefix: str = "",
-                  max_lineage_roots: int = 20) -> str:
-    """The full text report for one run's trace."""
+                  max_lineage_roots: int = 20,
+                  oracle=None) -> str:
+    """The full text report for one run's trace.
+
+    ``oracle`` (a list of :class:`~repro.oracle.Invariant` instances,
+    e.g. from :func:`repro.oracle.packs_by_name`) adds a **conformance**
+    section: the oracle verdict over the full trace, plus
+    ``oracle_violations{code=...}`` counters in the metrics section.
+    Evaluation always sees the unfiltered trace -- ``kind_prefix``
+    narrows what is *displayed*, not what the invariants check.
+    """
     entries = [e for e in trace if e.kind.startswith(kind_prefix)]
     lineage = Lineage.from_trace(entries)
     registry = trace_metrics(entries)
 
+    oracle_block: Optional[Tuple[str, str]] = None
+    if oracle is not None:
+        from repro.oracle import evaluate
+        report = evaluate(trace, oracle)
+        report.fill_metrics(registry)
+        oracle_block = ("conformance", report.render())
+
     blocks: List[Tuple[str, str]] = [("run summary", _summary(entries)),
                                      ("metrics", registry.render())]
+    if oracle_block is not None:
+        blocks.append(oracle_block)
 
     roots = lineage.roots()
     if roots:

@@ -1,0 +1,62 @@
+"""Machine-checkable conformance oracles over experiment traces.
+
+The package turns the paper's manual "inspect the trace and judge"
+step into code:
+
+- :mod:`repro.oracle.invariants` -- the engine: declarative
+  :class:`~repro.oracle.invariants.Invariant` objects with per-kind
+  trace subscriptions, evaluated in one pass and yielding structured
+  :class:`~repro.oracle.invariants.Violation` objects;
+- :mod:`repro.oracle.tcp` / :mod:`repro.oracle.gmp` -- the stock
+  RFC-793-style and group-membership invariant packs;
+- :mod:`repro.oracle.grammar` -- a generator of randomized tclish fault
+  scripts over the @cmd-declared PFI command registry;
+- :mod:`repro.oracle.fuzz` -- the coverage-guided fault-scenario fuzzer
+  (``repro fuzz``) that runs generated scenarios through the campaign
+  engine with oracle evaluation as the verdict;
+- :mod:`repro.oracle.shrink` -- delta-debugging of violating scenarios
+  into deterministic reproduction artifacts.
+
+Experiment modules participate by exporting ``invariants()`` (the pack
+that must hold over their traces) and ``conformance_runs(seed)``
+(labelled representative traces); :func:`check_module` wires the two
+together for the conformance test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.oracle.gmp import gmp_pack
+from repro.oracle.invariants import (Invariant, OracleReport, Violation,
+                                     describe, evaluate)
+from repro.oracle.tcp import tcp_pack
+
+__all__ = ["Invariant", "OracleReport", "Violation", "describe", "evaluate",
+           "tcp_pack", "gmp_pack", "packs_by_name", "check_module"]
+
+
+def packs_by_name(names) -> list:
+    """Resolve pack names ("tcp", "gmp") to fresh invariant instances."""
+    factories = {"tcp": tcp_pack, "gmp": gmp_pack}
+    pack = []
+    for name in names:
+        name = name.strip().lower()
+        if name not in factories:
+            raise ValueError(f"unknown invariant pack {name!r} "
+                             f"(available: {', '.join(sorted(factories))})")
+        pack.extend(factories[name]())
+    return pack
+
+
+def check_module(module, *, seed: int = 0
+                 ) -> Iterator[Tuple[str, OracleReport]]:
+    """Evaluate an experiment module's invariants over its own runs.
+
+    The module must export ``invariants()`` (a fresh pack) and
+    ``conformance_runs(seed)`` (yielding ``(label, trace)`` pairs);
+    yields ``(label, report)`` per run.  A fresh pack is instantiated
+    per run -- invariants hold per-trace state.
+    """
+    for label, trace in module.conformance_runs(seed):
+        yield label, evaluate(trace, module.invariants())

@@ -1,0 +1,296 @@
+"""Coverage-guided fault-scenario fuzzing with the oracle as the verdict.
+
+The loop is classic greybox fuzzing, transplanted to fault injection:
+
+1. draw fault scripts from the grammar (:mod:`repro.oracle.grammar`),
+   or mutate scripts already in the corpus;
+2. run each case through the parallel :class:`~repro.core.orchestrator
+   .Campaign` engine with the protocol's invariant pack installed as the
+   campaign oracle;
+3. keep a case in the corpus when its trace reaches coverage (trace
+   kinds, TCP state transitions, GMP message kinds) no earlier case
+   reached;
+4. report any case whose oracle verdict is non-empty as a *finding*,
+   ready for the shrinker (:mod:`repro.oracle.shrink`).
+
+Targets: for TCP the four vendor profiles of the paper; for GMP the
+single-bug daemon variants (one historical bug armed at a time, the
+rest fixed).  Both are conformant at rest -- the no-false-positive
+conformance suite pins that -- so a finding always names a (variant,
+script, seed) triple where the injected faults made a latent bug
+observable, exactly the paper's probing workflow.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.distributions import derive_seed
+from repro.core.orchestrator import Campaign, RunResult
+from repro.oracle.grammar import (FuzzScript, generate_script, mutate_script,
+                                  trial_seed)
+from repro.oracle.invariants import Violation
+
+#: virtual-time horizon of one fuzz run, per protocol
+HORIZONS = {"tcp": 30.0, "gmp": 30.0}
+
+#: GMP runs let the group form before the filter arms, so faults hit a
+#: committed view instead of an empty network
+GMP_INSTALL_AT = 8.0
+GMP_WORLD = (1, 2, 3)
+GMP_TARGET = 2
+
+#: GMP single-bug variants the fuzzer explores.  ``reply_to_sender`` is
+#: deliberately absent: that daemon already violates GMP-PROCLAIM-REPLY
+#: during unfaulted group formation (the forwarding loop needs no help),
+#: so as a fuzz target it would make every case a trivial finding -- the
+#: known-bug detection tests cover it instead.
+GMP_VARIANTS = ("self_death", "forward_param", "inverted_timer")
+
+TCP_SEGMENTS = 10
+TCP_SEGMENT_INTERVAL = 0.4
+
+
+# ----------------------------------------------------------------------
+# campaign bodies (module-level: the parallel path needs them picklable)
+# ----------------------------------------------------------------------
+
+def _gmp_bug_flags(variant: str):
+    from repro.gmp import BugFlags, FIXED
+    if variant == "fixed":
+        return FIXED
+    flags = {"self_death": BugFlags(self_death=True),
+             "forward_param": BugFlags(proclaim_forward_param=True),
+             "reply_to_sender": BugFlags(proclaim_reply_to_sender=True),
+             "inverted_timer": BugFlags(inverted_timer_unregister=True)}
+    return flags[variant]
+
+
+def _script_filter(config):
+    from repro.core.script import TclishFilter
+    return TclishFilter(config["script"], init_script=config["init_script"],
+                        name="fuzz")
+
+
+def fuzz_body(env, config):
+    """One fuzz case: build the rig, arm the script, run the workload."""
+    if config["protocol"] == "tcp":
+        return _tcp_fuzz_body(env, config)
+    return _gmp_fuzz_body(env, config)
+
+
+def _tcp_fuzz_body(env, config):
+    from repro.experiments.tcp_common import (SERVER_PORT, CLIENT_PORT,
+                                              XKERNEL_ADDR,
+                                              build_tcp_testbed,
+                                              stream_from_vendor)
+    from repro.tcp import VENDORS
+    testbed = build_tcp_testbed(VENDORS[config["target"]], env=env)
+    script = _script_filter(config)
+    if config["direction"] == "send":
+        testbed.pfi.set_send_filter(script)
+    else:
+        testbed.pfi.set_receive_filter(script)
+    testbed.xkernel_tcp.listen(SERVER_PORT)
+    client = testbed.vendor_tcp.open_connection(
+        local_port=CLIENT_PORT, remote_address=XKERNEL_ADDR,
+        remote_port=SERVER_PORT)
+    client.connect()
+    env.run_until(1.0)
+    stream_from_vendor(testbed, client, segments=TCP_SEGMENTS,
+                       interval=TCP_SEGMENT_INTERVAL)
+    env.run_until(HORIZONS["tcp"])
+    return {"established": client.established, "final_state": client.state}
+
+
+def _gmp_fuzz_body(env, config):
+    from repro.experiments.gmp_common import build_gmp_cluster
+    cluster = build_gmp_cluster(
+        list(GMP_WORLD), default_bugs=_gmp_bug_flags(config["target"]),
+        env=env)
+    cluster.start()
+    cluster.run_until(GMP_INSTALL_AT)
+    script = _script_filter(config)
+    if config["direction"] == "send":
+        cluster.pfis[GMP_TARGET].set_send_filter(script)
+    else:
+        cluster.pfis[GMP_TARGET].set_receive_filter(script)
+    cluster.run_until(HORIZONS["gmp"])
+    return {"views": {a: list(v) for a, v in cluster.views().items()}}
+
+
+def pack_for(protocol: str):
+    """The (picklable) oracle factory for one protocol's fuzz runs."""
+    from repro.oracle import gmp_pack, tcp_pack
+    if protocol == "tcp":
+        return tcp_pack
+    if protocol == "gmp":
+        return gmp_pack
+    raise ValueError(f"unknown protocol {protocol!r}")
+
+
+# ----------------------------------------------------------------------
+# cases and coverage
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One executable fuzz input: script + placement + seeds."""
+
+    script: FuzzScript
+    target: str                 # vendor name (tcp) / bug-variant (gmp)
+    case_seed: int
+
+    @property
+    def protocol(self) -> str:
+        return self.script.protocol
+
+    def config(self) -> Dict[str, object]:
+        """The campaign configuration this case runs as.
+
+        Deliberately excludes the script's display name: the campaign
+        derives each run's seed from the config repr, and a rename (the
+        shrinker suffixes ``_min``) must not change the simulation.
+        """
+        return {"protocol": self.protocol,
+                "target": self.target, "direction": self.script.direction,
+                "script": self.script.source,
+                "init_script": self.script.init,
+                "case_seed": self.case_seed}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"script": self.script.to_dict(), "target": self.target,
+                "case_seed": self.case_seed}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FuzzCase":
+        return cls(script=FuzzScript.from_dict(data["script"]),
+                   target=data["target"], case_seed=data["case_seed"])
+
+
+def coverage_keys(trace) -> FrozenSet[Tuple]:
+    """The coverage signature of one trace.
+
+    Trace kinds give breadth (which mechanisms ran at all); TCP state
+    transitions and GMP message kinds give depth within the protocol
+    state machines -- the "state-transition coverage" the fuzzer steers
+    by.
+    """
+    keys = {("kind", kind) for kind in trace.count_by_kind()}
+    for entry in trace.entries("tcp.state"):
+        keys.add(("tcp.state", entry.get("old"), entry.get("new")))
+    for entry in trace.entries("gmp.send"):
+        keys.add(("gmp.send", entry.get("msg_kind")))
+    return frozenset(keys)
+
+
+@dataclass
+class Finding:
+    """One violating case, before shrinking."""
+
+    case: FuzzCase
+    codes: List[str]
+    violation_count: int
+    example: Optional[Violation] = None
+
+
+@dataclass
+class FuzzReport:
+    """What one fuzzing session did."""
+
+    protocol: str
+    seed: int
+    budget: int
+    executed: int = 0
+    corpus: List[FuzzCase] = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)
+    coverage: FrozenSet[Tuple] = frozenset()
+
+    def render(self) -> str:
+        lines = [f"fuzz {self.protocol}: {self.executed}/{self.budget} "
+                 f"cases, coverage {len(self.coverage)} keys, "
+                 f"corpus {len(self.corpus)}, "
+                 f"findings {len(self.findings)}"]
+        for finding in self.findings:
+            lines.append(
+                f"  {finding.case.script.name} "
+                f"[target={finding.case.target} "
+                f"seed={finding.case.case_seed}] -> "
+                f"{','.join(finding.codes)} "
+                f"({finding.violation_count} violations)")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the fuzzing loop
+# ----------------------------------------------------------------------
+
+def _targets(protocol: str) -> Tuple[str, ...]:
+    if protocol == "tcp":
+        from repro.tcp import VENDORS
+        return tuple(VENDORS)
+    return GMP_VARIANTS
+
+
+def _draw_case(rng: random.Random, protocol: str, corpus: List[FuzzCase],
+               index: int, campaign_seed: int) -> FuzzCase:
+    if corpus and rng.random() < 0.5:
+        parent = corpus[rng.randrange(len(corpus))]
+        script = mutate_script(rng, parent.script, index=index)
+        target = parent.target
+    else:
+        script = generate_script(rng, protocol, index=index)
+        target = rng.choice(_targets(protocol))
+    return FuzzCase(script=script, target=target,
+                    case_seed=trial_seed(campaign_seed, script.name))
+
+
+def run_fuzz(protocol: str = "gmp", *, seed: int = 0, budget: int = 24,
+             workers: int = 1, batch: int = 0) -> FuzzReport:
+    """Fuzz one protocol's rig for ``budget`` cases.
+
+    Fully deterministic in ``seed``: case generation, per-case seeds,
+    and the simulations themselves all derive from it, and the parallel
+    campaign path returns results in input order, so ``workers`` does
+    not perturb the outcome.
+    """
+    if batch <= 0:
+        batch = max(4, workers * 2)
+    report = FuzzReport(protocol=protocol, seed=seed, budget=budget)
+    coverage: set = set()
+    campaign = Campaign(fuzz_body, seed=seed, lint="error")
+    batch_index = 0
+    while report.executed < budget:
+        count = min(batch, budget - report.executed)
+        rng = random.Random(derive_seed(seed, "fuzz-batch", batch_index))
+        cases = [_draw_case(rng, protocol, report.corpus,
+                            report.executed + i, seed)
+                 for i in range(count)]
+        results = campaign.run([case.config() for case in cases],
+                               workers=workers, telemetry=False,
+                               oracle=pack_for(protocol))
+        for case, result in zip(cases, results):
+            report.executed += 1
+            keys = coverage_keys(result.trace)
+            if keys - coverage:
+                coverage |= keys
+                report.corpus.append(case)
+            if result.violations:
+                codes = sorted({v.code for v in result.violations})
+                report.findings.append(Finding(
+                    case=case, codes=codes,
+                    violation_count=len(result.violations),
+                    example=result.violations[0]))
+        batch_index += 1
+    report.coverage = frozenset(coverage)
+    return report
+
+
+def run_case(case: FuzzCase, *, campaign_seed: int = 0) -> RunResult:
+    """Execute one case exactly as the fuzz loop would (serial)."""
+    campaign = Campaign(fuzz_body, seed=campaign_seed, lint="error")
+    [result] = campaign.run([case.config()], telemetry=False,
+                            oracle=pack_for(case.protocol))
+    return result

@@ -1,0 +1,45 @@
+"""No-false-positive conformance suite.
+
+Every stock experiment module exports ``invariants()`` and
+``conformance_runs(seed)``; under the full packs each representative
+trace must be violation-free.  This is the anchor that keeps the oracle
+honest: a new invariant that flags conformant behaviour fails here
+before it can pollute fuzzing verdicts, and the fuzzer's premise -- that
+its targets are clean at rest -- is pinned by the same runs.
+"""
+
+import pytest
+
+from repro.experiments import (gmp_packet_interruption, gmp_partition,
+                               gmp_proclaim, gmp_timer, tcp_delayed_ack,
+                               tcp_keepalive, tcp_reordering,
+                               tcp_retransmission, tcp_zero_window)
+from repro.oracle import check_module
+
+MODULES = [tcp_retransmission, tcp_delayed_ack, tcp_keepalive,
+           tcp_zero_window, tcp_reordering, gmp_packet_interruption,
+           gmp_partition, gmp_proclaim, gmp_timer]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__.rsplit(".", 1)[-1]
+                              for m in MODULES])
+def test_stock_experiments_are_conformant(module):
+    labels = []
+    for label, report in check_module(module, seed=0):
+        labels.append(label)
+        assert report.ok(), (
+            f"{label}: {len(report.violations)} violation(s):\n"
+            + "\n".join(str(v) for v in report.violations[:10]))
+        assert report.entries_scanned > 0, (
+            f"{label}: oracle saw no subscribed entries -- the pack is "
+            f"not actually checking this trace")
+    assert labels, f"{module.__name__} yielded no conformance runs"
+
+
+def test_conformance_runs_are_distinctly_labelled():
+    seen = set()
+    for module in MODULES:
+        for label, _trace in module.conformance_runs(0):
+            assert label not in seen, f"duplicate label {label}"
+            seen.add(label)

@@ -1,0 +1,70 @@
+"""Known-bug detection: every seeded historical bug trips its invariant.
+
+The complement of the no-false-positive suite: each of the four
+switchable bugs in :mod:`repro.gmp.bugs` -- the ones the paper's PFI
+experiments originally uncovered -- must be flagged by the GMP pack with
+its expected violation code when armed.  Together the two suites pin the
+oracle's discrimination: silent on the fixed daemon, loud on each bug.
+"""
+
+import pytest
+
+from repro.experiments.gmp_common import build_gmp_cluster
+from repro.experiments.gmp_packet_interruption import execute_self_death
+from repro.experiments.gmp_proclaim import execute_proclaim_forwarding
+from repro.experiments.gmp_timer import execute_timer_test
+from repro.gmp import BugFlags
+from repro.oracle import evaluate, gmp_pack
+
+
+def test_self_death_bug_is_flagged():
+    # the drop-all-heartbeats scenario with the as-delivered daemon:
+    # the machine proclaims its own death (GMP-SELF-DEATH) and, while
+    # self-"dead", mangles the forwarded PROCLAIM (GMP-FWD-PARAM)
+    cluster = execute_self_death(bugs_on=True, seed=0)
+    report = evaluate(cluster.trace, gmp_pack())
+    assert "GMP-SELF-DEATH" in report.codes()
+    assert "GMP-FWD-PARAM" in report.codes()
+
+
+def test_proclaim_reply_bug_is_flagged():
+    cluster, _start = execute_proclaim_forwarding(bugs_on=True, seed=0)
+    report = evaluate(cluster.trace, gmp_pack())
+    assert report.codes() == ("GMP-PROCLAIM-REPLY",)
+
+
+def test_inverted_timer_bug_is_flagged():
+    cluster, _start, _armed = execute_timer_test(bugs_on=True, seed=0)
+    report = evaluate(cluster.trace, gmp_pack())
+    assert report.codes() == ("GMP-TIMER",)
+
+
+def test_reply_to_sender_bug_fires_without_any_faults():
+    # this is why the fuzzer excludes the variant from its target list
+    # (see GMP_VARIANTS in repro.oracle.fuzz): plain group formation is
+    # enough to start the proclaim loop, no injected fault required
+    cluster = build_gmp_cluster(
+        [1, 2, 3], default_bugs=BugFlags(proclaim_reply_to_sender=True))
+    cluster.start()
+    cluster.run_until(15.0)
+    report = evaluate(cluster.trace, gmp_pack())
+    assert "GMP-PROCLAIM-REPLY" in report.codes()
+
+
+@pytest.mark.parametrize("bug,code", [
+    ("self_death", "GMP-SELF-DEATH"),
+    ("proclaim_reply_to_sender", "GMP-PROCLAIM-REPLY"),
+    ("inverted_timer_unregister", "GMP-TIMER"),
+])
+def test_every_bug_flag_has_a_dedicated_code(bug, code):
+    # documentation-grade mapping check: the flag exists on BugFlags and
+    # its code is registered in the pack
+    assert hasattr(BugFlags(), bug)
+    assert code in {inv.code for inv in gmp_pack()}
+
+
+def test_forward_param_code_is_registered():
+    # proclaim_forward_param only manifests while self-"dead", so its
+    # end-to-end detection rides test_self_death_bug_is_flagged above
+    assert "GMP-FWD-PARAM" in {inv.code for inv in gmp_pack()}
+    assert hasattr(BugFlags(), "proclaim_forward_param")

@@ -1,0 +1,34 @@
+"""Replay the committed regression corpus.
+
+Every ``*.json`` file beside this test is a shrunk reproduction artifact
+written by ``repro fuzz --save-repro tests/regressions``: a minimal
+fault script, its placement, the campaign seed, and the frozen verdict
+(violation codes, count, fingerprint prefix).  Replaying re-runs the
+simulation from the artifact alone and diffs the verdict byte-for-byte,
+so any behavioural drift in the simulator, the PFI layer, the GMP bug
+models, or the oracle packs fails here with the exact scenario that
+regressed.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.oracle.shrink import ReproArtifact, replay_artifact
+
+CORPUS = sorted(Path(__file__).parent.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, ("the committed corpus vanished; regenerate with "
+                    "`repro fuzz --save-repro tests/regressions`")
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=[p.stem for p in CORPUS])
+def test_artifact_replays_byte_identically(path):
+    artifact = ReproArtifact.load(path)
+    result = replay_artifact(artifact)
+    assert result.ok, (
+        f"{path.name} no longer reproduces its recorded verdict:\n"
+        + "\n".join(result.mismatches))
+    assert artifact.code in result.observed_codes
