@@ -1,0 +1,162 @@
+"""Checkpoint fork vs cold start: the prefix-sharing speedup.
+
+The checkpoint engine (``repro.core.checkpoint``) exists so N trials
+that share a warmed-up prefix cost one warmup plus N continuations
+instead of N full runs.  This bench measures that on the heaviest
+standard rig: a five-machine GMP group warmed almost to the fuzz
+horizon, each trial installing a heartbeat-dropping tclish filter and
+running the last stretch with the GMP invariant pack as the verdict --
+script install and oracle evaluation are inside the timed region for
+both paths, so the speedup is end-to-end, not fork-vs-deepcopy.
+
+Correctness is asserted, not assumed: every forked continuation's
+canonical trace dump (volatile message uids excluded, see
+``VOLATILE_ATTRS``) must be byte-identical to the cold run's.
+
+The workload is serial and deterministic -- no worker pools, no
+CPU-count dependence -- so unlike the campaign bench this one gates
+directly in CI (>= 3x).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import time
+
+import perf_common
+
+from repro.analysis.export import VOLATILE_ATTRS, dump_trace
+from repro.core import TclishFilter
+from repro.core.checkpoint import Checkpoint
+from repro.core.orchestrator import make_env
+from repro.experiments.gmp_common import build_gmp_cluster
+from repro.oracle import evaluate
+from repro.oracle.fuzz import pack_for
+
+WORLD = [1, 2, 3, 4, 5]
+DEPTH = 28.0
+HORIZON = 30.0
+TARGET = 3
+SCRIPT = 'if {[msg_type cur_msg] eq "HEARTBEAT"} { xDrop cur_msg }'
+
+MIN_SPEEDUP = 3.0
+
+
+def _prefix(seed: int = 0):
+    """Warm a five-machine group to DEPTH; returns (env, cluster)."""
+    env = make_env(seed=seed)
+    cluster = build_gmp_cluster(WORLD, env=env)
+    cluster.start()
+    env.run_until(DEPTH)
+    return env, cluster
+
+
+def _continuation(env, cluster, oracle):
+    """The per-trial tail: install the filter, run out, judge."""
+    script = TclishFilter(SCRIPT, name="bench_fork")
+    cluster.pfis[TARGET].set_send_filter(script)
+    env.run_until(HORIZON)
+    evaluate(env.trace, oracle()).violations
+    return env.trace
+
+
+def run_bench(trials: int = 30, verbose: bool = True) -> dict:
+    """Measure cold vs capture-once-fork-N; returns the JSON payload."""
+    oracle = pack_for("gmp")
+
+    # warm up both paths untimed (imports, deepcopy dispatch caches,
+    # tclish compile cache); the first capture otherwise pays ~10x
+    env, cluster = _prefix()
+    warm = Checkpoint.capture(env, {"cluster": cluster}, label="warmup")
+    forked = warm.fork()
+    _continuation(forked.env, forked["cluster"], oracle)
+
+    # dumping a trace for verification costs more than running the
+    # continuation it checks, so each trial is timed individually and
+    # the canonical dump happens off the clock -- which also releases
+    # each trial's world before the next one runs.  The collector is
+    # paused inside timed sections: a gen-2 sweep triggered by dump
+    # garbage would otherwise land on whichever trial allocates next
+    def canon(trace):
+        return dump_trace(trace, exclude_attrs=VOLATILE_ATTRS)
+
+    def timed(fn):
+        gc.collect()
+        gc.disable()
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        gc.enable()
+        return result, elapsed
+
+    cold_s = 0.0
+    cold_dumps = []
+    for _ in range(trials):
+        (env_cluster), elapsed = timed(lambda: _prefix())
+        trace, tail = timed(
+            lambda: _continuation(*env_cluster, oracle))
+        cold_s += elapsed + tail
+        cold_dumps.append(canon(trace))
+
+    (env, cluster), _ = timed(lambda: _prefix())
+    checkpoint, capture_s = timed(
+        lambda: Checkpoint.capture(env, {"cluster": cluster},
+                                   label=f"bench/gmp@{DEPTH:g}"))
+
+    fork_s = 0.0
+    fork_dumps = []
+    for _ in range(trials):
+        def one_trial():
+            forked = checkpoint.fork()
+            return _continuation(forked.env, forked["cluster"], oracle)
+        trace, elapsed = timed(one_trial)
+        fork_s += elapsed
+        fork_dumps.append(canon(trace))
+
+    identical = all(dump == cold_dumps[0]
+                    for dump in cold_dumps[1:] + fork_dumps)
+    forked_total = capture_s + fork_s
+    payload = {
+        "world": len(WORLD),
+        "depth": DEPTH,
+        "horizon": HORIZON,
+        "trials": trials,
+        "cold_seconds": round(cold_s, 4),
+        "capture_seconds": round(capture_s, 4),
+        "fork_seconds": round(fork_s, 4),
+        "cold_ms_per_trial": round(cold_s / trials * 1e3, 3),
+        "fork_ms_per_trial": round(fork_s / trials * 1e3, 3),
+        "speedup": round(cold_s / forked_total, 2),
+        "byte_identical": identical,
+    }
+    if verbose:
+        print(f"checkpoint fork: {len(WORLD)}-machine GMP group, "
+              f"depth {DEPTH:g} of {HORIZON:g}, {trials} trials")
+        print(f"  cold   : {cold_s:8.3f}s "
+              f"({payload['cold_ms_per_trial']:.2f} ms/trial)")
+        print(f"  forked : {forked_total:8.3f}s "
+              f"(capture {capture_s * 1e3:.1f} ms + "
+              f"{payload['fork_ms_per_trial']:.2f} ms/trial)")
+        print(f"  speedup: {payload['speedup']:.2f}x")
+        print(f"  forked continuations byte-identical to cold: {identical}")
+    return payload
+
+
+def test_perf_fork_quick():
+    """CI smoke: forked continuations must replay byte-identically."""
+    payload = run_bench(trials=2, verbose=False)
+    assert payload["byte_identical"], payload
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer trials, no JSON update, no speed gate")
+    parser.add_argument("--trials", type=int, default=30)
+    args = parser.parse_args()
+    result = run_bench(trials=3 if args.quick else args.trials)
+    assert result["byte_identical"], result
+    if not args.quick:
+        assert result["speedup"] >= MIN_SPEEDUP, result
+        perf_common.update_bench_json("fork", result)

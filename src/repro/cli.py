@@ -10,6 +10,8 @@ work; this CLI is that tool's headless form.  Usage::
     python -m repro campaign gmp      # auto-generated script battery
     python -m repro campaign tcp --tclish   # show the tclish sources
     python -m repro fuzz --protocol gmp --seed 0   # oracle-guided fuzzing
+    python -m repro fuzz --checkpoint-depth 8      # fork trials from a prefix
+    python -m repro explore --target self_death    # delivery-order exploration
 
 Each table command runs the live experiment (nothing is cached) and
 prints the paper-shaped rows.
@@ -381,7 +383,9 @@ def cmd_fuzz(args) -> int:
     """
     from repro.oracle.fuzz import run_fuzz
     report = run_fuzz(args.protocol, seed=args.seed, budget=args.budget,
-                      workers=args.workers)
+                      workers=args.workers,
+                      checkpoint_depth=args.checkpoint_depth,
+                      progress=print if args.progress else None)
     print(report.render())
     if not args.save_repro:
         return 0
@@ -400,6 +404,28 @@ def cmd_fuzz(args) -> int:
               f"seed {stats.seed_before}->{stats.seed_after} "
               f"({stats.runs} runs) -> {path}")
     return 0
+
+
+def cmd_explore(args) -> int:
+    """Bounded delivery-order exploration (docs/checkpointing.md).
+
+    Warms the target rig to the checkpoint depth, then enumerates
+    bounded perturbations of the pending event order -- dropping or
+    deferring in-flight deliveries and protocol timers -- with every
+    schedule forked from the same checkpoint and judged by the
+    protocol's oracle pack.  Exit status 1 when any schedule violates
+    an invariant the baseline does not.
+    """
+    from repro.oracle.explore import explore
+    report = explore(args.protocol, args.target, seed=args.seed,
+                     depth=args.depth, window=args.window,
+                     horizon=args.horizon,
+                     max_schedules=args.max_schedules,
+                     max_perturbations=args.max_perturbations,
+                     defer_delta=args.defer_delta,
+                     progress=print if args.progress else None)
+    print(report.render())
+    return 1 if report.findings else 0
 
 
 def cmd_campaign(args) -> None:
@@ -509,6 +535,47 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--save-repro", default="", metavar="DIR",
                       help="shrink findings and write JSON repro "
                            "artifacts into DIR (e.g. tests/regressions)")
+    fuzz.add_argument("--checkpoint-depth", type=float, default=None,
+                      metavar="T",
+                      help="fork every trial from a prefix checkpoint "
+                           "captured at virtual time T instead of cold-"
+                           "starting (docs/checkpointing.md); results "
+                           "are identical at the stock install depth")
+    fuzz.add_argument("--progress", action="store_true",
+                      help="print a progress line per batch "
+                           "(trials/sec, checkpoint hit-rate)")
+    explore = sub.add_parser(
+        "explore", help="bounded delivery-order exploration from a "
+                        "prefix checkpoint, oracle packs as verdict "
+                        "(docs/checkpointing.md)")
+    explore.add_argument("--protocol", choices=["tcp", "gmp"],
+                         default="gmp")
+    explore.add_argument("--target", default="self_death",
+                         help="bug variant to build the rig with "
+                              "(default self_death; 'fixed' for the "
+                              "clean build)")
+    explore.add_argument("--seed", type=int, default=0,
+                         help="world seed (default 0)")
+    explore.add_argument("--depth", type=float, default=None,
+                         help="virtual time to warm the world to before "
+                              "checkpointing (default: the protocol's "
+                              "stock filter-install time)")
+    explore.add_argument("--window", type=float, default=1.5,
+                         help="seconds past the checkpoint whose events "
+                              "may be perturbed (default 1.5)")
+    explore.add_argument("--horizon", type=float, default=None,
+                         help="virtual time to run each schedule to "
+                              "(default: the protocol's fuzz horizon)")
+    explore.add_argument("--max-schedules", type=int, default=64,
+                         help="schedule budget (default 64)")
+    explore.add_argument("--max-perturbations", type=int, default=1,
+                         help="perturbations per schedule (default 1)")
+    explore.add_argument("--defer-delta", type=float, default=4.0,
+                         help="seconds a deferred event is pushed back "
+                              "(default 4)")
+    explore.add_argument("--progress", action="store_true",
+                         help="print findings and progress as schedules "
+                              "run")
     chrome = sub.add_parser(
         "trace", help="convert a JSON-lines trace to Chrome-trace/"
                       "Perfetto JSON")
@@ -535,6 +602,8 @@ def main(argv=None) -> int:
         return cmd_trace(args)
     elif args.command == "fuzz":
         return cmd_fuzz(args)
+    elif args.command == "explore":
+        return cmd_explore(args)
     else:
         COMMANDS[args.command](args)
     return 0

@@ -1,0 +1,232 @@
+"""Checkpoint/fork: snapshot a warmed-up testbed, continue it N ways.
+
+Every fuzz trial, ddmin probe and campaign run used to replay its whole
+testbed from t=0 even though most trials share a long prefix (handshake,
+view formation, steady state).  This module turns that prefix into a
+reusable artifact: :meth:`Checkpoint.capture` freezes a live
+:class:`~repro.core.orchestrator.ExperimentEnv` -- scheduler heap with
+its bound-state callbacks, protocol sessions hanging off the scheduled
+events (TCP connections, GMP daemons/views/timers), installed filter
+scripts with their tclish interpreter state, PFI hold queues, the trace
+position and the seeded RNG streams -- and every :meth:`Checkpoint.fork`
+yields an independent continuation of that exact moment.
+
+The mechanics are a :func:`copy.deepcopy` of the *world graph* rooted at
+the environment, which is only sound because the simulator schedules
+**bound methods and callable-class instances, never closures**:
+``deepcopy`` treats functions as atomic values, so a lambda stored in a
+heap entry would keep pointing into the original world and the fork
+would silently cross-talk with it.  :func:`audit_scheduler` enforces
+that rule at capture time by walking the pending heap and rejecting any
+callback whose identity cannot survive the copy.
+
+Two further pieces make forks cheap and correct:
+
+- the trace prefix is **shared, not copied**: the deepcopy memo is
+  pre-seeded with :meth:`TraceRecorder.fork`, which reuses the
+  write-once entry objects of the prefix, so a million-entry warmup is
+  O(1) per fork instead of O(entries);
+- forks can be **re-seeded** to a different run seed
+  (``fork(seed=...)``), re-deriving the network link streams and every
+  ``env.dist(...)`` stream exactly as a cold run under that seed would
+  have.  This is valid only while the prefix consumed zero RNG draws --
+  the stock rigs satisfy that (links carry no jitter/loss, filter
+  scripts are not yet installed) and the draw counters prove it; a
+  prefix that did draw raises :class:`CheckpointError` instead of
+  diverging silently.
+
+Invalidation rules (also in ``docs/checkpointing.md``): a checkpoint is
+tied to the exact prefix code, seed-portable only under the zero-draw
+condition above, process-local (never pickled), and its ``identity``
+digest is what consumers mix into cache keys (see
+:meth:`repro.core.orchestrator.RunCache.key`) so results computed from
+different prefixes can never alias.
+"""
+
+from __future__ import annotations
+
+import copy
+import functools
+import hashlib
+import inspect
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.orchestrator import ExperimentEnv
+from repro.netsim.scheduler import Scheduler, SchedulerClock
+
+#: default-argument types a plain scheduled function may carry without
+#: smuggling world state past the deepcopy
+_ATOMIC_DEFAULTS = (int, float, str, bytes, bool, frozenset, type(None))
+
+
+class CheckpointError(RuntimeError):
+    """A world cannot be captured, forked, or re-seeded soundly."""
+
+
+def _callable_issue(fn: Any, where: str) -> Optional[str]:
+    """Why ``fn`` would not survive a world deepcopy, or None if it would.
+
+    Bound methods and callable-class instances follow the deepcopy memo
+    into the fork; plain functions are atomic, which is fine only when
+    they are genuinely stateless (no closure cells, no mutable/world
+    defaults).
+    """
+    if isinstance(fn, functools.partial):
+        return _callable_issue(fn.func, where)
+    if inspect.ismethod(fn):
+        return None  # bound method: __self__ is deep-copied via the memo
+    if inspect.isfunction(fn):
+        if fn.__closure__:
+            return (f"{where}: closure {fn.__qualname__} would keep "
+                    f"referencing the original world after a fork")
+        for default in (fn.__defaults__ or ()):
+            if not isinstance(default, _ATOMIC_DEFAULTS):
+                return (f"{where}: function {fn.__qualname__} smuggles a "
+                        f"{type(default).__name__} through a default "
+                        f"argument; pass it via scheduler args instead")
+        return None
+    if callable(fn):
+        return None  # callable instance: deep-copied via the memo
+    return f"{where}: {fn!r} is not callable"
+
+
+def audit_scheduler(scheduler: Scheduler) -> List[str]:
+    """Deepcopy-safety issues among the scheduler's pending callbacks.
+
+    Returns human-readable findings (empty means the heap is clean).
+    :meth:`Checkpoint.capture` runs this by default and refuses to
+    snapshot a world that would fork unsoundly.
+    """
+    issues = []
+    for event in scheduler.pending_events():
+        issue = _callable_issue(
+            event.callback, f"event@t={event.time:.6f}")
+        if issue is not None:
+            issues.append(issue)
+    return issues
+
+
+@dataclass
+class Forked:
+    """One independent continuation of a checkpoint."""
+
+    env: ExperimentEnv
+    roots: Dict[str, Any]
+    checkpoint: "Checkpoint"
+
+    def __getitem__(self, key: str) -> Any:
+        """Convenience access to a named root (``fork["cluster"]``)."""
+        return self.roots[key]
+
+
+class Checkpoint:
+    """A frozen moment of one simulation, forkable any number of times.
+
+    ``capture`` deep-copies the live world once into a pristine
+    snapshot (so the caller may keep running the original); each
+    ``fork`` deep-copies the snapshot again.  ``roots`` carries the rig
+    objects a continuation needs back out of the copy -- a testbed, a
+    cluster, a client connection -- anything reachable from them is
+    copied consistently with the environment because everything goes
+    through one shared deepcopy memo.
+    """
+
+    def __init__(self, snapshot: Dict[str, Any], *, label: str,
+                 identity: str, time: float, position: int):
+        self._snapshot = snapshot
+        self.label = label
+        self.identity = identity
+        #: virtual time at capture
+        self.time = time
+        #: trace length at capture
+        self.position = position
+        #: how many forks this checkpoint has produced
+        self.forks = 0
+
+    @classmethod
+    def capture(cls, env: ExperimentEnv,
+                roots: Optional[Dict[str, Any]] = None, *,
+                label: str = "", audit: bool = True) -> "Checkpoint":
+        """Snapshot ``env`` (plus named rig ``roots``) as of right now.
+
+        The scheduler heap is compacted first so cancelled tombstones
+        are not copied into every fork, and (unless ``audit=False``)
+        every pending callback is vetted by :func:`audit_scheduler`.
+        """
+        if audit:
+            issues = audit_scheduler(env.scheduler)
+            if issues:
+                raise CheckpointError(
+                    "world is not checkpoint-safe:\n  "
+                    + "\n  ".join(issues))
+        env.scheduler.compact()
+        world = {"env": env, "roots": dict(roots or {})}
+        snapshot = _copy_world(world)
+        identity = _identity(env, world["roots"], label)
+        return cls(snapshot, label=label or f"t={env.scheduler.now:g}",
+                   identity=identity, time=env.scheduler.now,
+                   position=env.trace.position)
+
+    def fork(self, *, seed: Optional[int] = None) -> Forked:
+        """An independent continuation; optionally re-seeded.
+
+        With ``seed`` given (and different from the captured seed), the
+        fork's RNG streams are re-derived as a cold run under that seed
+        would have derived them -- sound only for zero-draw prefixes,
+        enforced by the stream draw counters.
+        """
+        world = _copy_world(self._snapshot)
+        env: ExperimentEnv = world["env"]
+        if seed is not None and seed != env.seed:
+            try:
+                env.reseed(seed)
+            except RuntimeError as err:
+                raise CheckpointError(
+                    f"checkpoint {self.label!r} cannot be re-seeded: "
+                    f"{err}") from err
+        self.forks += 1
+        return Forked(env=env, roots=world["roots"], checkpoint=self)
+
+    def __repr__(self) -> str:
+        return (f"Checkpoint({self.label}, t={self.time:g}, "
+                f"entries={self.position}, forks={self.forks})")
+
+
+def _copy_world(world: Dict[str, Any]) -> Dict[str, Any]:
+    """Deep-copy a world graph, sharing the trace prefix.
+
+    The memo is pre-seeded so every reference to the environment's
+    recorder lands on a shallow fork that reuses the prefix's write-once
+    entry objects; afterwards the copy's recorder is re-bound to the
+    copy's scheduler (deepcopy routes :class:`TraceRecorder` through its
+    ``__getstate__``, which deliberately drops the clock).
+    """
+    env: ExperimentEnv = world["env"]
+    memo: Dict[int, Any] = {id(env.trace): env.trace.fork()}
+    copied = copy.deepcopy(world, memo)
+    new_env: ExperimentEnv = copied["env"]
+    new_env.trace.bind_clock(SchedulerClock(new_env.scheduler))
+    return copied
+
+
+def _identity(env: ExperimentEnv, roots: Dict[str, Any],
+              label: str) -> str:
+    """A content digest naming what this checkpoint is a snapshot *of*.
+
+    Mixes the capture label, seed, scheduler progress and the trace's
+    per-kind histogram: two checkpoints built by different prefix code,
+    depths or seeds get different identities, which is what cache keys
+    need (full byte-level state hashing would cost more than the fork
+    it protects).
+    """
+    digest = hashlib.sha256()
+    digest.update(label.encode())
+    digest.update(str(env.seed).encode())
+    digest.update(f"{env.scheduler.now!r}".encode())
+    digest.update(str(env.scheduler.dispatched_count).encode())
+    digest.update(str(env.trace.position).encode())
+    for kind, count in sorted(env.trace.count_by_kind().items()):
+        digest.update(f"{kind}={count};".encode())
+    digest.update(",".join(sorted(roots)).encode())
+    return digest.hexdigest()[:16]

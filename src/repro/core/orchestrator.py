@@ -28,7 +28,7 @@ import hashlib
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
 from time import perf_counter
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
@@ -36,7 +36,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 from repro.core.distributions import DistributionSet, derive_seed
 from repro.core.sync import ScriptSync
 from repro.netsim.network import Network
-from repro.netsim.scheduler import Scheduler, SchedulerError
+from repro.netsim.scheduler import Scheduler, SchedulerClock, SchedulerError
 from repro.netsim.trace import TraceRecorder
 from repro.obs.telemetry import RunTelemetry, render_scorecard
 
@@ -67,10 +67,40 @@ class ExperimentEnv:
     trace: TraceRecorder
     sync: ScriptSync
     seed: int
+    #: every stream handed out by :meth:`dist`, so a checkpoint fork can
+    #: re-derive all of them under a new run seed (see :meth:`reseed`)
+    dists: List[DistributionSet] = dataclass_field(default_factory=list)
 
     def dist(self, *labels) -> DistributionSet:
         """A deterministic distribution stream derived from the run seed."""
-        return DistributionSet(derive_seed(self.seed, *labels))
+        stream = DistributionSet(derive_seed(self.seed, *labels),
+                                 labels=labels)
+        self.dists.append(stream)
+        return stream
+
+    def reseed(self, seed: int) -> None:
+        """Re-target this environment (a checkpoint fork) to a new seed.
+
+        Re-derives the network's link streams and every
+        :meth:`dist`-issued stream exactly as a cold run under ``seed``
+        would have, which is only sound while none of them has been
+        drawn from yet -- a stream consumed during the checkpointed
+        prefix would make the fork diverge from the cold run, so that
+        case raises instead (the checkpoint layer surfaces it as a
+        ``CheckpointError``).
+        """
+        consumed = [d for d in self.dists if d.draws]
+        if consumed:
+            raise RuntimeError(
+                f"{len(consumed)} distribution stream(s) drew from their "
+                f"RNG before the reseed (labels "
+                f"{[d.labels for d in consumed]}); checkpoint is not "
+                f"seed-portable")
+        self.network.reseed(seed)
+        self.seed = seed
+        for stream in self.dists:
+            if stream.labels is not None:
+                stream.reseed(derive_seed(seed, *stream.labels))
 
     def run_until(self, deadline: float, max_events: int = 2_000_000) -> int:
         """Advance virtual time to ``deadline``."""
@@ -89,7 +119,7 @@ class ExperimentEnv:
 def make_env(seed: int = 0, *, default_latency: float = 0.001) -> ExperimentEnv:
     """Construct a fresh environment with everything wired together."""
     scheduler = Scheduler()
-    trace = TraceRecorder(clock=lambda: scheduler.now)
+    trace = TraceRecorder(clock=SchedulerClock(scheduler))
     network = Network(scheduler, default_latency=default_latency,
                       seed=seed, trace=trace)
     return ExperimentEnv(scheduler=scheduler, network=network, trace=trace,
@@ -147,7 +177,8 @@ class RunCache:
         self.misses = 0
 
     def key(self, body: Callable, seed: int, config: Dict[str, Any], *,
-            telemetry: bool, oracle: Optional[Callable] = None) -> str:
+            telemetry: bool, oracle: Optional[Callable] = None,
+            checkpoint: Optional[str] = None) -> str:
         digest = hashlib.sha256()
         digest.update(getattr(body, "__module__", "").encode())
         digest.update(getattr(body, "__qualname__", repr(body)).encode())
@@ -157,6 +188,13 @@ class RunCache:
             digest.update(repr(code.co_consts).encode())
         digest.update(str(seed).encode())
         digest.update(b"telemetry" if telemetry else b"bare")
+        if checkpoint is not None:
+            # results computed by continuing a checkpoint are only
+            # interchangeable with runs from the *same* captured prefix:
+            # mix the checkpoint identity in so a changed prefix (other
+            # depth, other warmup code) can never address a stale entry
+            digest.update(b"checkpoint:")
+            digest.update(str(checkpoint).encode())
         if oracle is not None:
             digest.update(getattr(oracle, "__module__", "").encode())
             digest.update(getattr(oracle, "__qualname__",

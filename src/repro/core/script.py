@@ -140,6 +140,31 @@ class TclishFilter(FilterScript):
         self.profiler = None
         self.interp.profiler = None
 
+    def __deepcopy__(self, memo):
+        """Checkpoint-aware copy: duplicate the interpreter state, then
+        re-register the PFI bridge against the copy's own context cell.
+
+        The bridge commands installed at construction are closures over
+        ``self._ctx_cell``; ``copy.deepcopy`` treats closures as atomic,
+        so a plain deep copy would leave the copy's commands reading the
+        *original* filter's current-message cell.  Re-running
+        :func:`_register_bridge` replaces exactly those commands while
+        the interpreter's variables, procs and output -- the state a
+        checkpointed fork must carry -- come through the deep copy.
+        """
+        import copy as _copy
+        clone = object.__new__(type(self))
+        memo[id(self)] = clone
+        clone.source = self.source
+        clone.name = self.name
+        clone.lint_report = self.lint_report
+        clone.profiler = None
+        clone._ctx_cell = [None]
+        clone.interp = _copy.deepcopy(self.interp, memo)
+        clone.interp.profiler = None
+        _register_bridge(clone.interp, clone._ctx_cell)
+        return clone
+
     def run(self, ctx: ScriptContext) -> None:
         self._ctx_cell[0] = ctx
         profiler = self.profiler

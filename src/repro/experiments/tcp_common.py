@@ -116,7 +116,13 @@ def stream_from_vendor(testbed: TCPTestbed, client: TCPConnection, *,
     whose ``write()`` starts failing after a reset).
     """
     for i in range(segments):
-        def write(n: int = i, c: TCPConnection = client) -> None:
-            if c.state in ("ESTABLISHED", "CLOSE_WAIT"):
-                c.send(bytes([65 + (n % 26)]) * size)
-        testbed.scheduler.schedule(start_delay + i * interval, write)
+        testbed.scheduler.schedule(start_delay + i * interval,
+                                   _stream_write, client, i, size)
+
+
+def _stream_write(conn: TCPConnection, n: int, size: int) -> None:
+    """One scheduled application write (module-level so a checkpointed
+    scheduler entry deep-copies cleanly; a closure would keep writing
+    into the original connection after a fork)."""
+    if conn.state in ("ESTABLISHED", "CLOSE_WAIT"):
+        conn.send(bytes([65 + (n % 26)]) * size)

@@ -60,6 +60,36 @@ class GmpTiming:
     mc_timeout: float = 5.0          # IN_TRANSITION wait for COMMIT
 
 
+class _Guarded:
+    """A daemon timer callback wrapped with the suspend/defer gate.
+
+    Carries a bound method plus its arguments; while the daemon is
+    suspended, invocations queue themselves on ``daemon._deferred`` and
+    re-run on resume.  A class (not a closure) so a checkpointed timer
+    deep-copies into the forked daemon -- ``copy.deepcopy`` treats
+    closures as atomic values that would keep pointing at the original.
+    """
+
+    __slots__ = ("callback", "args", "priority")
+
+    def __init__(self, callback: Callable[..., None], args: tuple = (),
+                 priority: int = 0):
+        self.callback = callback
+        self.args = tuple(args)
+        self.priority = priority
+
+    def __call__(self) -> None:
+        daemon = self.callback.__self__
+        if daemon._suspended:
+            daemon._deferred.append((self.priority, self))
+            return
+        self.callback(*self.args)
+
+    def __repr__(self) -> str:
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"_Guarded({name}{self.args!r})"
+
+
 class Daemon(Protocol):
     """One group membership daemon, the top layer of its host's stack."""
 
@@ -218,19 +248,18 @@ class Daemon(Protocol):
     # timers
     # ------------------------------------------------------------------
 
-    def _guard(self, callback: Callable[[], None],
-               priority: int = 0) -> Callable[[], None]:
+    def _guard(self, callback: Callable[..., None], *args,
+               priority: int = 0) -> "_Guarded":
         """Defer timer callbacks that fire while suspended.
 
-        ``priority`` orders deferred callbacks on resume (lower first;
-        ties keep expiry order).
+        ``callback`` must be a bound method of this daemon; extra
+        positional ``args`` are forwarded on invocation.  ``priority``
+        orders deferred callbacks on resume (lower first; ties keep
+        expiry order).  Returns a :class:`_Guarded` instance rather than
+        a closure so checkpointed timers deep-copy into the forked
+        daemon instead of referencing the original one.
         """
-        def wrapper() -> None:
-            if self._suspended:
-                self._deferred.append((priority, callback))
-                return
-            callback()
-        return wrapper
+        return _Guarded(callback, args, priority)
 
     def _arm_heartbeat_send(self) -> None:
         self.timers.register("heartbeat_send", "send",
@@ -246,8 +275,7 @@ class Daemon(Protocol):
         priority = -1 if member == self.address else 0
         self.timers.register("heartbeat_expect", member,
                              self.timing.heartbeat_timeout,
-                             self._guard(lambda mm=member:
-                                         self._on_expect_expired(mm),
+                             self._guard(self._on_expect_expired, member,
                                          priority=priority))
 
     def _arm_all_expects(self) -> None:
@@ -374,8 +402,7 @@ class Daemon(Protocol):
                            members=proposed)
         self.timers.register("ack_collect", gid,
                              self.timing.ack_collect_timeout,
-                             self._guard(lambda g=gid:
-                                         self._on_ack_collect_timeout(g)))
+                             self._guard(self._on_ack_collect_timeout, gid))
         if len(proposed) == 1:
             self._commit_change()
 
@@ -457,8 +484,7 @@ class Daemon(Protocol):
         self._send(m.ACK, msg.sender, group_id=msg.group_id)
         self.timers.register("mc_timeout", msg.group_id,
                              self.timing.mc_timeout,
-                             self._guard(lambda g=msg.group_id:
-                                         self._on_mc_timeout(g)))
+                             self._guard(self._on_mc_timeout, msg.group_id))
 
     def _on_commit(self, msg: GmpMessage) -> None:
         if self.status != IN_TRANSITION or msg.group_id != self._transition_gid:

@@ -86,8 +86,8 @@ class ReliableChannel(Protocol):
         msg.push_header(RelHeader(seq=seq, reliable=reliable))
         if reliable:
             pending = _Pending(msg=msg, dst=dst, seq=seq)
-            pending.timer = Timer(self.scheduler,
-                                  lambda p=pending: self._retry(p),
+            pending.timer = Timer(self.scheduler, self._retry,
+                                  args=(pending,),
                                   name=f"rel/{self.local_address}->{dst}/{seq}")
             pending.timer.start(self.retry_interval)
             self._pending[(dst, seq)] = pending

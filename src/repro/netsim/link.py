@@ -68,6 +68,31 @@ class Link:
         self.sent_count = 0
         self.delivered_count = 0
         self.dropped_count = 0
+        #: RNG draws consumed so far (loss dice + jitter); the
+        #: checkpoint layer refuses to reseed a link that already drew
+        self.rng_draws = 0
+
+    def reseed(self, rng: random.Random) -> None:
+        """Swap in a fresh RNG stream (checkpoint restore path)."""
+        self._rng = rng
+        self.rng_draws = 0
+
+    def __deepcopy__(self, memo):
+        # everything follows the shared memo (the in-flight Events must
+        # land on the forked scheduler's heap entries) except the RNG:
+        # its immutable 625-int state tuple is shared via getstate/
+        # setstate instead of being walked element by element, which is
+        # the bulk of a naive fork's cost
+        import copy as _copy
+        clone = object.__new__(type(self))
+        memo[id(self)] = clone
+        state = dict(self.__dict__)
+        rng = state.pop("_rng")
+        for key, value in state.items():
+            setattr(clone, key, _copy.deepcopy(value, memo))
+        clone._rng = random.Random.__new__(random.Random)
+        clone._rng.setstate(rng.getstate())
+        return clone
 
     @property
     def is_up(self) -> bool:
@@ -97,11 +122,14 @@ class Link:
         if not self._up:
             self.dropped_count += 1
             return False
-        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
-            self.dropped_count += 1
-            return False
+        if self.loss_rate > 0:
+            self.rng_draws += 1
+            if self._rng.random() < self.loss_rate:
+                self.dropped_count += 1
+                return False
         delay = self.latency
         if self.jitter > 0:
+            self.rng_draws += 1
             delay += self._rng.uniform(0.0, self.jitter)
         arrival = self._scheduler.now + delay
         if arrival < self._last_arrival:

@@ -23,6 +23,25 @@ from repro.netsim.scheduler import Scheduler
 from repro.netsim.trace import TraceRecorder
 
 
+class _LinkDeliver:
+    """Per-link delivery callback handing payloads to the receiving node.
+
+    A class rather than ``lambda payload: node.receive(payload, src)``:
+    ``copy.deepcopy`` treats functions as atomic, so a closure stored in
+    a link would keep delivering into the *original* node inside a
+    checkpointed fork, while an instance follows the deepcopy memo.
+    """
+
+    __slots__ = ("node", "src")
+
+    def __init__(self, node: Node, src: int):
+        self.node = node
+        self.src = src
+
+    def __call__(self, payload: Any) -> None:
+        self.node.receive(payload, self.src)
+
+
 class Network:
     """A mesh network over a shared scheduler.
 
@@ -79,12 +98,31 @@ class Network:
             link_rng = random.Random(f"{self._seed}/{src}/{dst}")
             self._links[key] = Link(
                 self.scheduler,
-                lambda payload, _n=node, _s=src: _n.receive(payload, _s),
+                _LinkDeliver(node, src),
                 latency=self.default_latency,
                 rng=link_rng,
                 name=f"{src}->{dst}",
             )
         return self._links[key]
+
+    def reseed(self, seed: int) -> None:
+        """Re-derive every link's RNG stream from a new network seed.
+
+        Part of the checkpoint/fork restore path: a forked world can be
+        re-targeted to another run seed *only* while no link has drawn
+        from its stream yet, otherwise the fork would diverge from a
+        cold run of the new seed (which would have consumed its own
+        draws during the shared prefix).
+        """
+        for (src, dst), link in sorted(self._links.items()):
+            if link.rng_draws:
+                raise RuntimeError(
+                    f"link {src}->{dst} consumed {link.rng_draws} RNG "
+                    f"draw(s) before the reseed; checkpoint is not "
+                    f"seed-portable")
+        self._seed = seed
+        for (src, dst), link in self._links.items():
+            link.reseed(random.Random(f"{seed}/{src}/{dst}"))
 
     def set_link_down(self, src: int, dst: int, *, both: bool = True) -> None:
         """Unplug the link(s) between two nodes."""

@@ -27,10 +27,38 @@ from typing import Any, Callable, List, Optional, Tuple
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
+_heapify = heapq.heapify
+
+#: lazy-cancel tombstones tolerated on the heap before :meth:`Scheduler
+#: .compact` runs automatically (and only when tombstones also outnumber
+#: live entries -- a large busy heap is not worth rebuilding)
+COMPACT_THRESHOLD = 256
 
 
 class SchedulerError(Exception):
     """Raised on scheduler misuse (negative delays, running an empty loop)."""
+
+
+class SchedulerClock:
+    """A ``() -> now`` callable reading a scheduler's virtual clock.
+
+    Equivalent to ``lambda: scheduler.now`` but an instance of a class,
+    so anything holding one (trace recorders, congestion controllers)
+    deep-copies cleanly: ``copy.deepcopy`` treats functions as atomic
+    values, and a lambda closing over a scheduler would keep pointing at
+    the *original* scheduler inside a checkpointed fork.
+    """
+
+    __slots__ = ("scheduler",)
+
+    def __init__(self, scheduler: "Scheduler"):
+        self.scheduler = scheduler
+
+    def __call__(self) -> float:
+        return self.scheduler._now
+
+    def __repr__(self) -> str:
+        return f"SchedulerClock({self.scheduler!r})"
 
 
 class Event:
@@ -65,7 +93,7 @@ class Event:
         self.cancelled = True
         scheduler = self._scheduler
         if scheduler is not None:
-            scheduler._cancelled += 1
+            scheduler._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -101,6 +129,8 @@ class Scheduler:
         self._dispatched = 0
         self._scheduled = 0
         self._cancelled = 0
+        self._tombstones = 0
+        self.compactions = 0
 
     @property
     def now(self) -> float:
@@ -134,6 +164,45 @@ class Scheduler:
         registry.gauge("scheduler_dispatched", **labels).set(
             self._dispatched)
         registry.gauge("scheduler_pending", **labels).set(self.pending_count)
+        registry.gauge("scheduler_compactions", **labels).set(
+            self.compactions)
+        registry.gauge("scheduler_tombstones", **labels).set(
+            self._tombstones)
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping for one lazy cancellation, compacting when the
+        tombstones pile up.
+
+        Long fuzz runs cancel events far faster than the heap surfaces
+        them (every restarted timer leaves one behind), so without
+        compaction the heap grows without bound and every push/pop pays
+        for dead entries.  Compaction triggers once tombstones exceed
+        :data:`COMPACT_THRESHOLD` *and* outnumber live entries, keeping
+        the rebuild amortized O(1) per cancellation.
+        """
+        self._cancelled += 1
+        self._tombstones += 1
+        if (self._tombstones > COMPACT_THRESHOLD
+                and self._tombstones * 2 > len(self._heap)):
+            self.compact()
+
+    def compact(self) -> int:
+        """Drop cancelled entries from the heap.  Returns how many went.
+
+        The heap list is filtered *in place* (slice assignment, then
+        heapify) so ``run*`` loops holding a local reference to the list
+        keep seeing the live heap even when a callback's cancellation
+        triggers compaction mid-run.
+        """
+        if not self._tombstones:
+            return 0
+        removed = self._tombstones
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[4].cancelled]
+        _heapify(heap)
+        self._tombstones = 0
+        self.compactions += 1
+        return removed
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
@@ -167,6 +236,7 @@ class Scheduler:
             event = entry[4]
             if not event.cancelled:
                 return event
+            self._tombstones -= 1
         return None
 
     def peek_time(self) -> Optional[float]:
@@ -174,7 +244,30 @@ class Scheduler:
         heap = self._heap
         while heap and heap[0][4].cancelled:
             _heappop(heap)
+            self._tombstones -= 1
         return heap[0][0] if heap else None
+
+    def peek_entry(self) -> Optional[Event]:
+        """The next pending event's handle, without dispatching it.
+
+        Cancelled entries surfacing at the top are discarded on the way,
+        like :meth:`peek_time`.  The delivery-order explorer uses this to
+        classify (and possibly cancel or reschedule) the event that would
+        fire next before deciding to :meth:`step`.
+        """
+        heap = self._heap
+        while heap and heap[0][4].cancelled:
+            _heappop(heap)
+            self._tombstones -= 1
+        return heap[0][4] if heap else None
+
+    def pending_events(self) -> List[Event]:
+        """Live (uncancelled) event handles in firing order.
+
+        A diagnostic/exploration view -- O(n log n) -- not a hot path.
+        """
+        live = [entry for entry in self._heap if not entry[4].cancelled]
+        return [entry[4] for entry in sorted(live)]
 
     def step(self) -> bool:
         """Dispatch the single next event.  Returns False if none remained."""
@@ -195,6 +288,7 @@ class Scheduler:
         while heap:
             time, _seq, callback, args, event = pop(heap)
             if event.cancelled:
+                self._tombstones -= 1
                 continue
             event.dispatched = True
             self._now = time
@@ -224,6 +318,7 @@ class Scheduler:
         while heap and heap[0][0] <= deadline:
             time, _seq, callback, args, event = pop(heap)
             if event.cancelled:
+                self._tombstones -= 1
                 continue
             event.dispatched = True
             self._now = time
@@ -251,6 +346,7 @@ class Scheduler:
         while heap and heap[0][0] <= max_time:
             time, _seq, callback, args, event = pop(heap)
             if event.cancelled:
+                self._tombstones -= 1
                 continue
             event.dispatched = True
             self._now = time

@@ -20,12 +20,18 @@ class Timer:
     The callback fires once per start; restarting an armed timer cancels the
     previous deadline.  ``expiry_count`` tracks how many times the timer has
     actually fired, which experiments use to count retransmissions.
+
+    ``args`` are passed to the callback on every expiry.  Prefer a bound
+    method plus ``args`` over a closure: closures are atomic under
+    ``copy.deepcopy``, so a timer holding one would fire into the original
+    world after a checkpoint fork.
     """
 
-    def __init__(self, scheduler: Scheduler, callback: Callable[[], Any],
-                 name: str = "timer"):
+    def __init__(self, scheduler: Scheduler, callback: Callable[..., Any],
+                 name: str = "timer", *, args: Tuple = ()):
         self._scheduler = scheduler
         self._callback = callback
+        self._args = tuple(args)
         self.name = name
         self._event: Optional[Event] = None
         self.expiry_count = 0
@@ -56,7 +62,7 @@ class Timer:
     def _fire(self) -> None:
         self._event = None
         self.expiry_count += 1
-        self._callback()
+        self._callback(*self._args)
 
     def __repr__(self) -> str:
         state = f"fires@{self._event.time:.3f}" if self.armed else "idle"

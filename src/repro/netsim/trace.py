@@ -270,6 +270,51 @@ class TraceRecorder:
         for kind, count in self.count_by_kind().items():
             registry.gauge("trace_entries", kind=kind, **labels).set(count)
 
+    @property
+    def position(self) -> int:
+        """The current append position (== number of entries so far).
+
+        Checkpoints store this to know where a captured prefix ends;
+        :meth:`truncate` restores it.
+        """
+        return len(self._entries)
+
+    def truncate(self, position: int) -> int:
+        """Drop every entry recorded after ``position``; returns #dropped.
+
+        The restore half of the checkpoint protocol's trace handling:
+        rewinding to a snapshot means the entries its continuation
+        recorded must go.  The lazy query indexes are rebuilt from
+        scratch on the next query (they only ever grow forward).
+        """
+        if position < 0 or position > len(self._entries):
+            raise ValueError(
+                f"truncate position {position} outside [0, "
+                f"{len(self._entries)}]")
+        dropped = len(self._entries) - position
+        if dropped:
+            del self._entries[position:]
+            self._kind_index.clear()
+            self._kind_upto = 0
+            self._prefix_cache.clear()
+        return dropped
+
+    def fork(self, position: Optional[int] = None) -> "TraceRecorder":
+        """A new recorder continuing from this one's first ``position``
+        entries.
+
+        Entry *objects* are shared -- entries are write-once on the
+        capture path, so a forked continuation appending its own entries
+        never disturbs the parent (and vice versa), while the checkpoint
+        layer avoids deep-copying a potentially long prefix on every
+        fork.  The fork has no clock bound; bind one before recording.
+        """
+        if position is None:
+            position = len(self._entries)
+        clone = TraceRecorder()
+        clone._entries = self._entries[:position]
+        return clone
+
     def clear(self) -> None:
         """Drop all captured entries (and the indexes built over them)."""
         self._entries.clear()

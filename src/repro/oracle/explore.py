@@ -1,0 +1,283 @@
+"""Bounded delivery-order exploration from a checkpoint (DPOR-lite).
+
+Fault scripts perturb *what* messages say; this module perturbs *when*
+things happen.  From one warmed-up prefix checkpoint it enumerates
+bounded perturbations of the pending event order -- dropping an
+in-flight delivery, suppressing or delaying a protocol timer -- and
+runs each alternative schedule to the horizon with the protocol's
+oracle pack as the verdict.  A schedule whose trace violates an
+invariant is a *finding*: a latent bug made observable purely by event
+ordering, no filter script required.
+
+This is deliberately not a full dynamic partial-order reduction: the
+schedule space is bounded (``max_perturbations`` perturbations per
+schedule, ``max_schedules`` schedules total) and reduction is by
+*outcome* -- schedules whose canonical traces are byte-identical to one
+already seen collapse into it, which catches the bulk of commutative
+interleavings at a fraction of a vector-clock implementation's cost.
+The checkpoint engine is what makes the sweep affordable: every
+schedule forks the same captured prefix instead of re-simulating the
+warmup, so exploring N schedules costs N continuations, not N runs.
+
+Schedules are applied best-effort: a perturbation is addressed by step
+index into the *baseline* event order, and an earlier perturbation may
+shift what later indices refer to.  That is standard for bounded
+schedule fuzzing -- every executed schedule is still a real, legal
+event order, which is all the oracle verdict needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.export import VOLATILE_ATTRS, dump_trace
+from repro.core.checkpoint import Checkpoint
+from repro.core.orchestrator import make_env
+from repro.netsim.link import Link
+from repro.netsim.scheduler import Event
+from repro.netsim.timer import Timer
+from repro.oracle.fuzz import (DEFAULT_DEPTHS, HORIZONS, _gmp_prefix,
+                               _targets, _tcp_prefix, pack_for)
+
+#: perturbation actions by event class; "fire" (run as scheduled) is
+#: always legal and never counts as a perturbation
+ACTIONS = {"delivery": ("drop", "defer"), "timer": ("drop", "defer")}
+
+
+def classify_event(event: Event) -> str:
+    """What kind of world event a scheduler entry is.
+
+    ``delivery``: an in-flight message arriving over a link;
+    ``timer``: a protocol timer firing; ``other``: infrastructure
+    (workload writes, daemon starts) the explorer leaves alone.
+    """
+    owner = getattr(event.callback, "__self__", None)
+    if isinstance(owner, Link):
+        return "delivery"
+    if isinstance(owner, Timer):
+        return "timer"
+    return "other"
+
+
+def describe_event(event: Event) -> str:
+    """A short human-readable label for one pending event."""
+    owner = getattr(event.callback, "__self__", None)
+    if isinstance(owner, Link):
+        payload = event.args[0] if event.args else None
+        detail = type(payload).__name__ if payload is not None else "?"
+        return f"deliver[{owner.name}] {detail} @{event.time:.3f}"
+    if isinstance(owner, Timer):
+        return f"timer[{owner.name}] @{event.time:.3f}"
+    name = getattr(event.callback, "__qualname__",
+                   getattr(event.callback, "__name__", "event"))
+    return f"{name} @{event.time:.3f}"
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """One deviation from the baseline order: ``action`` at ``step``."""
+
+    step: int
+    action: str
+    description: str
+
+    def render(self) -> str:
+        return f"{self.action} step {self.step} ({self.description})"
+
+
+@dataclass
+class ScheduleOutcome:
+    """What one explored schedule did."""
+
+    perturbations: Tuple[Perturbation, ...]
+    codes: List[str]
+    violation_count: int
+    outcome_hash: str
+    novel: bool          # first schedule reaching this outcome hash
+
+    def render(self) -> str:
+        plan = (", ".join(p.render() for p in self.perturbations)
+                or "baseline")
+        verdict = (",".join(self.codes) if self.codes else "conformant")
+        return f"{plan} -> {verdict} ({self.violation_count} violations)"
+
+
+@dataclass
+class ExploreReport:
+    """The result of one bounded delivery-order exploration."""
+
+    protocol: str
+    target: str
+    depth: float
+    window: float
+    horizon: float
+    seed: int
+    schedules: int = 0
+    distinct_outcomes: int = 0
+    baseline_codes: List[str] = field(default_factory=list)
+    findings: List[ScheduleOutcome] = field(default_factory=list)
+    outcomes: List[ScheduleOutcome] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"explore {self.protocol}/{self.target}: "
+                 f"{self.schedules} schedules in window "
+                 f"[{self.depth:g}, {self.depth + self.window:g}], "
+                 f"{self.distinct_outcomes} distinct outcomes, "
+                 f"findings {len(self.findings)}"]
+        if self.baseline_codes:
+            lines.append(f"  baseline already violates: "
+                         f"{','.join(self.baseline_codes)}")
+        for finding in self.findings:
+            lines.append(f"  {finding.render()}")
+        return "\n".join(lines)
+
+
+def _prefix_checkpoint(protocol: str, target: str, depth: float,
+                       seed: int) -> Checkpoint:
+    """Capture the script-free prefix the exploration forks from."""
+    env = make_env(seed=seed)
+    config = {"protocol": protocol, "target": target}
+    if protocol == "tcp":
+        roots = _tcp_prefix(env, config, depth)
+    else:
+        roots = _gmp_prefix(env, config, depth)
+    return Checkpoint.capture(
+        env, roots, label=f"explore/{protocol}/{target}@{depth:g}")
+
+
+def _run_schedule(checkpoint: Checkpoint, plan: Dict[int, str], *,
+                  window: float, horizon: float, defer_delta: float,
+                  oracle) -> Tuple[Tuple[Perturbation, ...], List, str]:
+    """Execute one schedule; returns (applied plan, violations, hash)."""
+    forked = checkpoint.fork()
+    env = forked.env
+    scheduler = env.scheduler
+    end = checkpoint.time + window
+    step = 0
+    applied: List[Perturbation] = []
+    while True:
+        event = scheduler.peek_entry()
+        if event is None or event.time > end:
+            break
+        action = plan.get(step, "fire")
+        if action != "fire" and classify_event(event) in ACTIONS:
+            applied.append(Perturbation(step, action,
+                                        describe_event(event)))
+            event.cancel()
+            if action == "defer":
+                scheduler.schedule_at(event.time + defer_delta,
+                                      event.callback, *event.args)
+        else:
+            scheduler.step()
+        step += 1
+    env.run_until(horizon)
+    from repro.oracle import evaluate
+    violations = evaluate(env.trace, oracle()).violations
+    digest = hashlib.sha256(
+        dump_trace(env.trace,
+                   exclude_attrs=VOLATILE_ATTRS).encode()).hexdigest()
+    return tuple(applied), violations, digest[:16]
+
+
+def _survey(checkpoint: Checkpoint, *, window: float
+            ) -> List[Tuple[str, str]]:
+    """The baseline event order inside the window: (class, label) per
+    step, observed by single-stepping a throwaway fork."""
+    forked = checkpoint.fork()
+    scheduler = forked.env.scheduler
+    end = checkpoint.time + window
+    steps: List[Tuple[str, str]] = []
+    while True:
+        event = scheduler.peek_entry()
+        if event is None or event.time > end:
+            break
+        steps.append((classify_event(event), describe_event(event)))
+        scheduler.step()
+    return steps
+
+
+def _plans(steps: List[Tuple[str, str]], *, max_perturbations: int,
+           max_schedules: int) -> List[Dict[int, str]]:
+    """Bounded perturbation plans over the surveyed baseline order.
+
+    Baseline first, then every single perturbation in step order, then
+    pairs, up to ``max_schedules`` plans total.
+    """
+    singles: List[Tuple[int, str]] = []
+    for index, (kind, _label) in enumerate(steps):
+        for action in ACTIONS.get(kind, ()):
+            singles.append((index, action))
+    plans: List[Dict[int, str]] = [{}]
+    for index, action in singles:
+        if len(plans) >= max_schedules:
+            return plans
+        plans.append({index: action})
+    if max_perturbations >= 2:
+        for i, (index_a, action_a) in enumerate(singles):
+            for index_b, action_b in singles[i + 1:]:
+                if index_a == index_b:
+                    continue
+                if len(plans) >= max_schedules:
+                    return plans
+                plans.append({index_a: action_a, index_b: action_b})
+    return plans
+
+
+def explore(protocol: str = "gmp", target: str = "self_death", *,
+            seed: int = 0, depth: Optional[float] = None,
+            window: float = 1.5, horizon: Optional[float] = None,
+            max_schedules: int = 64, max_perturbations: int = 1,
+            defer_delta: float = 4.0,
+            progress: Optional[Callable[[str], None]] = None
+            ) -> ExploreReport:
+    """Explore bounded delivery-order schedules of one protocol target.
+
+    The world is warmed to ``depth`` (default: the protocol's stock
+    filter-install time) and checkpointed once; every schedule forks
+    it.  Pending events inside ``[depth, depth + window]`` may be
+    dropped or deferred by ``defer_delta`` seconds; the run then
+    continues undisturbed to ``horizon`` and the protocol's oracle pack
+    judges the trace.  Deterministic in all arguments: the same call
+    always explores the same schedules.
+    """
+    valid = _targets(protocol) + ("fixed",)
+    if target not in valid:
+        raise ValueError(f"unknown {protocol} target {target!r}; "
+                         f"expected one of {valid}")
+    depth = DEFAULT_DEPTHS[protocol] if depth is None else float(depth)
+    horizon = HORIZONS[protocol] if horizon is None else float(horizon)
+    checkpoint = _prefix_checkpoint(protocol, target, depth, seed)
+    oracle = pack_for(protocol)
+    steps = _survey(checkpoint, window=window)
+    report = ExploreReport(protocol=protocol, target=target, depth=depth,
+                           window=window, horizon=horizon, seed=seed)
+    seen_hashes: Dict[str, int] = {}
+    seen_findings: set = set()
+    for plan in _plans(steps, max_perturbations=max_perturbations,
+                       max_schedules=max_schedules):
+        applied, violations, outcome_hash = _run_schedule(
+            checkpoint, plan, window=window, horizon=horizon,
+            defer_delta=defer_delta, oracle=oracle)
+        codes = sorted({v.code for v in violations})
+        novel = outcome_hash not in seen_hashes
+        seen_hashes.setdefault(outcome_hash, report.schedules)
+        outcome = ScheduleOutcome(perturbations=applied, codes=codes,
+                                  violation_count=len(violations),
+                                  outcome_hash=outcome_hash, novel=novel)
+        report.schedules += 1
+        report.outcomes.append(outcome)
+        if not applied:
+            report.baseline_codes = codes
+        if codes and novel and tuple(codes) not in seen_findings:
+            seen_findings.add(tuple(codes))
+            report.findings.append(outcome)
+            if progress is not None:
+                progress(f"[explore] {outcome.render()}")
+        if progress is not None and report.schedules % 16 == 0:
+            progress(f"[explore] {report.schedules} schedules, "
+                     f"{len(seen_hashes)} distinct outcomes, "
+                     f"{len(report.findings)} findings")
+    report.distinct_outcomes = len(seen_hashes)
+    return report

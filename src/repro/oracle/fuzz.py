@@ -25,10 +25,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from time import perf_counter
+from typing import (TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional,
+                    Tuple)
 
 from repro.core.distributions import derive_seed
-from repro.core.orchestrator import Campaign, RunResult
+from repro.core.orchestrator import Campaign, CampaignScriptError, RunResult
+
+if TYPE_CHECKING:
+    from repro.core.checkpoint import Checkpoint
 from repro.oracle.grammar import (FuzzScript, generate_script, mutate_script,
                                   trial_seed)
 from repro.oracle.invariants import Violation
@@ -52,9 +57,24 @@ GMP_VARIANTS = ("self_death", "forward_param", "inverted_timer")
 TCP_SEGMENTS = 10
 TCP_SEGMENT_INTERVAL = 0.4
 
+#: default filter-install times, per protocol.  These are where the
+#: fuzzed script arms in a stock run -- and therefore also the deepest
+#: script-free prefix a checkpoint can reuse across trials.  TCP arms
+#: its filter before the handshake (t=0), GMP after group formation.
+DEFAULT_DEPTHS = {"tcp": 0.0, "gmp": GMP_INSTALL_AT}
+
 
 # ----------------------------------------------------------------------
 # campaign bodies (module-level: the parallel path needs them picklable)
+#
+# Each body is split into a *prefix* (everything before the fuzzed
+# filter script arms: rig construction plus the script-free warmup) and
+# a *continuation* (install the script, run the workload to the
+# horizon).  The cold path runs prefix+continuation back to back; the
+# checkpointed path (:class:`ForkEngine`) captures one prefix per
+# target and re-runs only continuations.  Keeping both paths on the
+# same two functions is what makes forked trials byte-identical to cold
+# ones by construction.
 # ----------------------------------------------------------------------
 
 def _gmp_bug_flags(variant: str):
@@ -74,51 +94,109 @@ def _script_filter(config):
                         name="fuzz")
 
 
+def _install_filter(pfi, config):
+    script = _script_filter(config)
+    if config["direction"] == "send":
+        pfi.set_send_filter(script)
+    else:
+        pfi.set_receive_filter(script)
+
+
 def fuzz_body(env, config):
-    """One fuzz case: build the rig, arm the script, run the workload."""
-    if config["protocol"] == "tcp":
-        return _tcp_fuzz_body(env, config)
-    return _gmp_fuzz_body(env, config)
+    """One fuzz case: build the rig, arm the script, run the workload.
+
+    ``config["install_at"]`` (optional) moves the filter-install time;
+    absent, the protocol's :data:`DEFAULT_DEPTHS` entry applies and the
+    run is identical to what this body always produced.
+    """
+    protocol = config["protocol"]
+    depth = config.get("install_at", DEFAULT_DEPTHS[protocol])
+    if protocol == "tcp":
+        state = _tcp_prefix(env, config, depth)
+        return _tcp_continue(env, state, config)
+    state = _gmp_prefix(env, config, depth)
+    return _gmp_continue(env, state, config)
 
 
-def _tcp_fuzz_body(env, config):
+def _tcp_prefix(env, config, depth):
+    """The script-free head of a TCP fuzz run, up to virtual ``depth``.
+
+    At the default depth 0.0 this is rig construction only (the stock
+    rig arms its filter before the handshake); deeper prefixes open the
+    connection and run the stream schedule up to the install point.
+    """
     from repro.experiments.tcp_common import (SERVER_PORT, CLIENT_PORT,
                                               XKERNEL_ADDR,
                                               build_tcp_testbed,
                                               stream_from_vendor)
     from repro.tcp import VENDORS
     testbed = build_tcp_testbed(VENDORS[config["target"]], env=env)
-    script = _script_filter(config)
-    if config["direction"] == "send":
-        testbed.pfi.set_send_filter(script)
-    else:
-        testbed.pfi.set_receive_filter(script)
+    state = {"testbed": testbed}
+    if depth <= 0.0:
+        return state
     testbed.xkernel_tcp.listen(SERVER_PORT)
     client = testbed.vendor_tcp.open_connection(
         local_port=CLIENT_PORT, remote_address=XKERNEL_ADDR,
         remote_port=SERVER_PORT)
     client.connect()
-    env.run_until(1.0)
-    stream_from_vendor(testbed, client, segments=TCP_SEGMENTS,
-                       interval=TCP_SEGMENT_INTERVAL)
+    state["client"] = client
+    if depth < 1.0:
+        env.run_until(depth)
+    else:
+        env.run_until(1.0)
+        stream_from_vendor(testbed, client, segments=TCP_SEGMENTS,
+                           interval=TCP_SEGMENT_INTERVAL)
+        env.run_until(depth)
+    return state
+
+
+def _tcp_continue(env, state, config):
+    """Arm the script and run a TCP case from its prefix to the horizon."""
+    from repro.experiments.tcp_common import (SERVER_PORT, CLIENT_PORT,
+                                              XKERNEL_ADDR,
+                                              stream_from_vendor)
+    testbed = state["testbed"]
+    _install_filter(testbed.pfi, config)
+    client = state.get("client")
+    if client is None:
+        # default depth: filter armed before the handshake, stock order
+        testbed.xkernel_tcp.listen(SERVER_PORT)
+        client = testbed.vendor_tcp.open_connection(
+            local_port=CLIENT_PORT, remote_address=XKERNEL_ADDR,
+            remote_port=SERVER_PORT)
+        client.connect()
+    if env.scheduler.now < 1.0:
+        env.run_until(1.0)
+        stream_from_vendor(testbed, client, segments=TCP_SEGMENTS,
+                           interval=TCP_SEGMENT_INTERVAL)
     env.run_until(HORIZONS["tcp"])
     return {"established": client.established, "final_state": client.state}
 
 
-def _gmp_fuzz_body(env, config):
+def _gmp_prefix(env, config, depth):
+    """The script-free head of a GMP fuzz run: group formation."""
     from repro.experiments.gmp_common import build_gmp_cluster
     cluster = build_gmp_cluster(
         list(GMP_WORLD), default_bugs=_gmp_bug_flags(config["target"]),
         env=env)
     cluster.start()
-    cluster.run_until(GMP_INSTALL_AT)
-    script = _script_filter(config)
-    if config["direction"] == "send":
-        cluster.pfis[GMP_TARGET].set_send_filter(script)
-    else:
-        cluster.pfis[GMP_TARGET].set_receive_filter(script)
+    cluster.run_until(depth)
+    return {"cluster": cluster}
+
+
+def _gmp_continue(env, state, config):
+    """Arm the script and run a GMP case from its prefix to the horizon."""
+    cluster = state["cluster"]
+    _install_filter(cluster.pfis[GMP_TARGET], config)
     cluster.run_until(HORIZONS["gmp"])
     return {"views": {a: list(v) for a, v in cluster.views().items()}}
+
+
+def _continue_body(env, state, config):
+    """Dispatch a forked continuation by protocol."""
+    if config["protocol"] == "tcp":
+        return _tcp_continue(env, state, config)
+    return _gmp_continue(env, state, config)
 
 
 def pack_for(protocol: str):
@@ -207,12 +285,25 @@ class FuzzReport:
     corpus: List[FuzzCase] = field(default_factory=list)
     findings: List[Finding] = field(default_factory=list)
     coverage: FrozenSet[Tuple] = frozenset()
+    #: overall execution rate (virtual trials per wall second)
+    trials_per_sec: float = 0.0
+    #: prefix depth when the checkpointed engine ran; None = cold path
+    checkpoint_depth: Optional[float] = None
+    #: fraction of trials served by forking an existing checkpoint
+    checkpoint_hit_rate: Optional[float] = None
 
     def render(self) -> str:
         lines = [f"fuzz {self.protocol}: {self.executed}/{self.budget} "
                  f"cases, coverage {len(self.coverage)} keys, "
                  f"corpus {len(self.corpus)}, "
                  f"findings {len(self.findings)}"]
+        if self.trials_per_sec:
+            speed = f"  {self.trials_per_sec:.1f} trials/s"
+            if self.checkpoint_depth is not None:
+                speed += (f" (checkpointed @ depth "
+                          f"{self.checkpoint_depth:g}, hit-rate "
+                          f"{self.checkpoint_hit_rate:.0%})")
+            lines.append(speed)
         for finding in self.findings:
             lines.append(
                 f"  {finding.case.script.name} "
@@ -221,6 +312,125 @@ class FuzzReport:
                 f"{','.join(finding.codes)} "
                 f"({finding.violation_count} violations)")
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# checkpointed execution
+# ----------------------------------------------------------------------
+
+class ForkEngine:
+    """Executes fuzz cases by forking per-target prefix checkpoints.
+
+    One warmed-up, script-free prefix is captured per fuzz target
+    (vendor profile / bug variant) at the configured depth; every trial
+    against that target then forks the checkpoint, re-seeds the fork to
+    the trial's run seed, and runs only the continuation.  Because the
+    cold path (:func:`fuzz_body`) is built from the same
+    prefix/continuation functions, a forked trial is byte-identical to
+    the cold run of the same configuration -- the property suite pins
+    this, and it is why engine results are interchangeable with
+    :class:`~repro.core.orchestrator.Campaign` results.
+
+    ``depth`` defaults to the protocol's stock install time
+    (:data:`DEFAULT_DEPTHS`), in which case engine configs carry no
+    ``install_at`` key and run seeds match the legacy path exactly.  A
+    non-default depth is recorded in each config (changing its run
+    seed): those are *different* experiments, not cheaper replays of
+    the stock ones.
+    """
+
+    def __init__(self, protocol: str, *, campaign_seed: int = 0,
+                 depth: Optional[float] = None):
+        if protocol not in DEFAULT_DEPTHS:
+            raise ValueError(f"unknown protocol {protocol!r}")
+        self.protocol = protocol
+        self.campaign_seed = campaign_seed
+        self.depth = (DEFAULT_DEPTHS[protocol] if depth is None
+                      else float(depth))
+        self._checkpoints: Dict[str, "Checkpoint"] = {}
+        #: trials served by forking (every trial is one fork)
+        self.forks = 0
+        #: prefix simulations actually run (one per distinct target)
+        self.captures = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of trials that reused an already-captured prefix."""
+        if not self.forks:
+            return 0.0
+        return (self.forks - self.captures) / self.forks
+
+    def config_for(self, case: FuzzCase) -> Dict[str, object]:
+        """The campaign config this engine runs ``case`` as.
+
+        Adds ``install_at`` only at non-default depths, so default-depth
+        engine runs share run seeds (and results) with the cold path.
+        """
+        config = case.config()
+        if self.depth != DEFAULT_DEPTHS[self.protocol]:
+            config["install_at"] = self.depth
+        return config
+
+    def checkpoint_for(self, target: str) -> "Checkpoint":
+        """The (lazily captured) prefix checkpoint for one target."""
+        checkpoint = self._checkpoints.get(target)
+        if checkpoint is None:
+            from repro.core.checkpoint import Checkpoint
+            from repro.core.orchestrator import make_env
+            env = make_env(seed=0)
+            config = {"protocol": self.protocol, "target": target}
+            if self.protocol == "tcp":
+                roots = _tcp_prefix(env, config, self.depth)
+            else:
+                roots = _gmp_prefix(env, config, self.depth)
+            checkpoint = Checkpoint.capture(
+                env, roots,
+                label=f"{self.protocol}/{target}@{self.depth:g}")
+            self._checkpoints[target] = checkpoint
+            self.captures += 1
+        return checkpoint
+
+    def run_config(self, config: Dict[str, object], *, oracle=None,
+                   cache=None) -> RunResult:
+        """Execute one configuration from its prefix checkpoint.
+
+        Matches :func:`~repro.core.orchestrator._execute_config`'s
+        seeding exactly: the fork is re-seeded to the run seed a cold
+        campaign would derive for this config.  ``cache`` (a
+        :class:`~repro.core.orchestrator.RunCache`) keys entries with
+        the checkpoint identity mixed in, so results from a different
+        prefix can never be returned for this one.
+        """
+        checkpoint = self.checkpoint_for(config["target"])
+        key = None
+        if cache is not None:
+            key = cache.key(fuzz_body, self.campaign_seed, config,
+                            telemetry=False, oracle=oracle,
+                            checkpoint=checkpoint.identity)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+        run_seed = derive_seed(self.campaign_seed,
+                               repr(sorted(config.items())))
+        forked = checkpoint.fork(seed=run_seed)
+        self.forks += 1
+        env = forked.env
+        result = _continue_body(env, forked.roots, dict(config))
+        violations = None
+        if oracle is not None:
+            from repro.oracle import evaluate
+            violations = evaluate(env.trace, oracle()).violations
+        run_result = RunResult(config=dict(config), result=result,
+                               trace=env.trace, violations=violations)
+        if cache is not None:
+            cache.put(key, run_result)
+        return run_result
+
+    def run_case(self, case: FuzzCase, *, oracle=None,
+                 cache=None) -> RunResult:
+        """Convenience: :meth:`config_for` + :meth:`run_config`."""
+        return self.run_config(self.config_for(case), oracle=oracle,
+                               cache=cache)
 
 
 # ----------------------------------------------------------------------
@@ -248,29 +458,57 @@ def _draw_case(rng: random.Random, protocol: str, corpus: List[FuzzCase],
 
 
 def run_fuzz(protocol: str = "gmp", *, seed: int = 0, budget: int = 24,
-             workers: int = 1, batch: int = 0) -> FuzzReport:
+             workers: int = 1, batch: int = 0,
+             checkpoint_depth: Optional[float] = None,
+             progress: Optional[Callable[[str], None]] = None
+             ) -> FuzzReport:
     """Fuzz one protocol's rig for ``budget`` cases.
 
     Fully deterministic in ``seed``: case generation, per-case seeds,
     and the simulations themselves all derive from it, and the parallel
     campaign path returns results in input order, so ``workers`` does
     not perturb the outcome.
+
+    ``checkpoint_depth`` switches execution to the :class:`ForkEngine`:
+    one script-free prefix per target is simulated once, every trial
+    forks it.  Passing the protocol's stock install time
+    (:data:`DEFAULT_DEPTHS`) -- or any value at the default-depth rigs'
+    defaults -- produces the *same* report the cold path produces, just
+    faster; other depths are distinct experiments (the ``install_at``
+    config key changes every run seed).  ``progress`` (e.g. ``print``)
+    receives one status line per batch with the trial rate and, on the
+    engine path, the checkpoint hit-rate.
     """
     if batch <= 0:
         batch = max(4, workers * 2)
     report = FuzzReport(protocol=protocol, seed=seed, budget=budget)
     coverage: set = set()
     campaign = Campaign(fuzz_body, seed=seed, lint="error")
+    engine = None
+    if checkpoint_depth is not None:
+        engine = ForkEngine(protocol, campaign_seed=seed,
+                            depth=checkpoint_depth)
+        report.checkpoint_depth = engine.depth
     batch_index = 0
+    started = perf_counter()
     while report.executed < budget:
         count = min(batch, budget - report.executed)
         rng = random.Random(derive_seed(seed, "fuzz-batch", batch_index))
         cases = [_draw_case(rng, protocol, report.corpus,
                             report.executed + i, seed)
                  for i in range(count)]
-        results = campaign.run([case.config() for case in cases],
-                               workers=workers, telemetry=False,
-                               oracle=pack_for(protocol))
+        if engine is not None:
+            configs = [engine.config_for(case) for case in cases]
+            failing = campaign.validate_scripts(configs)
+            if failing:
+                raise CampaignScriptError(failing)
+            oracle = pack_for(protocol)
+            results = [engine.run_config(config, oracle=oracle)
+                       for config in configs]
+        else:
+            results = campaign.run([case.config() for case in cases],
+                                   workers=workers, telemetry=False,
+                                   oracle=pack_for(protocol))
         for case, result in zip(cases, results):
             report.executed += 1
             keys = coverage_keys(result.trace)
@@ -284,6 +522,17 @@ def run_fuzz(protocol: str = "gmp", *, seed: int = 0, budget: int = 24,
                     violation_count=len(result.violations),
                     example=result.violations[0]))
         batch_index += 1
+        elapsed = perf_counter() - started
+        report.trials_per_sec = report.executed / elapsed if elapsed else 0.0
+        if engine is not None:
+            report.checkpoint_hit_rate = engine.hit_rate
+        if progress is not None:
+            line = (f"[fuzz {protocol}] {report.executed}/{budget} trials, "
+                    f"{report.trials_per_sec:.1f} trials/s, "
+                    f"findings {len(report.findings)}")
+            if engine is not None:
+                line += f", checkpoint hit-rate {engine.hit_rate:.0%}"
+            progress(line)
     report.coverage = frozenset(coverage)
     return report
 

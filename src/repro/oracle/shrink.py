@@ -30,7 +30,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.oracle.fuzz import Finding, FuzzCase, run_case
+from repro.oracle.fuzz import (Finding, ForkEngine, FuzzCase, pack_for,
+                               run_case)
 from repro.oracle.grammar import Clause
 
 ARTIFACT_VERSION = 1
@@ -43,8 +44,26 @@ MAX_FINGERPRINTS = 50
 SEED_CANDIDATES = (0, 1, 2)
 
 
-def _codes_of(case: FuzzCase, campaign_seed: int) -> set:
-    result = run_case(case, campaign_seed=campaign_seed)
+def _probe_engine(case: FuzzCase,
+                  campaign_seed: int) -> Optional[ForkEngine]:
+    """A checkpointed probe engine for shrinking ``case``, or None.
+
+    ddmin probes share the case's script-free prefix (same protocol,
+    same target, stock install depth), so one captured checkpoint
+    serves every probe.  Engine results at the default depth are
+    byte-identical to :func:`~repro.oracle.fuzz.run_case` -- the
+    property suite pins it -- which keeps the shrink predicate exactly
+    the predicate the cold replayer applies.
+    """
+    return ForkEngine(case.protocol, campaign_seed=campaign_seed)
+
+
+def _codes_of(case: FuzzCase, campaign_seed: int, *,
+              engine: Optional[ForkEngine] = None) -> set:
+    if engine is not None:
+        result = engine.run_case(case, oracle=pack_for(case.protocol))
+    else:
+        result = run_case(case, campaign_seed=campaign_seed)
     return {v.code for v in (result.violations or ())}
 
 
@@ -85,15 +104,23 @@ def ddmin(items: Sequence, test) -> List:
     return items
 
 
-def shrink_case(case: FuzzCase, code: str, *,
-                campaign_seed: int = 0) -> "tuple[FuzzCase, ShrinkStats]":
-    """Reduce ``case`` while it still reports ``code``."""
+def shrink_case(case: FuzzCase, code: str, *, campaign_seed: int = 0,
+                checkpoint: bool = True
+                ) -> "tuple[FuzzCase, ShrinkStats]":
+    """Reduce ``case`` while it still reports ``code``.
+
+    With ``checkpoint`` (the default) every ddmin probe forks the
+    case's warmed prefix checkpoint instead of cold-starting; probe
+    verdicts are identical either way, the forked path just reaches
+    them faster.  ``checkpoint=False`` keeps the historical cold path.
+    """
     stats = ShrinkStats(clauses_before=len(case.script.clauses),
                         seed_before=case.case_seed)
+    engine = _probe_engine(case, campaign_seed) if checkpoint else None
 
     def still_violates(candidate: FuzzCase) -> bool:
         stats.runs += 1
-        return code in _codes_of(candidate, campaign_seed)
+        return code in _codes_of(candidate, campaign_seed, engine=engine)
 
     if not still_violates(case):
         raise ValueError(
@@ -219,12 +246,20 @@ def replay_artifact(artifact: Union[ReproArtifact, str, Path]
                         observed_codes=observed_codes)
 
 
-def shrink_finding(finding: Finding, *, campaign_seed: int = 0
+def shrink_finding(finding: Finding, *, campaign_seed: int = 0,
+                   checkpoint: bool = True
                    ) -> "tuple[ReproArtifact, ShrinkStats]":
-    """Shrink one fuzz finding and freeze the result."""
+    """Shrink one fuzz finding and freeze the result.
+
+    Probes may run checkpointed (see :func:`shrink_case`); the final
+    artifact is always frozen from a cold :func:`~repro.oracle.fuzz
+    .run_case` replay, so a committed artifact never depends on the
+    checkpoint layer to reproduce.
+    """
     code = finding.codes[0]
     shrunk, stats = shrink_case(finding.case, code,
-                                campaign_seed=campaign_seed)
+                                campaign_seed=campaign_seed,
+                                checkpoint=checkpoint)
     return make_artifact(shrunk, code, campaign_seed=campaign_seed), stats
 
 

@@ -100,8 +100,9 @@ class TCPConnection:
         self.congestion = None
         if profile.congestion_control:
             from repro.tcp.congestion import TahoeController
+            from repro.netsim.scheduler import SchedulerClock
             self.congestion = TahoeController(
-                profile, trace=trace, clock=lambda: scheduler.now,
+                profile, trace=trace, clock=SchedulerClock(scheduler),
                 name=self.name)
             self.retx.on_timeout_event = self._on_congestion_timeout
 

@@ -29,6 +29,29 @@ from repro.xkernel.protocol import Protocol
 ConnKey = Tuple[int, int, int]  # local port, remote addr, remote port
 
 
+def _null_transmit(_seg: Segment) -> None:
+    """Placeholder transmit for a connection not yet wired to a protocol."""
+
+
+class _ConnTransmit:
+    """Routes one connection's outgoing segments through its protocol.
+
+    A class rather than ``lambda seg: protocol._transmit(conn, seg)`` so
+    that a checkpointed connection deep-copies into its fork's protocol
+    instead of leaking segments back into the original world (functions
+    are atomic under ``copy.deepcopy``; instances follow the memo).
+    """
+
+    __slots__ = ("protocol", "conn")
+
+    def __init__(self, protocol: "TCPProtocol", conn: TCPConnection):
+        self.protocol = protocol
+        self.conn = conn
+
+    def __call__(self, seg: Segment) -> None:
+        self.protocol._transmit(self.conn, seg)
+
+
 class TCPProtocol(Protocol):
     """The TCP layer of one host's protocol stack."""
 
@@ -80,11 +103,11 @@ class TCPProtocol(Protocol):
         conn = TCPConnection(
             self.scheduler, self.profile,
             local_port=local_port, remote_port=remote_port,
-            transmit=lambda seg, _c=None: None,  # replaced below
+            transmit=_null_transmit,  # replaced below
             trace=self.trace,
             name=f"{self.host}:{local_port}", iss=iss)
         conn.remote_address = remote_address
-        conn._transmit = lambda seg, _conn=conn: self._transmit(_conn, seg)
+        conn._transmit = _ConnTransmit(self, conn)
         return conn
 
     def _transmit(self, conn: TCPConnection, seg: Segment) -> None:

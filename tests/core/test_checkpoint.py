@@ -1,0 +1,203 @@
+"""Unit tests for the checkpoint/fork engine (repro.core.checkpoint)."""
+
+import pytest
+
+from repro.core.checkpoint import (Checkpoint, CheckpointError,
+                                   audit_scheduler)
+from repro.core.orchestrator import make_env
+
+
+class Counter:
+    """A minimal self-rescheduling rig: bound-method callbacks only."""
+
+    def __init__(self, env, period=1.0):
+        self.env = env
+        self.fired = 0
+        env.scheduler.schedule(period, self.tick, period)
+
+    def tick(self, period):
+        self.fired += 1
+        self.env.trace.record("counter.tick", n=self.fired)
+        self.env.scheduler.schedule(period, self.tick, period)
+
+
+def warmed_env(depth=5.0):
+    env = make_env(seed=0)
+    counter = Counter(env)
+    env.run_until(depth)
+    return env, counter
+
+
+# ----------------------------------------------------------------------
+# capture / fork semantics
+# ----------------------------------------------------------------------
+
+def test_fork_continues_where_capture_left_off():
+    env, counter = warmed_env(5.0)
+    cp = Checkpoint.capture(env, {"counter": counter})
+    forked = cp.fork()
+    assert forked.env.scheduler.now == 5.0
+    assert forked["counter"].fired == 5
+    forked.env.run_until(10.0)
+    assert forked["counter"].fired == 10
+
+
+def test_capture_leaves_the_original_running():
+    env, counter = warmed_env(5.0)
+    cp = Checkpoint.capture(env, {"counter": counter})
+    forked = cp.fork()
+    forked.env.run_until(10.0)
+    # the original world never moved
+    assert env.scheduler.now == 5.0
+    assert counter.fired == 5
+    # ...and still runs to the same place the fork reached
+    env.run_until(10.0)
+    assert counter.fired == forked["counter"].fired == 10
+
+
+def test_forks_are_mutually_independent():
+    env, counter = warmed_env(3.0)
+    cp = Checkpoint.capture(env, {"counter": counter})
+    a, b = cp.fork(), cp.fork()
+    a.env.run_until(20.0)
+    assert b.env.scheduler.now == 3.0
+    b.env.run_until(20.0)
+    assert a["counter"].fired == b["counter"].fired == 20
+    assert cp.forks == 2
+
+
+def test_trace_prefix_is_shared_not_copied():
+    env, counter = warmed_env(4.0)
+    cp = Checkpoint.capture(env, {"counter": counter})
+    forked = cp.fork()
+    prefix = list(env.trace)
+    assert [a is b for a, b in zip(prefix, list(forked.env.trace))] \
+        == [True] * len(prefix)
+    forked.env.run_until(6.0)
+    assert len(forked.env.trace) > len(prefix)
+    assert list(env.trace) == prefix  # parent undisturbed
+
+
+def test_capture_compacts_tombstones_first():
+    env, counter = warmed_env(2.0)
+    doomed = [env.scheduler.schedule(50.0 + i, counter.tick, 1.0)
+              for i in range(10)]
+    for event in doomed:
+        event.cancel()
+    before = env.scheduler.compactions
+    cp = Checkpoint.capture(env, {"counter": counter})
+    assert env.scheduler.compactions == before + 1
+    assert cp.fork().env.scheduler.pending_count == 1
+
+
+def test_default_label_and_repr():
+    env, _counter = warmed_env(5.0)
+    cp = Checkpoint.capture(env)
+    assert cp.label == "t=5"
+    assert "t=5" in repr(cp)
+    assert cp.position == len(env.trace)
+
+
+# ----------------------------------------------------------------------
+# the capture-time audit
+# ----------------------------------------------------------------------
+
+def test_capture_rejects_closure_callbacks():
+    env, _counter = warmed_env(1.0)
+    leaked = []
+    env.scheduler.schedule(1.0, lambda: leaked.append(1))
+    with pytest.raises(CheckpointError, match="closure"):
+        Checkpoint.capture(env)
+
+
+def test_capture_rejects_world_smuggling_defaults():
+    env, counter = warmed_env(1.0)
+
+    def poke(target=counter):
+        target.fired += 1
+
+    env.scheduler.schedule(1.0, poke)
+    with pytest.raises(CheckpointError, match="default"):
+        Checkpoint.capture(env)
+
+
+def test_audit_accepts_clean_heaps_and_atomic_defaults():
+    env, _counter = warmed_env(1.0)
+
+    def ping(n=3, tag="x"):
+        return n, tag
+
+    env.scheduler.schedule(1.0, ping)
+    assert audit_scheduler(env.scheduler) == []
+
+
+def test_audit_recurses_into_partials():
+    import functools
+    env, _counter = warmed_env(1.0)
+    captured = []
+    env.scheduler.schedule(1.0, functools.partial(
+        lambda: captured.append(1)))
+    issues = audit_scheduler(env.scheduler)
+    assert len(issues) == 1 and "closure" in issues[0]
+
+
+def test_audit_false_skips_the_check():
+    env, _counter = warmed_env(1.0)
+    env.scheduler.schedule(1.0, lambda: None)
+    Checkpoint.capture(env, audit=False)  # does not raise
+
+
+# ----------------------------------------------------------------------
+# re-seeding forks
+# ----------------------------------------------------------------------
+
+def test_fork_reseed_matches_cold_run():
+    env, _counter = warmed_env(2.0)
+    stream = env.dist("noise", "a")  # derived, but never drawn from
+    cp = Checkpoint.capture(env)
+    forked = cp.fork(seed=7)
+    assert forked.env.seed == 7
+    cold = make_env(seed=7)
+    assert forked.env.dists[0].dst_uniform(0, 1) \
+        == cold.dist("noise", "a").dst_uniform(0, 1)
+    assert stream.draws == 0  # the original stream was never touched
+
+
+def test_fork_same_seed_skips_reseed():
+    env, _counter = warmed_env(2.0)
+    stream = env.dist("noise")
+    stream.dst_uniform(0, 1)  # consumed -- reseed would refuse
+    cp = Checkpoint.capture(env)
+    cp.fork(seed=0)  # captured seed: no reseed attempted, no error
+
+
+def test_fork_reseed_refuses_consumed_streams():
+    env, _counter = warmed_env(2.0)
+    env.dist("noise").dst_uniform(0, 1)
+    cp = Checkpoint.capture(env)
+    with pytest.raises(CheckpointError, match="re-seeded"):
+        cp.fork(seed=9)
+
+
+# ----------------------------------------------------------------------
+# identity digests
+# ----------------------------------------------------------------------
+
+def test_identity_stable_across_identical_captures():
+    def build():
+        env, counter = warmed_env(5.0)
+        return Checkpoint.capture(env, {"counter": counter}, label="x")
+    assert build().identity == build().identity
+
+
+def test_identity_distinguishes_depth_label_and_seed():
+    def capture(depth=5.0, label="x", seed=0):
+        env = make_env(seed=seed)
+        Counter(env)
+        env.run_until(depth)
+        return Checkpoint.capture(env, label=label).identity
+
+    base = capture()
+    assert capture(depth=6.0) != base
+    assert capture(label="y") != base
+    assert capture(seed=1) != base

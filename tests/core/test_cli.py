@@ -156,3 +156,49 @@ class TestLintCommand:
         corpus = pathlib.Path(__file__).resolve().parents[2] / (
             "examples/filters")
         assert main(["lint", str(corpus)]) == 0
+
+
+class TestFuzzCheckpointFlags:
+    def test_checkpoint_depth_parses(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--checkpoint-depth", "8"])
+        assert args.checkpoint_depth == 8.0
+        assert args.progress is False
+
+    def test_checkpoint_depth_defaults_to_cold_path(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.checkpoint_depth is None
+
+    def test_fuzz_checkpointed_run(self, capsys):
+        assert main(["fuzz", "--protocol", "gmp", "--seed", "3",
+                     "--budget", "8", "--checkpoint-depth", "8",
+                     "--progress"]) == 0
+        out = capsys.readouterr().out
+        assert "checkpointed @ depth 8" in out
+        assert "hit-rate" in out
+        assert "[fuzz gmp]" in out  # the --progress lines
+
+
+class TestExploreCommand:
+    def test_explore_finds_the_planted_bug(self, capsys):
+        assert main(["explore", "--target", "self_death",
+                     "--max-schedules", "24"]) == 1
+        out = capsys.readouterr().out
+        assert "GMP-SELF-DEATH" in out
+        assert "explore gmp/self_death" in out
+
+    def test_explore_fixed_build_exits_zero(self, capsys):
+        assert main(["explore", "--target", "fixed",
+                     "--max-schedules", "8"]) == 0
+        assert "findings 0" in capsys.readouterr().out
+
+    def test_explore_flags_parse(self):
+        args = build_parser().parse_args(
+            ["explore", "--protocol", "tcp", "--target", "SunOS 4.1.3",
+             "--depth", "5", "--window", "0.5", "--horizon", "12",
+             "--max-schedules", "9", "--max-perturbations", "2",
+             "--defer-delta", "1.5"])
+        assert args.protocol == "tcp"
+        assert (args.depth, args.window, args.horizon) == (5.0, 0.5, 12.0)
+        assert (args.max_schedules, args.max_perturbations) == (9, 2)
+        assert args.defer_delta == 1.5

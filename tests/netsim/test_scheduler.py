@@ -280,3 +280,90 @@ def test_run_until_quiet_respects_max_time():
     sched.run_until_quiet(max_time=5.0)
     assert fired == [1]
     assert sched.pending_count == 1  # the t=10 event survives
+
+
+# ----------------------------------------------------------------------
+# lazy-cancel tombstone compaction
+# ----------------------------------------------------------------------
+
+def test_compact_removes_tombstones():
+    sched = Scheduler()
+    live = [sched.schedule(float(i), lambda: None) for i in range(10)]
+    for event in live[::2]:
+        event.cancel()
+    removed = sched.compact()
+    assert removed == 5
+    assert sched.compactions == 1
+    assert sched.pending_count == 5
+    # dispatch order of the survivors is unchanged
+    assert [e.time for e in sched.pending_events()] == [1.0, 3.0, 5.0, 7.0, 9.0]
+
+
+def test_compact_noop_without_tombstones():
+    sched = Scheduler()
+    sched.schedule(1.0, lambda: None)
+    assert sched.compact() == 0
+    assert sched.compactions == 0
+
+
+def test_cancel_storm_auto_compacts():
+    from repro.netsim.scheduler import COMPACT_THRESHOLD
+    sched = Scheduler()
+    events = [sched.schedule(float(i), lambda: None)
+              for i in range(COMPACT_THRESHOLD + 2)]
+    for event in events:
+        event.cancel()
+    # the storm crossed the threshold while tombstones outnumbered the
+    # few live entries, so the heap compacted itself mid-storm
+    assert sched.compactions >= 1
+    assert sched.pending_count == 0
+
+
+def test_auto_compact_waits_for_majority_dead():
+    from repro.netsim.scheduler import COMPACT_THRESHOLD
+    sched = Scheduler()
+    keep = COMPACT_THRESHOLD * 3
+    for i in range(keep):
+        sched.schedule(float(i), lambda: None)
+    doomed = [sched.schedule(float(keep + i), lambda: None)
+              for i in range(COMPACT_THRESHOLD + 1)]
+    for event in doomed:
+        event.cancel()
+    # tombstones exceed the threshold but live entries still dominate:
+    # no compaction, the dead entries pop lazily instead
+    assert sched.compactions == 0
+    sched.run()
+    assert sched.dispatched_count == keep
+
+
+def test_compactions_metric_exported():
+    from repro.obs.metrics import MetricsRegistry
+    sched = Scheduler()
+    cancelled = sched.schedule(1.0, lambda: None)
+    cancelled.cancel()
+    sched.compact()
+    registry = MetricsRegistry()
+    sched.fill_metrics(registry)
+    assert registry.gauge("scheduler_compactions").value == 1
+    assert registry.gauge("scheduler_tombstones").value == 0
+
+
+def test_peek_entry_skips_cancelled_and_preserves_order():
+    sched = Scheduler()
+    first = sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: None)
+    first.cancel()
+    entry = sched.peek_entry()
+    assert entry.time == 2.0
+    assert sched.peek_entry() is entry  # peeking does not consume
+    assert Scheduler().peek_entry() is None
+
+
+def test_step_dispatches_exactly_one_event():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(1.0, lambda: fired.append(1))
+    sched.schedule(2.0, lambda: fired.append(2))
+    assert sched.step() is True
+    assert fired == [1]
+    assert sched.now == 1.0

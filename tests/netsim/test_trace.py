@@ -237,3 +237,64 @@ class TestKindIndex:
         assert a.kind is b.kind  # interned to one object
         assert not hasattr(a, "__dict__")
         assert sys.getsizeof(a) < 100  # slots, not a dict-backed object
+
+
+# ----------------------------------------------------------------------
+# checkpoint support: position / truncate / fork
+# ----------------------------------------------------------------------
+
+class TestTruncateAndFork:
+    def _trace3(self):
+        trace = TraceRecorder(clock=lambda: 0.0)
+        for i in range(3):
+            trace.record("x.tick", t=float(i), n=i)
+        return trace
+
+    def test_position_counts_entries(self):
+        trace = self._trace3()
+        assert trace.position == 3
+
+    def test_truncate_drops_suffix_and_rebuilds_indexes(self):
+        trace = self._trace3()
+        assert trace.entries("x.tick")  # warm the index
+        assert trace.truncate(1) == 2
+        assert trace.position == 1
+        assert [e["n"] for e in trace.entries("x.tick")] == [0]
+
+    def test_truncate_noop_at_current_position(self):
+        trace = self._trace3()
+        assert trace.truncate(3) == 0
+        assert trace.position == 3
+
+    def test_truncate_out_of_range(self):
+        trace = self._trace3()
+        with pytest.raises(ValueError):
+            trace.truncate(4)
+        with pytest.raises(ValueError):
+            trace.truncate(-1)
+
+    def test_fork_shares_prefix_entries(self):
+        trace = self._trace3()
+        clone = trace.fork()
+        assert list(clone) == list(trace)
+        assert list(clone)[0] is list(trace)[0]  # shared, not copied
+
+    def test_fork_diverges_independently(self):
+        trace = self._trace3()
+        clone = trace.fork()
+        clone.bind_clock(lambda: 9.0)
+        clone.record("x.fork")
+        trace.record("x.cold", t=5.0)
+        assert [e.kind for e in clone][-1] == "x.fork"
+        assert [e.kind for e in trace][-1] == "x.cold"
+        assert len(clone) == len(trace) == 4
+
+    def test_fork_at_position(self):
+        trace = self._trace3()
+        clone = trace.fork(position=1)
+        assert len(clone) == 1
+
+    def test_fork_has_no_clock(self):
+        clone = self._trace3().fork()
+        with pytest.raises(RuntimeError):
+            clone.record("x.unclocked")

@@ -32,3 +32,30 @@ def test_artifact_replays_byte_identically(path):
         f"{path.name} no longer reproduces its recorded verdict:\n"
         + "\n".join(result.mismatches))
     assert artifact.code in result.observed_codes
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=[p.stem for p in CORPUS])
+def test_corpus_reshrinks_identically_through_checkpoints(path):
+    """Checkpointed ddmin must regenerate the committed corpus.
+
+    Each artifact's case is pushed back through :func:`shrink_case`
+    with checkpointed probes (the default); the already-minimal cases
+    must come out unchanged -- same clauses, same seed, same frozen
+    verdict -- proving the checkpoint layer cannot alter what the
+    shrinker commits.
+    """
+    from repro.oracle.shrink import artifact_name, make_artifact, shrink_case
+    artifact = ReproArtifact.load(path)
+    shrunk, stats = shrink_case(artifact.case, artifact.code,
+                                campaign_seed=artifact.campaign_seed,
+                                checkpoint=True)
+    assert [c.text for c in shrunk.script.clauses] \
+        == [c.text for c in artifact.case.script.clauses]
+    assert shrunk.case_seed == artifact.case.case_seed
+    assert stats.clauses_after == stats.clauses_before
+    refrozen = make_artifact(shrunk, artifact.code,
+                             campaign_seed=artifact.campaign_seed)
+    assert refrozen.codes == artifact.codes
+    assert refrozen.violation_count == artifact.violation_count
+    assert refrozen.fingerprints == artifact.fingerprints
+    assert artifact_name(refrozen) == path.name
