@@ -246,8 +246,8 @@ def cmd_lint(args) -> int:
 
     Accepts files and directories (directories are walked for ``.tcl``
     and ``.tclish`` files).  ``--gen tcp,gmp`` additionally lints the
-    auto-generated batteries.  Exit status 1 when any script carries an
-    error-level diagnostic.
+    auto-generated batteries.  Exit status: 2 for unreadable inputs or
+    syntax errors (SL000), 1 for error-level findings, 0 when clean.
     """
     import json
     import os
@@ -301,9 +301,13 @@ def cmd_lint(args) -> int:
               "or --gen)", file=sys.stderr)
         return 2
 
-    if args.json:
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
         print(json.dumps([json.loads(render_json(r)) for r in reports],
                          indent=2, sort_keys=True))
+    elif fmt == "sarif":
+        from repro.staticcheck import render_sarif
+        print(render_sarif(reports, tool_name="repro-scriptlint"))
     else:
         for report in reports:
             print(render_text(report))
@@ -311,7 +315,41 @@ def cmd_lint(args) -> int:
         warnings = sum(len(r.warnings()) for r in reports)
         print(f"checked {len(reports)} script source(s): "
               f"{errors} error(s), {warnings} warning(s)")
+    if any(d.code == "SL000" for r in reports for d in r):
+        return 2
     return 1 if any(not r.ok() for r in reports) else 0
+
+
+def cmd_check(args) -> int:
+    """Run the three-pass static correctness suite (repro.staticcheck).
+
+    With no paths, checks the standard repo layout: scriptlint over
+    ``examples/filters`` and the regression corpus' embedded scripts,
+    the determinism pass over the simulation Python, and the
+    trace-schema drift pass over ``src/repro``.  Explicit paths replace
+    the scriptlint/determinism targets (classified by suffix); the
+    drift pass stays whole-program unless ``--no-drift``.  Exit status:
+    2 for parse/internal errors, 1 for findings (warning or error), 0
+    when clean.
+    """
+    from repro.staticcheck import render_sarif, run_suite
+
+    overrides = {}
+    if args.paths:
+        overrides["tcl_paths"] = list(args.paths)
+        overrides["py_paths"] = [p for p in args.paths
+                                 if not p.endswith((".tcl", ".tclish",
+                                                    ".json"))]
+        overrides["corpus_paths"] = [p for p in args.paths
+                                     if p.endswith(".json")]
+    result = run_suite(drift_enabled=not args.no_drift, **overrides)
+    if args.format == "sarif":
+        print(render_sarif(result.reports))
+    elif args.format == "json":
+        print(result.to_json())
+    else:
+        print(result.render_text(verbose=args.verbose))
+    return result.exit_code()
 
 
 def _load_trace_file(path: str):
@@ -489,13 +527,33 @@ def build_parser() -> argparse.ArgumentParser:
                       help="script files or directories to walk for "
                            ".tcl/.tclish files")
     lint.add_argument("--json", action="store_true",
-                      help="machine-readable output")
+                      help="machine-readable output (alias for "
+                           "--format json)")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text",
+                      help="output format (sarif for CI annotation)")
     lint.add_argument("--init", default="",
                       help="init script evaluated before each body "
                            "(e.g. 'set n 0')")
     lint.add_argument("--gen", default="",
                       help="also lint the auto-generated batteries "
                            "(comma list of tcp,gmp)")
+    check = sub.add_parser(
+        "check", help="run the three-pass static correctness suite "
+                      "(scriptlint dataflow, determinism, trace-schema "
+                      "drift; see docs/staticcheck.md)")
+    check.add_argument("paths", nargs="*",
+                       help="files or directories to check (default: "
+                            "the standard repo layout)")
+    check.add_argument("--format", choices=("text", "json", "sarif"),
+                       default="text",
+                       help="output format (sarif for CI annotation)")
+    check.add_argument("--no-drift", action="store_true",
+                       help="skip the whole-program trace-schema "
+                            "drift pass")
+    check.add_argument("-v", "--verbose", action="store_true",
+                       help="also print info-level diagnostics "
+                            "(e.g. SC202 oracle-coverage gaps)")
     sequence = sub.add_parser(
         "sequence", help="render a message-sequence ladder for a "
                          "standard TCP or GMP run")
@@ -592,6 +650,8 @@ def main(argv=None) -> int:
         cmd_campaign(args)
     elif args.command == "lint":
         return cmd_lint(args)
+    elif args.command == "check":
+        return cmd_check(args)
     elif args.command == "run-script":
         cmd_run_script(args)
     elif args.command == "sequence":

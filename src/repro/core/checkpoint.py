@@ -152,9 +152,21 @@ class Checkpoint:
 
         The scheduler heap is compacted first so cancelled tombstones
         are not copied into every fork, and (unless ``audit=False``)
-        every pending callback is vetted by :func:`audit_scheduler`.
+        every pending callback is vetted twice: first by the *static*
+        audit (:func:`repro.staticcheck.audit_pending`), which pins
+        each finding to the offending function's source line, then by
+        the runtime :func:`audit_scheduler` for anything the static
+        pass cannot see.
         """
         if audit:
+            from repro.staticcheck import audit_pending
+            static = audit_pending(env.scheduler,
+                                   atomic=_ATOMIC_DEFAULTS)
+            if static:
+                raise CheckpointError(
+                    "world is not checkpoint-safe (static audit):\n  "
+                    + "\n  ".join(diag.format(path)
+                                  for path, diag in static))
             issues = audit_scheduler(env.scheduler)
             if issues:
                 raise CheckpointError(

@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional
 from repro.core.stubs import PacketStubs, StubError
 from repro.netsim.trace import TraceRecorder
 from repro.xkernel.message import Message
+from repro.netsim import kinds as K
 
 _COMMON_FIELDS = ("seq", "ack", "flags", "window", "kind", "sender",
                   "originator", "group_id")
@@ -58,7 +59,7 @@ class MessageLog:
             attrs = {(f"payload_{k}" if k in _RESERVED else k): v
                      for k, v in fields.items()}
             self._trace.record(
-                "pfi.log", t=t, node=self._node, direction=direction,
+                K.PFI_LOG, t=t, node=self._node, direction=direction,
                 msg_type=msg_type, note=note, uid=msg.uid, **attrs)
         return line
 

@@ -249,8 +249,8 @@ class CampaignScriptError(ValueError):
         self.reports = list(reports)
         text = "\n".join(render_text(report) for report in self.reports)
         super().__init__(
-            f"campaign refused to start: {len(self.reports)} config "
-            f"script(s) failed lint\n{text}")
+            f"campaign refused to start: {len(self.reports)} "
+            f"source(s) failed the static check\n{text}")
 
 
 def _config_scripts(config: Dict[str, Any], index: int
@@ -376,6 +376,23 @@ class Campaign:
                     failing.append(report)
         return failing
 
+    def precheck_body(self):
+        """Statically vet the campaign body for determinism hazards.
+
+        Runs the SC1xx pass (:func:`repro.staticcheck.precheck_body`)
+        over the functions reachable from the body in its own module --
+        closures scheduled as callbacks, wall-clock time, unseeded
+        randomness -- and returns the failing
+        :class:`~repro.core.tclish.lint.LintReport` objects (empty when
+        clean, and for bodies whose source cannot be retrieved).
+        ``run`` calls this alongside :meth:`validate_scripts` so a
+        body that would poison determinism or checkpoint capture is
+        refused before any worker starts.
+        """
+        from repro.staticcheck import precheck_body
+        report = precheck_body(self._body)
+        return [] if report.ok() else [report]
+
     def _resolve_workers(self, workers: Union[int, str], jobs: int) -> int:
         if workers == "auto":
             cpus = os.cpu_count() or 1
@@ -428,7 +445,8 @@ class Campaign:
         """
         config_list = [dict(config) for config in configs]
         if self._lint != "off":
-            failing = self.validate_scripts(config_list)
+            failing = self.precheck_body()
+            failing += self.validate_scripts(config_list)
             if failing:
                 raise CampaignScriptError(failing)
 

@@ -41,6 +41,7 @@ from repro.netsim.trace import TraceRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.xkernel.message import Message
 from repro.xkernel.protocol import Protocol
+from repro.netsim import kinds as K
 
 #: the layer's action counters, in presentation order; each becomes a
 #: ``pfi_<name>`` counter labelled with the node name
@@ -136,7 +137,7 @@ class PFILayer(Protocol):
     def _process(self, msg: Message, direction: str) -> None:
         if self._killed:
             self._counters["dropped"].inc()
-            self._record("pfi.killed_drop", direction=direction, uid=msg.uid)
+            self._record(K.PFI_KILLED_DROP, direction=direction, uid=msg.uid)
             return
         self._seen_counters[direction].inc()
         script = self.send_filter if direction == "send" else self.receive_filter
@@ -174,19 +175,19 @@ class PFILayer(Protocol):
         direction = ctx.direction
         if ctx.verdict == DROP:
             self._counters["dropped"].inc()
-            self._record("pfi.drop", direction=direction, uid=ctx.msg.uid,
+            self._record(K.PFI_DROP, direction=direction, uid=ctx.msg.uid,
                          msg_type=ctx.msg_type())
             return
         if ctx.verdict == HOLD:
             self._counters["held"].inc()
             self._held.setdefault((direction, ctx.hold_tag), []).append(ctx.msg)
-            self._record("pfi.hold", direction=direction, uid=ctx.msg.uid,
+            self._record(K.PFI_HOLD, direction=direction, uid=ctx.msg.uid,
                          tag=ctx.hold_tag)
             return
 
         if ctx.delay_s > 0:
             self._counters["delayed"].inc()
-            self._record("pfi.delay", direction=direction, uid=ctx.msg.uid,
+            self._record(K.PFI_DELAY, direction=direction, uid=ctx.msg.uid,
                          seconds=ctx.delay_s, msg_type=ctx.msg_type())
             self.scheduler.schedule(ctx.delay_s, self._forward, ctx.msg, direction)
         else:
@@ -195,7 +196,7 @@ class PFILayer(Protocol):
         for extra_delay in ctx.duplicate_delays:
             self._counters["duplicated"].inc()
             copy = ctx.msg.copy()
-            self._record("pfi.duplicate", direction=direction, uid=copy.uid,
+            self._record(K.PFI_DUPLICATE, direction=direction, uid=copy.uid,
                          original=ctx.msg.uid)
             if extra_delay > 0:
                 self.scheduler.schedule(extra_delay, self._forward, copy, direction)
@@ -229,10 +230,10 @@ class PFILayer(Protocol):
         self._counters["injected"].inc()
         msg.meta["injected"] = True
         if parent is None:
-            self._record("pfi.inject", direction=direction, uid=msg.uid,
+            self._record(K.PFI_INJECT, direction=direction, uid=msg.uid,
                          msg_type=self.stubs.msg_type(msg))
         else:
-            self._record("pfi.inject", direction=direction, uid=msg.uid,
+            self._record(K.PFI_INJECT, direction=direction, uid=msg.uid,
                          msg_type=self.stubs.msg_type(msg), parent=parent)
         if delay > 0:
             self.scheduler.schedule(delay, self._forward, msg, direction)
@@ -243,7 +244,7 @@ class PFILayer(Protocol):
         queue = self._held.pop((direction, tag), [])
         for position, msg in enumerate(queue):
             self._counters["released"].inc()
-            self._record("pfi.release", direction=direction, uid=msg.uid,
+            self._record(K.PFI_RELEASE, direction=direction, uid=msg.uid,
                          tag=tag, position=position)
             if delay > 0:
                 self.scheduler.schedule(delay, self._forward, msg, direction)

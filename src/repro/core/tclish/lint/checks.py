@@ -15,6 +15,10 @@ SL005     message action after an unconditional xDrop in the block
 SL006     constant out of range (chance, dst_exponential, dst_uniform)
 SL007     negative constant passed to xDelay/xDuplicate
 SL008     xHold tag never released / xRelease tag never held
+SL011     variable written but never read anywhere (dead store)
+SL012     if/while condition folds to a constant
+SL013     clause unreachable because an earlier condition is
+          constantly true
 ========  ==========================================================
 
 Dataflow is deliberately conservative: a variable assigned on *some*
@@ -23,6 +27,14 @@ that fail on every possible first execution are errors.  Reads inside
 ``catch`` bodies and proc bodies are downgraded to warnings (caught
 errors are often intentional; procs can fall back to interpreter
 globals).
+
+The def-use pass behind SL011 is whole-script: filter interpreters keep
+state across invocations, so a ``set`` in one message event may be read
+by the next -- but that read still appears somewhere in the script text,
+which is why "no read anywhere in init+body" is a sound dead-store
+condition.  Anything that makes variable names dynamic (``set $name``,
+``eval`` of a computed string) disables the check for the whole script
+rather than guessing.
 """
 
 from __future__ import annotations
@@ -31,6 +43,7 @@ import difflib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.tclish import expr as expr_mod
 from repro.core.tclish.errors import TclError
 from repro.core.tclish.lint import diagnostics as diag
 from repro.core.tclish.lint.diagnostics import Diagnostic
@@ -100,6 +113,11 @@ class Analyzer:
         self._holds: Dict[str, Tuple[int, int, str]] = {}
         self._releases: Dict[str, Tuple[int, int, str]] = {}
         self._dynamic_tags = False
+        # def-use chains for SL011: first literal `set` per name, every
+        # name read anywhere (init, body, nested scripts, conditions)
+        self._writes: Dict[str, Tuple[int, int, str]] = {}
+        self._reads_seen: Set[str] = set(predefined)
+        self._dynamic_vars = False
         # peer/sync key usage for pair analysis
         self.summary = ScriptSummary(diagnostics=self.out)
 
@@ -125,6 +143,7 @@ class Analyzer:
             self._collect_procs(commands)
             self._walk_block(commands, state)
         self._check_hold_release()
+        self._check_dead_stores()
         return self.summary
 
     # ------------------------------------------------------------------
@@ -237,6 +256,7 @@ class Analyzer:
     def _check_reads(self, reads: List[Tuple[str, int]],
                      state: _Scope) -> None:
         for name, offset in reads:
+            self._reads_seen.add(name)
             if state.readable(name):
                 continue
             severity = diag.WARNING if (state.caught or state.in_proc) \
@@ -276,8 +296,31 @@ class Analyzer:
         tokens = text.split()
         for i, token in enumerate(tokens):
             if token.endswith("exists") and i + 1 < len(tokens):
-                guards.add(tokens[i + 1].rstrip("]}"))
+                guard = tokens[i + 1].rstrip("]}")
+                guards.add(guard)
+                self._reads_seen.add(guard)
         return guards
+
+    def _fold_condition(self, word: WordNode) -> Optional[bool]:
+        """The condition's constant truth value, or None when dynamic.
+
+        Only fully static text is folded: anything containing a ``$``
+        read or a ``[script]`` substitution depends on runtime state.
+        Folding uses the same :mod:`~repro.core.tclish.expr` engine the
+        interpreter evaluates conditions with, so lint and runtime can
+        never disagree about what a constant condition does.
+        """
+        body = word.braced_body()
+        text = body[0] if body is not None else word.literal
+        if text is None:
+            return None
+        text = text.strip()
+        if not text or "$" in text or "[" in text:
+            return None
+        try:
+            return expr_mod.truth(expr_mod.evaluate(text))
+        except (TclError, ValueError):
+            return None
 
     def _walk_body_word(self, word: Optional[WordNode],
                         state: _Scope) -> Optional[_Scope]:
@@ -333,6 +376,31 @@ class Analyzer:
                     "hold and release queues are per-filter: only this "
                     "script's xHold can fill it", script=script_tag))
 
+    def _note_write(self, name: str, offset: int, state: _Scope) -> None:
+        """Record a literal ``set`` for the SL011 def-use pass.
+
+        Writes inside proc bodies are exempt: tclish procs share the
+        filter interpreter's variable table, so a proc-local write may
+        be read by the main script of a later invocation.
+        """
+        if state.in_proc:
+            self._reads_seen.add(name)
+            return
+        line, col = self._position(offset)
+        self._writes.setdefault(name, (line, col, self._script_tag))
+
+    def _check_dead_stores(self) -> None:
+        if self._dynamic_vars:
+            return
+        for name, (line, col, script_tag) in sorted(self._writes.items()):
+            if name in self._reads_seen:
+                continue
+            self.out.append(diag.make(
+                "SL011", line, col,
+                f'"{name}" is written but never read',
+                "remove the assignment, or read the variable where the "
+                "value was meant to be used", script=script_tag))
+
 
 # ----------------------------------------------------------------------
 # per-command handlers
@@ -343,20 +411,34 @@ def _handle_set(an: Analyzer, command: CommandNode, state: _Scope) -> None:
         name = command.args[0].literal
         if name:
             state.assigned.add(name)
+            an._note_write(name, command.args[0].offset, state)
+        else:
+            an._dynamic_vars = True
     elif len(command.args) == 1:
         name = command.args[0].literal
         if name:
             an._check_reads([(name, command.args[0].offset)], state)
+        else:
+            an._dynamic_vars = True
 
 
 def _handle_define(an: Analyzer, command: CommandNode,
                    state: _Scope) -> None:
-    """incr/append/lappend/global define their variable (unset is legal)."""
+    """incr/append/lappend/global define their variable (unset is legal).
+
+    All four observe the variable's prior value (or, for ``global``,
+    share it with the harness), so they count as reads for SL011: an
+    accumulator that is only ever ``incr``-ed is not a dead store of
+    itself, only a plain ``set`` whose value nothing consumes is.
+    """
     for word in command.args[:1] if command.name != "global" \
             else command.args:
         name = word.literal
         if name:
             state.assigned.add(name)
+            an._reads_seen.add(name)
+        else:
+            an._dynamic_vars = True
 
 
 def _handle_unset(an: Analyzer, command: CommandNode, state: _Scope) -> None:
@@ -365,15 +447,46 @@ def _handle_unset(an: Analyzer, command: CommandNode, state: _Scope) -> None:
         if name:
             state.assigned.discard(name)
             state.maybe.discard(name)
+            an._reads_seen.add(name)
+        else:
+            an._dynamic_vars = True
+
+
+def _condition_text(word: WordNode) -> str:
+    body = word.braced_body()
+    text = body[0] if body is not None else (word.literal or word.raw)
+    return " ".join(text.split())
 
 
 def _handle_if(an: Analyzer, command: CommandNode, state: _Scope) -> None:
     args = command.args
     branches: List[_Scope] = []
     has_else = False
+    #: a prior clause's condition folded to constant true: everything
+    #: after it can never run (SL013, reported once)
+    shadowed_by: Optional[WordNode] = None
     i = 0
     while i < len(args):
-        guards = an._scan_condition(args[i], state)
+        condition = args[i]
+        guards = an._scan_condition(condition, state)
+        folded = an._fold_condition(condition)
+        if shadowed_by is not None:
+            an._report(
+                "SL013", condition.offset,
+                f'unreachable clause: the condition '
+                f'"{_condition_text(shadowed_by)}" above is constantly '
+                f"true", "every earlier clause must be able to fail for "
+                "this one to run")
+            shadowed_by = None  # one report per if is enough
+        elif folded is not None:
+            an._report(
+                "SL012", condition.offset,
+                f'condition "{_condition_text(condition)}" is constantly '
+                f'{"true" if folded else "false"}',
+                "a constant condition makes one branch dead; drop the "
+                "test or make it depend on runtime state")
+            if folded:
+                shadowed_by = condition
         body_index = i + 1
         if body_index < len(args) and args[body_index].literal == "then":
             body_index += 1
@@ -398,6 +511,14 @@ def _handle_if(an: Analyzer, command: CommandNode, state: _Scope) -> None:
                            "usage: if cond body ... else body")
                 return
             has_else = True
+            if shadowed_by is not None:
+                an._report(
+                    "SL013", args[i].offset,
+                    f'unreachable "else": the condition '
+                    f'"{_condition_text(shadowed_by)}" above is '
+                    f"constantly true",
+                    "every earlier clause must be able to fail for this "
+                    "one to run")
             branch = an._walk_body_word(args[i + 1], state.branch())
             if branch is not None:
                 branches.append(branch)
@@ -409,6 +530,15 @@ def _handle_while(an: Analyzer, command: CommandNode, state: _Scope) -> None:
     if len(command.args) != 2:
         return
     an._scan_condition(command.args[0], state)
+    # `while {1} {... break}` is a legal loop idiom, so only the
+    # never-runs direction is a finding here
+    if an._fold_condition(command.args[0]) is False:
+        an._report(
+            "SL012", command.args[0].offset,
+            f'condition "{_condition_text(command.args[0])}" is '
+            f"constantly false: the loop body never runs",
+            "a constant condition makes one branch dead; drop the test "
+            "or make it depend on runtime state")
     branch = an._walk_body_word(command.args[1], state)
     an._merge_branches(state, [branch], all_paths_covered=False)
 
@@ -437,6 +567,9 @@ def _handle_foreach(an: Analyzer, command: CommandNode,
     branch_entry = state.branch()
     if var:
         branch_entry.assigned.add(var)
+        # iterating purely for side effects is legitimate, so the loop
+        # variable never counts as a dead store
+        an._reads_seen.add(var)
     branch = an._walk_body_word(command.args[2], branch_entry)
     an._merge_branches(state, [branch], all_paths_covered=False)
     if var:
@@ -473,12 +606,25 @@ def _handle_catch(an: Analyzer, command: CommandNode, state: _Scope) -> None:
         name = command.args[1].literal
         if name:
             state.assigned.add(name)
+            # the capture variable is routinely ignored on purpose
+            an._reads_seen.add(name)
 
 
 def _handle_eval(an: Analyzer, command: CommandNode, state: _Scope) -> None:
     parts = [w.literal for w in command.args]
     if all(p is not None for p in parts):
         an._walk_nested(" ".join(parts), command.args[0].offset, state)
+    else:
+        # a computed script can read or write any variable: disable the
+        # whole-script def-use verdicts rather than guess
+        an._dynamic_vars = True
+
+
+def _handle_info(an: Analyzer, command: CommandNode, state: _Scope) -> None:
+    if len(command.args) >= 2 and command.args[0].literal == "exists":
+        name = command.args[1].literal
+        if name:
+            an._reads_seen.add(name)
 
 
 def _handle_expr(an: Analyzer, command: CommandNode, state: _Scope) -> None:
@@ -642,6 +788,7 @@ _SPECIAL = {
     "proc": _handle_proc,
     "catch": _handle_catch,
     "eval": _handle_eval,
+    "info": _handle_info,
     "expr": _handle_expr,
     "switch": _handle_switch,
     "chance": _handle_chance,

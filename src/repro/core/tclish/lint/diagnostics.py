@@ -9,6 +9,7 @@ default severity of each code lives in :data:`CODES` so callers can ask
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional
 
@@ -20,6 +21,12 @@ ERROR = "error"
 _SEVERITY_RANK = {INFO: 0, WARNING: 1, ERROR: 2}
 
 #: code -> (default severity, short title)
+#:
+#: SL0xx are scriptlint (tclish) codes; SC1xx are the Python
+#: determinism/checkpoint-safety pass and SC2xx the trace-schema drift
+#: pass of :mod:`repro.staticcheck`.  All three passes share this table
+#: (and :class:`Diagnostic`) so reports, SARIF export and the docs code
+#: tables have one source of truth.
 CODES: Dict[str, tuple] = {
     "SL000": (ERROR, "syntax error"),
     "SL001": (ERROR, "unknown command"),
@@ -32,6 +39,19 @@ CODES: Dict[str, tuple] = {
     "SL008": (WARNING, "unbalanced xHold/xRelease tag"),
     "SL009": (WARNING, "peer_set/peer_get key mismatch"),
     "SL010": (WARNING, "sync_set/sync_get key mismatch"),
+    "SL011": (WARNING, "variable written but never read"),
+    "SL012": (WARNING, "condition is constant"),
+    "SL013": (WARNING, "clause is unreachable"),
+    "SC101": (ERROR, "closure or lambda scheduled as a callback"),
+    "SC102": (ERROR, "world state smuggled through a default argument"),
+    "SC103": (ERROR, "wall-clock time in simulation code"),
+    "SC104": (ERROR, "unseeded module-level random"),
+    "SC105": (WARNING, "unordered set iteration feeds trace records"),
+    "SC106": (WARNING, "id() in a hash or fingerprint"),
+    "SC201": (ERROR, "subscription to a never-emitted trace kind"),
+    "SC202": (INFO, "emitted trace kind has no oracle coverage"),
+    "SC203": (ERROR, "registry kind no emit site produces"),
+    "SC204": (ERROR, "emitted kind missing from the registry"),
 }
 
 
@@ -64,12 +84,26 @@ class Diagnostic:
         entry: Dict[str, object] = {
             "code": self.code, "severity": self.severity,
             "line": self.line, "col": self.col, "message": self.message,
+            "fingerprint": self.fingerprint(),
         }
         if self.hint:
             entry["hint"] = self.hint
         if self.script:
             entry["script"] = self.script
         return entry
+
+    def fingerprint(self, source_name: str = "") -> str:
+        """Stable identity of this finding across runs and processes.
+
+        Hashes the code, script tag, message and position (plus the
+        source name when the caller scopes by file), so CI can track a
+        finding across re-runs -- this is what lands in SARIF
+        ``partialFingerprints``.  Hints are excluded: wording tweaks to
+        advice must not change a finding's identity.
+        """
+        basis = "\x1f".join((source_name, self.script, self.code,
+                             str(self.line), str(self.col), self.message))
+        return hashlib.sha256(basis.encode()).hexdigest()[:16]
 
 
 @dataclass

@@ -54,6 +54,27 @@ def drop_after_second_change():
     return receive_filter
 
 
+class _TransitionSampler:
+    """Record a daemon's armed timers the first time it sits IN_TRANSITION.
+
+    A callable class rather than a nested closure: scheduled callbacks
+    must survive a world deepcopy (see ``repro.core.checkpoint``), and
+    the determinism pass of ``repro.staticcheck`` rejects closures on
+    the scheduler heap for the same reason.
+    """
+
+    def __init__(self, daemon, snapshot: List[str]):
+        self._daemon = daemon
+        self._snapshot = snapshot
+
+    def __call__(self) -> None:
+        if self._daemon.status == "IN_TRANSITION" and not self._snapshot:
+            self._snapshot.extend(
+                f"{kind}/{key}"
+                for kind in self._daemon.timers.armed_kinds()
+                for key in self._daemon.timers.armed_keys(kind))
+
+
 def execute_timer_test(*, bugs_on: bool, seed: int = 0):
     """Drive Table 8; returns ``(cluster, start, armed_snapshot)``."""
     flags = {COMPSUN1: BugFlags(inverted_timer_unregister=True)
@@ -74,16 +95,9 @@ def execute_timer_test(*, bugs_on: bool, seed: int = 0):
 
     # sample compsun1's armed timers the moment it sits IN_TRANSITION
     armed_snapshot: List[str] = []
-
-    def sample_if_in_transition() -> None:
-        if compsun1.status == "IN_TRANSITION" and not armed_snapshot:
-            armed_snapshot.extend(
-                f"{kind}/{key}"
-                for kind in compsun1.timers.armed_kinds()
-                for key in compsun1.timers.armed_keys(kind))
-
+    sampler = _TransitionSampler(compsun1, armed_snapshot)
     for tick in range(1, 40):
-        cluster.scheduler.schedule(tick * 0.1, sample_if_in_transition)
+        cluster.scheduler.schedule(tick * 0.1, sampler)
     cluster.run_until(start + 10.0)
     return cluster, start, armed_snapshot
 

@@ -43,6 +43,7 @@ from repro.netsim.scheduler import Scheduler
 from repro.netsim.trace import TraceRecorder
 from repro.xkernel.message import Message
 from repro.xkernel.protocol import Protocol
+from repro.netsim import kinds as K
 
 STABLE = "STABLE"
 COLLECTING = "COLLECTING"       # leader running phase one
@@ -161,7 +162,7 @@ class Daemon(Protocol):
         leader so the membership change starts immediately rather than
         after a heartbeat timeout, then stops participating.
         """
-        self._record("gmp.leave")
+        self._record(K.GMP_LEAVE)
         others = self._alive_others()
         if others:
             self._send(m.DEAD_REPORT, min(others), subject=self.address)
@@ -171,7 +172,7 @@ class Daemon(Protocol):
     def suspend(self) -> None:
         """Emulate SIGTSTP: no progress, timers defer until resume."""
         self._suspended = True
-        self._record("gmp.suspended")
+        self._record(K.GMP_SUSPENDED)
 
     def resume(self) -> None:
         """Emulate fg: deferred timer expirations fire immediately.
@@ -182,7 +183,7 @@ class Daemon(Protocol):
         were what it acted on when the process woke up.
         """
         self._suspended = False
-        self._record("gmp.resumed")
+        self._record(K.GMP_RESUMED)
         deferred, self._deferred = self._deferred, []
         deferred.sort(key=lambda entry: entry[0])
         for _priority, callback in deferred:
@@ -234,7 +235,7 @@ class Daemon(Protocol):
         msg.meta["src"] = self.address
         msg.meta["reliable"] = reliable and kind != m.HEARTBEAT
         self.sent_counts[kind] = self.sent_counts.get(kind, 0) + 1
-        self._record("gmp.send", msg_kind=kind, dst=dst,
+        self._record(K.GMP_SEND, msg_kind=kind, dst=dst,
                      originator=gmsg.originator, subject=subject,
                      group_id=group_id)
         self.send_down(msg)
@@ -327,12 +328,12 @@ class Daemon(Protocol):
         self._arm_proclaim()
 
     def _on_expect_expired(self, member: int) -> None:
-        self._record("gmp.heartbeat_timeout", member=member,
+        self._record(K.GMP_HEARTBEAT_TIMEOUT, member=member,
                      status=self.status)
         if self.status == IN_TRANSITION:
             # a timer that should have been unset fired: the Experiment 4
             # signature of the inverted-unregister bug
-            self._record("gmp.spurious_timeout", member=member)
+            self._record(K.GMP_SPURIOUS_TIMEOUT, member=member)
             return
         if member == self.address:
             self._on_self_death()
@@ -356,7 +357,7 @@ class Daemon(Protocol):
             # the crown prince (or further down the line of succession)
             # taking over after the leader's heartbeats stopped
             if not self.is_leader:
-                self._record("gmp.takeover", old_leader=self.view.leader)
+                self._record(K.GMP_TAKEOVER, old_leader=self.view.leader)
             self._initiate_change(self.view.without(*self.suspected))
         else:
             self._send(m.DEAD_REPORT, acting, subject=member)
@@ -366,7 +367,7 @@ class Daemon(Protocol):
         if self.bugs.self_death:
             # the historical behaviour: tell everyone we died, mark
             # ourselves down, but stay in the group with stale state
-            self._record("gmp.self_death_bug")
+            self._record(K.GMP_SELF_DEATH_BUG)
             self.marked_self_down = True
             for member in self.view.members:
                 if member != self.address:
@@ -375,7 +376,7 @@ class Daemon(Protocol):
             return
         # fixed behaviour: we lost ourselves, so our timers/network are
         # unreliable; fall back to a singleton group and rejoin
-        self._record("gmp.self_restart")
+        self._record(K.GMP_SELF_RESTART)
         self.marked_self_down = False
         self._become_singleton()
 
@@ -395,7 +396,7 @@ class Daemon(Protocol):
         self._pending = {"gid": gid, "proposed": set(proposed),
                          "acks": {self.address}}
         self.status = COLLECTING
-        self._record("gmp.mc_sent", group_id=gid, members=proposed)
+        self._record(K.GMP_MC_SENT, group_id=gid, members=proposed)
         for member in proposed:
             if member != self.address:
                 self._send(m.MEMBERSHIP_CHANGE, member, group_id=gid,
@@ -422,7 +423,7 @@ class Daemon(Protocol):
 
     def _on_ack_collect_timeout(self, gid: int) -> None:
         if self._pending is not None and self._pending["gid"] == gid:
-            self._record("gmp.ack_collect_timeout", group_id=gid,
+            self._record(K.GMP_ACK_COLLECT_TIMEOUT, group_id=gid,
                          missing=sorted(self._pending["proposed"]
                                         - self._pending["acks"]))
             self._commit_change()
@@ -435,7 +436,7 @@ class Daemon(Protocol):
         self.timers.unregister("ack_collect", pending["gid"])
         final = tuple(sorted(pending["acks"] & pending["proposed"]
                              | {self.address}))
-        self._record("gmp.commit_sent", group_id=pending["gid"],
+        self._record(K.GMP_COMMIT_SENT, group_id=pending["gid"],
                      members=final)
         for member in final:
             if member != self.address:
@@ -457,19 +458,19 @@ class Daemon(Protocol):
         valid_leader = (msg.sender == min(msg.members)
                         and self.address in msg.members)
         if not valid_leader:
-            self._record("gmp.mc_rejected", sender=msg.sender,
+            self._record(K.GMP_MC_REJECTED, sender=msg.sender,
                          group_id=msg.group_id)
             return
         if msg.group_id <= self.view.group_id:
             # stale proposal: refuse explicitly so the leader need not
             # burn its whole ACK-collection timeout on us
-            self._record("gmp.nack_sent", to=msg.sender,
+            self._record(K.GMP_NACK_SENT, to=msg.sender,
                          group_id=msg.group_id, reason="stale_gid")
             self._send(m.NACK, msg.sender, group_id=msg.group_id)
             return
         if (self._transition_gid is not None
                 and msg.group_id <= self._transition_gid):
-            self._record("gmp.nack_sent", to=msg.sender,
+            self._record(K.GMP_NACK_SENT, to=msg.sender,
                          group_id=msg.group_id, reason="in_transition")
             self._send(m.NACK, msg.sender, group_id=msg.group_id)
             return
@@ -478,7 +479,7 @@ class Daemon(Protocol):
         self.status = IN_TRANSITION
         self._transition_gid = msg.group_id
         self._transition_leader = msg.sender
-        self._record("gmp.in_transition", group_id=msg.group_id,
+        self._record(K.GMP_IN_TRANSITION, group_id=msg.group_id,
                      leader=msg.sender, repeat=was_in_transition)
         self._unset_timers_for_transition()
         self._send(m.ACK, msg.sender, group_id=msg.group_id)
@@ -498,7 +499,7 @@ class Daemon(Protocol):
     def _on_mc_timeout(self, gid: int) -> None:
         if self.status != IN_TRANSITION or gid != self._transition_gid:
             return
-        self._record("gmp.mc_timeout", group_id=gid)
+        self._record(K.GMP_MC_TIMEOUT, group_id=gid)
         self._become_singleton()
 
     # ------------------------------------------------------------------
@@ -511,7 +512,7 @@ class Daemon(Protocol):
             return  # our own proclaim came back around
         if self.marked_self_down and self.bugs.proclaim_forward_param:
             # the wrong-parameter bug: the forward call fails silently
-            self._record("gmp.forward_param_bug", originator=msg.originator)
+            self._record(K.GMP_FORWARD_PARAM_BUG, originator=msg.originator)
             return
         if not self.is_leader:
             if msg.originator < self.view.leader:
@@ -520,7 +521,7 @@ class Daemon(Protocol):
                 # Table 6 path where, after the old leader's proclaim
                 # reached a group led by the crown prince, "each machine
                 # responded to the original leader with a JOIN message".
-                self._record("gmp.defect", to=msg.originator,
+                self._record(K.GMP_DEFECT, to=msg.originator,
                              old_leader=self.view.leader)
                 self._send(m.JOIN, msg.originator,
                            members=(self.address,),
@@ -531,7 +532,7 @@ class Daemon(Protocol):
             # under the forwarder's own identity, losing the originator --
             # the root cause of both halves of the Table 7 bug.
             forwarded_originator = self.address if buggy else msg.originator
-            self._record("gmp.proclaim_forwarded", originator=msg.originator,
+            self._record(K.GMP_PROCLAIM_FORWARDED, originator=msg.originator,
                          forwarded_as=forwarded_originator,
                          to=self.view.leader)
             self._send(m.PROCLAIM, self.view.leader,
@@ -543,11 +544,11 @@ class Daemon(Protocol):
             return  # already one of us; nothing to answer
         reply_to = msg.sender if buggy else msg.originator
         if self.address < msg.originator:
-            self._record("gmp.proclaim_reply", to=reply_to,
+            self._record(K.GMP_PROCLAIM_REPLY, to=reply_to,
                          originator=msg.originator, reply_kind=m.PROCLAIM)
             self._send(m.PROCLAIM, reply_to)
         else:
-            self._record("gmp.proclaim_reply", to=reply_to,
+            self._record(K.GMP_PROCLAIM_REPLY, to=reply_to,
                          originator=msg.originator, reply_kind=m.JOIN)
             self._send(m.JOIN, reply_to, members=self.view.members,
                        group_id=self.view.group_id)
@@ -570,7 +571,7 @@ class Daemon(Protocol):
         acting = self._acting_leader()
         if acting == self.address:
             if not self.is_leader:
-                self._record("gmp.takeover", old_leader=self.view.leader)
+                self._record(K.GMP_TAKEOVER, old_leader=self.view.leader)
             self._initiate_change(self.view.without(*self.suspected))
 
     # ------------------------------------------------------------------
@@ -591,14 +592,14 @@ class Daemon(Protocol):
         self._ever_members.update(mm for mm in view.members
                                   if mm != self.address)
         if announce:
-            self._record("gmp.view_adopted", group_id=view.group_id,
+            self._record(K.GMP_VIEW_ADOPTED, group_id=view.group_id,
                          members=view.members, leader=view.leader)
         self._arm_heartbeat_send()
         self._arm_all_expects()
         self._arm_proclaim()
 
     def _become_singleton(self) -> None:
-        self._record("gmp.singleton")
+        self._record(K.GMP_SINGLETON)
         self._unset_timers_for_transition()
         self.timers.unregister("mc_timeout")
         self._pending = None
@@ -615,7 +616,7 @@ class Daemon(Protocol):
             return
         if self._suspended or not self._started:
             return  # a stopped process reads nothing
-        self._record("gmp.receive", msg_kind=gmsg.kind, src=gmsg.sender,
+        self._record(K.GMP_RECEIVE, msg_kind=gmsg.kind, src=gmsg.sender,
                      originator=gmsg.originator, group_id=gmsg.group_id)
         self._note_gid(gmsg.group_id)
         if gmsg.sender != self.address:

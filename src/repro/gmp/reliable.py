@@ -29,6 +29,7 @@ from repro.netsim.timer import Timer
 from repro.netsim.trace import TraceRecorder
 from repro.xkernel.message import Message
 from repro.xkernel.protocol import Protocol
+from repro.netsim import kinds as K
 
 
 @dataclass
@@ -100,11 +101,11 @@ class ReliableChannel(Protocol):
         if pending.retries >= self.max_retries:
             del self._pending[key]
             self.abandoned_count += 1
-            self._record("rel.abandon", dst=pending.dst, seq=pending.seq)
+            self._record(K.REL_ABANDON, dst=pending.dst, seq=pending.seq)
             return
         pending.retries += 1
         wire = self._wire_copy(pending.msg)
-        self._record("rel.retransmit", dst=pending.dst, seq=pending.seq,
+        self._record(K.REL_RETRANSMIT, dst=pending.dst, seq=pending.seq,
                      attempt=pending.retries, uid=wire.uid,
                      parent=pending.msg.uid, relation="retransmit")
         self.send_down(wire)
@@ -137,7 +138,7 @@ class ReliableChannel(Protocol):
             seen = self._seen.setdefault(src, set())
             if header.seq in seen:
                 self.duplicate_count += 1
-                self._record("rel.duplicate", src=src, seq=header.seq)
+                self._record(K.REL_DUPLICATE, src=src, seq=header.seq)
                 return
             seen.add(header.seq)
         self.send_up(msg)

@@ -134,6 +134,23 @@ class ExploreReport:
         return "\n".join(lines)
 
 
+def _preflight(protocol: str) -> None:
+    """Statically vet the prefix builder before warming anything up.
+
+    The prefix body is about to be simulated to ``depth`` and
+    checkpointed; a determinism hazard in it (closure callback,
+    wall-clock read) would only surface at capture time, after the
+    warm-up is paid for.  Running the SC1xx precheck here moves that
+    failure to t=0 with a source position attached.
+    """
+    from repro.core.orchestrator import CampaignScriptError
+    from repro.staticcheck import precheck_body
+    prefix = _tcp_prefix if protocol == "tcp" else _gmp_prefix
+    report = precheck_body(prefix)
+    if not report.ok():
+        raise CampaignScriptError([report])
+
+
 def _prefix_checkpoint(protocol: str, target: str, depth: float,
                        seed: int) -> Checkpoint:
     """Capture the script-free prefix the exploration forks from."""
@@ -246,6 +263,7 @@ def explore(protocol: str = "gmp", target: str = "self_death", *,
     if target not in valid:
         raise ValueError(f"unknown {protocol} target {target!r}; "
                          f"expected one of {valid}")
+    _preflight(protocol)
     depth = DEFAULT_DEPTHS[protocol] if depth is None else float(depth)
     horizon = HORIZONS[protocol] if horizon is None else float(horizon)
     checkpoint = _prefix_checkpoint(protocol, target, depth, seed)

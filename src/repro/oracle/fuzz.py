@@ -498,8 +498,11 @@ def run_fuzz(protocol: str = "gmp", *, seed: int = 0, budget: int = 24,
                             report.executed + i, seed)
                  for i in range(count)]
         if engine is not None:
+            # the engine path bypasses Campaign.run, so it repeats the
+            # same pre-flight: body precheck once, script lint per batch
             configs = [engine.config_for(case) for case in cases]
-            failing = campaign.validate_scripts(configs)
+            failing = campaign.precheck_body() if batch_index == 0 else []
+            failing += campaign.validate_scripts(configs)
             if failing:
                 raise CampaignScriptError(failing)
             oracle = pack_for(protocol)

@@ -1,0 +1,47 @@
+"""repro.staticcheck: the three-pass static correctness suite.
+
+Distinct from :mod:`repro.analysis` (results analysis): this package
+analyzes the *source tree*, before anything runs.  All three passes
+share scriptlint's :class:`~repro.core.tclish.lint.Diagnostic`
+infrastructure -- one code table, one report type, one fingerprint
+scheme, one SARIF exporter -- and surface as the single ``repro check``
+command (see ``docs/staticcheck.md``):
+
+- **Pass 1** -- scriptlint's dataflow analysis of tclish filter
+  scripts (SL0xx), covering ``examples/filters`` and the regression
+  corpus' embedded fault scripts;
+- **Pass 2** -- the Python-AST determinism / checkpoint-safety linter
+  (:mod:`~repro.staticcheck.determinism`, SC1xx), covering
+  ``src/repro/experiments``, ``gmp`` and ``tcp``, and powering the
+  :meth:`Checkpoint.capture` / :class:`Campaign` pre-flights;
+- **Pass 3** -- the trace-schema drift checker
+  (:mod:`~repro.staticcheck.drift`, SC2xx), diffing harvested emit
+  sites against oracle subscriptions and the
+  :mod:`repro.netsim.kinds` registry.
+"""
+
+from repro.staticcheck.determinism import (audit_pending, check_file,
+                                           check_source, precheck_body)
+from repro.staticcheck.drift import check_drift, coverage_summary
+from repro.staticcheck.harvest import (DynamicEmit, EmitSite, Harvest,
+                                       Subscription, harvest_paths)
+from repro.staticcheck.sarif import render_sarif
+from repro.staticcheck.suite import SuiteResult, repo_root, run_suite
+
+__all__ = [
+    "DynamicEmit",
+    "EmitSite",
+    "Harvest",
+    "Subscription",
+    "SuiteResult",
+    "audit_pending",
+    "check_drift",
+    "check_file",
+    "check_source",
+    "coverage_summary",
+    "harvest_paths",
+    "precheck_body",
+    "render_sarif",
+    "repo_root",
+    "run_suite",
+]

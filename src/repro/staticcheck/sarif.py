@@ -1,0 +1,80 @@
+"""SARIF 2.1.0 export for staticcheck/scriptlint reports.
+
+One run, one driver (``repro-staticcheck``), one rule per code in the
+shared :data:`~repro.core.tclish.lint.diagnostics.CODES` table.  Each
+result carries the diagnostic's stable fingerprint in
+``partialFingerprints`` so CI viewers (GitHub code scanning et al.) can
+track a finding across re-runs instead of re-announcing it on every
+push.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List
+
+from repro.core.tclish.lint.diagnostics import CODES, LintReport
+
+#: our severity names -> SARIF result levels
+_LEVELS = {"info": "note", "warning": "warning", "error": "error"}
+
+_FINGERPRINT_KEY = "reproStaticcheck/v1"
+
+
+def _rules() -> List[dict]:
+    return [
+        {
+            "id": code,
+            "shortDescription": {"text": title},
+            "defaultConfiguration": {"level": _LEVELS[severity]},
+        }
+        for code, (severity, title) in sorted(CODES.items())
+    ]
+
+
+def render_sarif(reports: Iterable[LintReport], *,
+                 tool_name: str = "repro-staticcheck",
+                 tool_version: str = "1.0.0") -> str:
+    """Render reports as a SARIF 2.1.0 document (a JSON string)."""
+    results = []
+    for report in reports:
+        for diag in report.sorted():
+            uri = report.source_name
+            message = diag.message
+            if diag.hint:
+                message += f" ({diag.hint})"
+            results.append({
+                "ruleId": diag.code,
+                "level": _LEVELS[diag.severity],
+                "message": {"text": message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": uri},
+                        "region": {
+                            "startLine": max(diag.line, 1),
+                            "startColumn": max(diag.col, 1),
+                        },
+                    },
+                }],
+                "partialFingerprints": {
+                    _FINGERPRINT_KEY: diag.fingerprint(uri),
+                },
+            })
+    document = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "version": tool_version,
+                    "informationUri":
+                        "docs/staticcheck.md",
+                    "rules": _rules(),
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

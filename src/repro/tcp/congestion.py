@@ -21,6 +21,7 @@ from typing import Optional
 
 from repro.netsim.trace import TraceRecorder
 from repro.tcp.vendors import VendorProfile
+from repro.netsim import kinds as K
 
 
 class TahoeController:
@@ -63,7 +64,7 @@ class TahoeController:
         else:
             # congestion avoidance: ~one MSS per RTT
             self.cwnd += max(1, self._p.mss * self._p.mss // self.cwnd)
-        self._record("tcp.cwnd", cwnd=self.cwnd, ssthresh=self.ssthresh,
+        self._record(K.TCP_CWND, cwnd=self.cwnd, ssthresh=self.ssthresh,
                      phase="slow_start" if self.in_slow_start
                      else "avoidance")
 
@@ -74,7 +75,7 @@ class TahoeController:
         if self.dup_acks == self._p.dupack_threshold:
             self._multiplicative_decrease(bytes_in_flight)
             self.fast_retransmits += 1
-            self._record("tcp.fast_retransmit", cwnd=self.cwnd,
+            self._record(K.TCP_FAST_RETRANSMIT, cwnd=self.cwnd,
                          ssthresh=self.ssthresh)
             return True
         return False
@@ -84,7 +85,7 @@ class TahoeController:
         self._multiplicative_decrease(bytes_in_flight)
         self.timeout_collapses += 1
         self.dup_acks = 0
-        self._record("tcp.cwnd_collapse", cwnd=self.cwnd,
+        self._record(K.TCP_CWND_COLLAPSE, cwnd=self.cwnd,
                      ssthresh=self.ssthresh)
 
     def _multiplicative_decrease(self, bytes_in_flight: int) -> None:

@@ -31,6 +31,7 @@ from repro.tcp.rtt import make_estimator
 from repro.tcp.segment import (ACK, FIN, PSH, RST, SYN, Segment, classify,
                                seq_add, seq_leq, seq_lt, seq_sub)
 from repro.tcp.vendors import VendorProfile
+from repro.netsim import kinds as K
 
 # connection states (RFC-793 names)
 CLOSED = "CLOSED"
@@ -219,7 +220,7 @@ class TCPConnection:
             return
         self.segments_received += 1
         self.keepalive.on_segment_received()
-        self._record("tcp.receive", msg_type=classify(seg), seq=seg.seq,
+        self._record(K.TCP_RECEIVE, msg_type=classify(seg), seq=seg.seq,
                      ack=seg.ack, win=seg.window, length=len(seg.payload))
 
         if seg.is_rst:
@@ -342,10 +343,10 @@ class TCPConnection:
         elif seq_lt(self.rcv_nxt, data_seq):
             if self.profile.queue_out_of_order:
                 self.reassembly.add(data_seq, payload)
-                self._record("tcp.ooo_queued", seq=data_seq,
+                self._record(K.TCP_OOO_QUEUED, seq=data_seq,
                              length=len(payload))
             else:
-                self._record("tcp.ooo_dropped", seq=data_seq,
+                self._record(K.TCP_OOO_DROPPED, seq=data_seq,
                              length=len(payload))
             self._emit(ACK, seq=self.snd_nxt, purpose="dup_ack")
         else:
@@ -483,7 +484,7 @@ class TCPConnection:
         self.keepalive.stop()
         self.persist.stop()
         self._delack_timer.stop()
-        self._record("tcp.conn_dropped", reason=reason)
+        self._record(K.TCP_CONN_DROPPED, reason=reason)
         if self.on_close:
             self.on_close(reason)
 
@@ -499,7 +500,7 @@ class TCPConnection:
                       flags=flags, window=self.advertised_window(),
                       payload=payload)
         self.segments_sent += 1
-        self._record("tcp.transmit", msg_type=classify(seg), seq=seg.seq,
+        self._record(K.TCP_TRANSMIT, msg_type=classify(seg), seq=seg.seq,
                      ack=seg.ack, win=seg.window, length=len(payload),
                      purpose=purpose, retransmission=retransmission, probe=probe)
         self._transmit(seg)
@@ -517,7 +518,7 @@ class TCPConnection:
     def _set_state(self, state: str) -> None:
         old = self.state
         self.state = state
-        self._record("tcp.state", old=old, new=state)
+        self._record(K.TCP_STATE, old=old, new=state)
 
     def _record(self, kind: str, **attrs) -> None:
         if self.trace is not None:

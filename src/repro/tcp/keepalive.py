@@ -29,6 +29,7 @@ from repro.netsim.scheduler import Scheduler
 from repro.netsim.timer import Timer
 from repro.netsim.trace import TraceRecorder
 from repro.tcp.vendors import VendorProfile
+from repro.netsim import kinds as K
 
 
 class KeepAliveEngine:
@@ -90,7 +91,7 @@ class KeepAliveEngine:
             self._arm_retransmit()
             return
         if self.retransmits >= self._p.ka_probe_retransmits:
-            self._record("tcp.keepalive_give_up",
+            self._record(K.TCP_KEEPALIVE_GIVE_UP,
                          retransmits=self.retransmits,
                          reset=self._p.ka_reset_on_fail)
             self.disable()
@@ -110,7 +111,7 @@ class KeepAliveEngine:
 
     def _probe(self, retransmission: bool) -> None:
         self.probes_sent += 1
-        self._record("tcp.keepalive_probe", retransmission=retransmission,
+        self._record(K.TCP_KEEPALIVE_PROBE, retransmission=retransmission,
                      number=self.probes_sent)
         self._send_probe()
 

@@ -25,6 +25,7 @@ from repro.tcp.segment import ACK, RST, SYN, Segment, classify
 from repro.tcp.vendors import VendorProfile
 from repro.xkernel.message import Message
 from repro.xkernel.protocol import Protocol
+from repro.netsim import kinds as K
 
 ConnKey = Tuple[int, int, int]  # local port, remote addr, remote port
 
@@ -127,7 +128,7 @@ class TCPProtocol(Protocol):
                 self._first_uids[key] = msg.uid
             else:
                 self.trace.record(
-                    "tcp.lineage", t=self.scheduler.now, node=self.host,
+                    K.TCP_LINEAGE, t=self.scheduler.now, node=self.host,
                     conn=conn.name, seq=seg.seq, uid=msg.uid,
                     parent=parent, relation="retransmit")
         self.send_down(msg)

@@ -32,6 +32,7 @@ from repro.netsim.trace import TraceRecorder
 from repro.tcp.rtt import RTTEstimatorBase
 from repro.tcp.segment import Segment, seq_leq
 from repro.tcp.vendors import VendorProfile
+from repro.netsim import kinds as K
 
 
 @dataclass
@@ -156,14 +157,14 @@ class RetransmissionManager:
         oldest = self._queue[0]
         if oldest.retransmit_count >= self._profile.max_retransmits:
             self._dead = True
-            self._record("tcp.retx_give_up", reason="max_retransmits",
+            self._record(K.TCP_RETX_GIVE_UP, reason="max_retransmits",
                          count=oldest.retransmit_count, seq=oldest.seq)
             self._give_up_cb(oldest)
             return
         threshold = self._profile.global_fault_threshold
         if threshold is not None and self.global_faults >= threshold:
             self._dead = True
-            self._record("tcp.retx_give_up", reason="global_fault_counter",
+            self._record(K.TCP_RETX_GIVE_UP, reason="global_fault_counter",
                          count=oldest.retransmit_count, seq=oldest.seq,
                          global_faults=self.global_faults)
             self._give_up_cb(oldest)
@@ -174,7 +175,7 @@ class RetransmissionManager:
         self.total_retransmissions += 1
         self.global_faults += 1
         self.backoff_shift += 1
-        self._record("tcp.retransmit", seq=oldest.seq,
+        self._record(K.TCP_RETRANSMIT, seq=oldest.seq,
                      attempt=oldest.retransmit_count,
                      global_faults=self.global_faults,
                      rto=self.current_rto())
@@ -197,7 +198,7 @@ class RetransmissionManager:
         oldest.sent_at = self._scheduler.now
         self.total_retransmissions += 1
         self.global_faults += 1
-        self._record("tcp.retransmit", seq=oldest.seq,
+        self._record(K.TCP_RETRANSMIT, seq=oldest.seq,
                      attempt=oldest.retransmit_count,
                      global_faults=self.global_faults,
                      rto=self.current_rto(), fast=True)

@@ -22,6 +22,7 @@ from repro.netsim.scheduler import Scheduler
 from repro.netsim.timer import Timer
 from repro.netsim.trace import TraceRecorder
 from repro.tcp.vendors import VendorProfile
+from repro.netsim import kinds as K
 
 
 class PersistProber:
@@ -47,7 +48,7 @@ class PersistProber:
             return
         self.active = True
         self._interval = self._p.persist_initial
-        self._record("tcp.persist_start")
+        self._record(K.TCP_PERSIST_START)
         self._timer.start(self._interval)
 
     def stop(self) -> None:
@@ -56,13 +57,13 @@ class PersistProber:
             return
         self.active = False
         self._timer.stop()
-        self._record("tcp.persist_stop")
+        self._record(K.TCP_PERSIST_STOP)
 
     def _fire(self) -> None:
         if not self.active:
             return
         self.probes_sent += 1
-        self._record("tcp.zwp_probe", number=self.probes_sent,
+        self._record(K.TCP_ZWP_PROBE, number=self.probes_sent,
                      interval=self._interval)
         self._send_probe()
         self._interval = min(self._interval * 2, self._p.persist_max)

@@ -11,21 +11,33 @@ import pytest
 from repro.core.orchestrator import Campaign
 
 
+class _Ticker:
+    """Self-rescheduling callback as a callable class, not a closure,
+    so the Campaign body passes the SC1xx determinism precheck."""
+
+    def __init__(self, env, dist, events):
+        self.env = env
+        self.dist = dist
+        self.events = events
+        self.fired = 0
+        self.acc = 0.0
+
+    def __call__(self):
+        self.fired += 1
+        self.acc += self.dist.dst_uniform(0.0, 1.0)
+        if self.fired < self.events:
+            self.env.scheduler.schedule(
+                self.dist.dst_exponential(10.0), self)
+
+
 def sweep_body(env, config):
     """Module-level (hence picklable) campaign body: a seeded timer chain."""
     dist = env.dist("sweep", config["profile"])
-    state = {"fired": 0, "acc": 0.0}
-
-    def tick():
-        state["fired"] += 1
-        state["acc"] += dist.dst_uniform(0.0, 1.0)
-        if state["fired"] < config["events"]:
-            env.scheduler.schedule(dist.dst_exponential(10.0), tick)
-
-    env.scheduler.schedule(0.0, tick)
+    ticker = _Ticker(env, dist, config["events"])
+    env.scheduler.schedule(0.0, ticker)
     final = env.run_until_quiet()
-    env.trace.record("sweep.done", fired=state["fired"])
-    return {"fired": state["fired"], "acc": round(state["acc"], 9),
+    env.trace.record("sweep.done", fired=ticker.fired)
+    return {"fired": ticker.fired, "acc": round(ticker.acc, 9),
             "final": round(final, 9)}
 
 

@@ -1,0 +1,172 @@
+"""Pass 3 (trace-schema drift) against the real tree and seeded drift.
+
+The first class is the registry drift-guard: the
+:mod:`repro.netsim.kinds` registry, the statically harvested emit
+sites, and the oracle subscriptions must all agree on the live tree.
+The mutation tests then seed one piece of drift at a time and assert
+the exact diagnostic.
+"""
+
+import textwrap
+
+from repro.netsim import kinds
+from repro.staticcheck import (check_drift, coverage_summary,
+                               harvest_paths)
+from repro.staticcheck.suite import repo_root
+
+SRC = [f"{repo_root()}/src/repro"]
+
+
+def all_codes(reports, floor="info"):
+    return sorted(d.code for r in reports for d in r.at_least(floor))
+
+
+class TestRegistryDriftGuard:
+    def test_registry_matches_harvested_emits_exactly(self):
+        harvest = harvest_paths(SRC)
+        assert harvest.emitted_kinds() == set(kinds.all_kinds()), (
+            "repro/netsim/kinds.py and the tree's record() call sites "
+            "disagree; update the registry (or the emitter)")
+
+    def test_every_oracle_subscription_is_emitted(self):
+        # the acceptance-criteria proof: no invariant pack, coverage
+        # key, lineage table or kind comparison names a dead kind
+        harvest = harvest_paths(SRC)
+        emitted = harvest.emitted_kinds()
+        dead = [s for s in harvest.subscriptions
+                if not any(s.matches(k) for k in emitted)]
+        assert dead == []
+
+    def test_oracle_packs_cover_their_protocols(self):
+        harvest = harvest_paths(SRC)
+        covered = coverage_summary(harvest)
+        for kind in ("gmp.view_adopted", "tcp.retransmit", "tcp.state"):
+            assert kind in covered
+
+    def test_live_tree_has_no_drift_findings(self):
+        reports = check_drift(SRC)
+        assert all_codes(reports, floor="warning") == []
+
+    def test_known_dynamic_sites_are_isolated(self):
+        # trace replay (analysis/export) is the one legitimate dynamic
+        # emit site; anything new deserves a look
+        harvest = harvest_paths(SRC)
+        dynamic = sorted({d.path.rsplit("/", 1)[-1]
+                          for d in harvest.dynamic})
+        assert dynamic == ["export.py"]
+
+    def test_constant_name_mapping(self):
+        assert kinds.constant_name("tcp.ooo_queued") == "TCP_OOO_QUEUED"
+        for kind in kinds.all_kinds():
+            assert getattr(kinds, kinds.constant_name(kind)) == kind
+
+
+class TestHarvestShapes:
+    def test_wrapper_call_sites_resolve_constants(self, tmp_path):
+        mod = tmp_path / "emitter.py"
+        mod.write_text(textwrap.dedent("""
+            from repro.netsim import kinds as K
+
+            class Proto:
+                def _record(self, kind, **attrs):
+                    self.trace.record(kind, **attrs)
+
+                def on_loss(self):
+                    self._record(K.TCP_RETRANSMIT, n=1)
+                    self._record("tcp.cwnd", n=2)
+        """))
+        harvest = harvest_paths([str(mod)])
+        assert harvest.emitted_kinds() == {"tcp.retransmit", "tcp.cwnd"}
+        assert not harvest.dynamic
+
+    def test_conditional_local_kind_resolves_both_branches(self, tmp_path):
+        mod = tmp_path / "cond.py"
+        mod.write_text(textwrap.dedent("""
+            def deliver(trace, ok):
+                kind = "net.send" if ok else "net.link_drop"
+                trace.record(kind, ok=ok)
+        """))
+        harvest = harvest_paths([str(mod)])
+        assert harvest.emitted_kinds() == {"net.send", "net.link_drop"}
+
+    def test_unresolvable_kind_is_dynamic_not_emitted(self, tmp_path):
+        mod = tmp_path / "dyn.py"
+        mod.write_text(textwrap.dedent("""
+            def replay(trace, entry):
+                trace.record(entry["kind"], **entry["attrs"])
+        """))
+        harvest = harvest_paths([str(mod)])
+        assert harvest.emitted_kinds() == set()
+        assert len(harvest.dynamic) == 1
+
+    def test_subscription_roles(self, tmp_path):
+        mod = tmp_path / "subs.py"
+        mod.write_text(textwrap.dedent("""
+            _EDGE_ATTRS = {"pfi.duplicate": ("original", "duplicate")}
+
+            class ViewPack:
+                kinds = ("gmp.view_adopted",)
+                prefixes = ("tcp",)
+
+            def probe(trace, entry):
+                if entry.kind == "pfi.delay":
+                    return trace.entries("gmp.send")
+                return trace.count("tcp.retransmit")
+        """))
+        harvest = harvest_paths([str(mod)])
+        roles = {(s.kind, s.role, s.prefix)
+                 for s in harvest.subscriptions}
+        assert roles == {
+            ("pfi.duplicate", "table", False),
+            ("gmp.view_adopted", "oracle-kind", False),
+            ("tcp", "oracle-prefix", True),
+            ("pfi.delay", "comparison", False),
+            ("gmp.send", "query", False),
+            ("tcp.retransmit", "query", False),
+        }
+
+
+class TestSeededDrift:
+    def test_bogus_invariant_subscription_is_sc201(self, tmp_path):
+        # the acceptance-criteria mutation: one invariant subscribed to
+        # a kind nobody emits must produce exactly SC201
+        mod = tmp_path / "bogus_pack.py"
+        mod.write_text(textwrap.dedent("""
+            def emit(trace):
+                trace.record("gmp.send", n=1)
+
+            class BrokenPack:
+                kinds = ("gmp.never_emitted",)
+        """))
+        reports = check_drift([str(mod)],
+                              registry={"gmp.send"})
+        findings = [d for r in reports for d in r.at_least("warning")]
+        assert [d.code for d in findings] == ["SC201"]
+        assert "gmp.never_emitted" in findings[0].message
+
+    def test_dead_registry_kind_is_sc203(self, tmp_path):
+        mod = tmp_path / "emit_one.py"
+        mod.write_text('def emit(trace):\n'
+                       '    trace.record("gmp.send", n=1)\n')
+        reports = check_drift([str(mod)],
+                              registry={"gmp.send", "gmp.ghost"})
+        findings = [d for r in reports for d in r.at_least("warning")]
+        assert [d.code for d in findings] == ["SC203"]
+        assert "gmp.ghost" in findings[0].message
+
+    def test_unregistered_emit_is_sc204(self, tmp_path):
+        mod = tmp_path / "emit_new.py"
+        mod.write_text('def emit(trace):\n'
+                       '    trace.record("gmp.brand_new", n=1)\n')
+        reports = check_drift([str(mod)], registry=set())
+        findings = [d for r in reports for d in r.at_least("warning")]
+        assert [d.code for d in findings] == ["SC204"]
+        assert "GMP_BRAND_NEW" in findings[0].hint
+
+    def test_uncovered_emit_is_info_only(self, tmp_path):
+        mod = tmp_path / "emit_info.py"
+        mod.write_text('def emit(trace):\n'
+                       '    trace.record("net.send", n=1)\n')
+        reports = check_drift([str(mod)], registry={"net.send"})
+        assert all_codes(reports, floor="warning") == []
+        assert all_codes(reports) == ["SC202"]

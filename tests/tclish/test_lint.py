@@ -196,7 +196,7 @@ class TestPairChecks:
 
     def test_matched_keys_clean(self):
         report = lint_pair("peer_set n 1\nsync_set go",
-                           "set x [peer_get n 0]\nsync_get go")
+                           "set x [peer_get n 0]\nmsg_log $x\nsync_get go")
         assert codes(report) == []
 
 
@@ -208,7 +208,7 @@ class TestReporting:
         assert "1 error(s), 0 warning(s)" in text
 
     def test_clean_rendering(self):
-        report = lint_source("set x 1", source_name="ok.tcl")
+        report = lint_source("set x 1\nmsg_log $x", source_name="ok.tcl")
         assert render_text(report) == "ok.tcl: clean"
 
     def test_json_rendering(self):
@@ -221,8 +221,13 @@ class TestReporting:
         assert payload["diagnostics"][0]["line"] == 1
 
     def test_every_code_documented(self):
-        # the code table drives docs/scriptlint.md: keep them in sync
-        assert set(CODES) == {f"SL{i:03d}" for i in range(11)}
+        # the code table drives docs/scriptlint.md and docs/staticcheck.md:
+        # keep them in sync (SL0xx scriptlint, SC1xx determinism, SC2xx
+        # trace-schema drift)
+        expected = {f"SL{i:03d}" for i in range(14)}
+        expected |= {f"SC10{i}" for i in range(1, 7)}
+        expected |= {f"SC20{i}" for i in range(1, 5)}
+        assert set(CODES) == expected
 
     def test_diagnostics_sort_by_position(self):
         report = LintReport(source_name="s")

@@ -1,0 +1,193 @@
+"""Dataflow scriptlint (SL011-SL013), span accuracy, and fingerprints.
+
+The dataflow codes come from whole-script def-use chains: a filter's
+interpreter state persists across invocations, so "written but never
+read anywhere" is sound evidence of a dead store, and a constant-folded
+``expr`` condition is sound evidence of dead clauses.
+"""
+
+from repro.core.tclish.lint import CODES, lint_source
+from repro.core.tclish.lint.diagnostics import Diagnostic
+
+
+def codes(report):
+    return [d.code for d in report.sorted()]
+
+
+def only(report, code):
+    found = [d for d in report.sorted() if d.code == code]
+    assert len(found) == 1, f"expected one {code}, got {codes(report)}"
+    return found[0]
+
+
+class TestDeadStores:
+    def test_plain_dead_store(self):
+        d = only(lint_source("set unused 1\nxDelay 2.0"), "SL011")
+        assert (d.line, d.col) == (1, 5)
+        assert "unused" in d.message
+        assert d.severity == "warning"
+
+    def test_read_anywhere_keeps_it_alive(self):
+        report = lint_source("set n 1\nif {[chance 0.5]} { msg_log $n }")
+        assert "SL011" not in codes(report)
+
+    def test_init_write_read_in_body_is_alive(self):
+        report = lint_source("incr seen\nmsg_log $seen",
+                             init_script="set seen 0")
+        assert "SL011" not in codes(report)
+
+    def test_info_exists_counts_as_read(self):
+        report = lint_source(
+            "if {![info exists n]} { set n 0 }\nincr n\nmsg_log $n")
+        assert "SL011" not in codes(report)
+
+    def test_accumulators_are_lenient(self):
+        # incr/append idioms double as declarations; flagging them
+        # would fight the stock counter pattern
+        report = lint_source("incr hits", init_script="set hits 0")
+        assert "SL011" not in codes(report)
+
+    def test_proc_body_writes_exempt(self):
+        report = lint_source(
+            "proc f {x} { set tmp $x\nreturn $tmp }\nmsg_log [f 1]")
+        assert "SL011" not in codes(report)
+
+    def test_dynamic_variable_names_disable_the_check(self):
+        report = lint_source(
+            'set prefix "count"\nset ${prefix}_a 1\nset dead 2')
+        assert "SL011" not in codes(report)
+
+
+class TestConstantConditions:
+    def test_constant_true_if(self):
+        d = only(lint_source("if {1} { xDelay 1.0 }"), "SL012")
+        assert (d.line, d.col) == (1, 4)
+        assert "constantly true" in d.message
+
+    def test_constant_false_if(self):
+        d = only(lint_source("if {0} { xDrop cur_msg }"), "SL012")
+        assert "constantly false" in d.message
+
+    def test_foldable_arithmetic(self):
+        report = lint_source("if {2 > 1} { xDelay 1.0 }")
+        assert "SL012" in codes(report)
+
+    def test_variable_condition_is_not_constant(self):
+        report = lint_source("if {$n > 1} { xDelay 1.0 }",
+                             init_script="set n 0")
+        assert "SL012" not in codes(report)
+
+    def test_bracketed_condition_is_not_constant(self):
+        report = lint_source("if {[chance 0.5]} { xDelay 1.0 }")
+        assert "SL012" not in codes(report)
+
+    def test_while_false_flagged(self):
+        d = only(lint_source("while {0} { xDelay 1.0 }"), "SL012")
+        assert (d.line, d.col) == (1, 7)
+
+    def test_while_one_loop_idiom_allowed(self):
+        report = lint_source("while {1} { xDelay 1.0 }")
+        assert "SL012" not in codes(report)
+
+
+class TestUnreachableClauses:
+    def test_else_after_constant_true(self):
+        report = lint_source(
+            "if {1} { xDelay 1.0 } else { xDrop cur_msg }")
+        d = only(report, "SL013")
+        assert (d.line, d.col) == (1, 23)
+        assert "unreachable" in d.message
+
+    def test_elseif_chain(self):
+        report = lint_source(
+            "if {[chance 0.5]} { xDelay 1.0 } "
+            "elseif {1} { xDrop cur_msg } else { msg_log done }")
+        d = only(report, "SL013")
+        assert "else" in d.message
+
+    def test_reachable_chain_is_clean(self):
+        report = lint_source(
+            "if {[chance 0.3]} { xDelay 1.0 } "
+            "elseif {[chance 0.5]} { xDrop cur_msg } "
+            "else { msg_log ok }")
+        assert "SL013" not in codes(report)
+
+
+class TestSpanAccuracy:
+    def test_nested_brackets_keep_inner_positions(self):
+        # the $ghost read sits inside two bracket levels; the span must
+        # still point at it, not at the enclosing command
+        source = "set x [msg_len [field_get $ghost seq]]\nmsg_log $x"
+        d = only(lint_source(source), "SL003")
+        assert d.line == 1
+        assert d.col == source.index("$ghost") + 1
+
+    def test_line_continuation_spans_follow_the_value(self):
+        d = only(lint_source("xDelay \\\n  -1"), "SL007")
+        assert (d.line, d.col) == (2, 3)
+
+    def test_multi_command_lines(self):
+        source = "set a 1; msg_log $b"
+        report = lint_source(source)
+        read = only(report, "SL003")
+        assert read.col == source.index("$b") + 1
+        dead = only(report, "SL011")
+        assert dead.col == source.index("a 1") + 1
+
+    def test_second_line_command_column(self):
+        d = only(lint_source("set x 1\n   xDropp cur_msg\nmsg_log $x"),
+                 "SL001")
+        assert (d.line, d.col) == (2, 4)
+
+
+class TestFingerprints:
+    def test_stable_across_processes(self):
+        # recomputing the same finding yields the same fingerprint --
+        # it is a pure hash of (source, script, code, position, message)
+        a = Diagnostic("SL003", "error", 3, 7, 'read of "$x"')
+        b = Diagnostic("SL003", "error", 3, 7, 'read of "$x"')
+        assert a.fingerprint("f.tcl") == b.fingerprint("f.tcl")
+
+    def test_position_and_code_change_it(self):
+        base = Diagnostic("SL003", "error", 3, 7, "m")
+        assert base.fingerprint() != Diagnostic(
+            "SL003", "error", 3, 8, "m").fingerprint()
+        assert base.fingerprint() != Diagnostic(
+            "SL011", "warning", 3, 7, "m").fingerprint()
+
+    def test_source_name_scopes_it(self):
+        d = Diagnostic("SL001", "error", 1, 1, "m")
+        assert d.fingerprint("a.tcl") != d.fingerprint("b.tcl")
+
+    def test_hint_does_not_change_it(self):
+        plain = Diagnostic("SL001", "error", 1, 1, "m")
+        hinted = Diagnostic("SL001", "error", 1, 1, "m", hint="try x")
+        assert plain.fingerprint() == hinted.fingerprint()
+
+    def test_to_dict_carries_fingerprint(self):
+        report = lint_source("chance 2.0")
+        entry = report.sorted()[0].to_dict()
+        assert entry["fingerprint"] == report.sorted()[0].fingerprint()
+
+
+class TestDocsCoverage:
+    def docs(self, name):
+        import os
+        here = os.path.dirname(__file__)
+        path = os.path.join(here, "..", "..", "docs", name)
+        with open(path, encoding="utf-8") as fp:
+            return fp.read()
+
+    def test_every_code_has_a_docs_entry(self):
+        # SL0xx live in docs/scriptlint.md; the SC codes (and the
+        # SL011+ dataflow rows, again) in docs/staticcheck.md
+        scriptlint = self.docs("scriptlint.md")
+        staticcheck = self.docs("staticcheck.md")
+        for code in CODES:
+            where = scriptlint if code.startswith("SL") else staticcheck
+            assert code in where, f"{code} is undocumented"
+
+    def test_staticcheck_docs_cover_dataflow_codes(self):
+        staticcheck = self.docs("staticcheck.md")
+        for code in ("SL011", "SL012", "SL013"):
+            assert code in staticcheck
