@@ -27,22 +27,32 @@ from repro.core.orchestrator import Campaign
 WORKERS = 4
 
 
+class _Ticker:
+    """Callable timer chain (a closure would trip the SC101 preflight)."""
+
+    def __init__(self, env, dist, target):
+        self.env = env
+        self.dist = dist
+        self.target = target
+        self.fired = 0
+        self.acc = 0.0
+
+    def __call__(self):
+        self.fired += 1
+        self.acc += self.dist.dst_uniform(0.0, 1.0)
+        if self.fired < self.target:
+            self.env.scheduler.schedule(
+                self.dist.dst_exponential(50.0), self)
+
+
 def campaign_body(env, config):
     """One independent simulated run: a chain of jittered timer events."""
     dist = env.dist("load", config["profile"])
-    target = config["events"]
-    state = {"fired": 0, "acc": 0.0}
-
-    def tick():
-        state["fired"] += 1
-        state["acc"] += dist.dst_uniform(0.0, 1.0)
-        if state["fired"] < target:
-            env.scheduler.schedule(dist.dst_exponential(50.0), tick)
-
-    env.scheduler.schedule(0.0, tick)
+    ticker = _Ticker(env, dist, config["events"])
+    env.scheduler.schedule(0.0, ticker)
     final_time = env.run_until_quiet()
-    env.trace.record("bench.done", t=final_time, fired=state["fired"])
-    return {"fired": state["fired"], "acc": round(state["acc"], 9),
+    env.trace.record("bench.done", t=final_time, fired=ticker.fired)
+    return {"fired": ticker.fired, "acc": round(ticker.acc, 9),
             "final_time": round(final_time, 9)}
 
 

@@ -364,7 +364,19 @@ def cmd_report(args) -> int:
     The report covers the run summary, per-kind/per-node metrics, the
     causal lineage of every derived message (delays, duplicates, holds/
     releases, injections, retransmissions), and a timeline tail.
+
+    ``--campaign <journal>`` switches to the campaign flight record: the
+    journal (crash-safe JSONL from any ``--journal`` sweep) is replayed
+    into the partial-or-complete scorecard, a bug-yield ranking of the
+    executed fault scenarios, and optionally machine-readable JSON
+    (``--format json``) or a self-contained HTML report (``--html``).
     """
+    if args.campaign:
+        return _cmd_report_campaign(args)
+    if not args.trace_file:
+        print("repro report: give a trace file, or --campaign <journal>",
+              file=sys.stderr)
+        return 2
     from repro.obs.lineage import Lineage
     from repro.obs.report import render_report
     trace = _load_trace_file(args.trace_file)
@@ -389,20 +401,145 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _cmd_report_campaign(args) -> int:
+    """The ``repro report --campaign <journal>`` path."""
+    import json
+    import os
+
+    from repro.obs.campaign_report import (render_html, render_text,
+                                           summarize_journal,
+                                           summary_to_json)
+    if not os.path.exists(args.campaign):
+        print(f"repro report: no such journal: {args.campaign}",
+              file=sys.stderr)
+        return 2
+    summary = summarize_journal(args.campaign)
+    if args.html:
+        with open(args.html, "w") as fp:
+            fp.write(render_html(summary))
+        # keep stdout pure JSON when both --html and --format json ask
+        print(f"wrote {args.html} (self-contained HTML, "
+              f"{summary.executed} run(s))",
+              file=sys.stderr if args.format == "json" else sys.stdout)
+    if args.format == "json":
+        print(json.dumps(summary_to_json(summary), indent=2,
+                         sort_keys=True))
+    elif not args.html or args.format == "text":
+        print(render_text(summary))
+    return 0
+
+
+def cmd_tail(args) -> int:
+    """Follow (or replay) a campaign journal: ``repro tail <journal>``.
+
+    Prints one line per journal event.  Without ``--follow`` the journal
+    is replayed once and a torn final line (from a killed sweep) is
+    reported; with ``--follow`` the file is polled for appended events
+    until ``campaign.end`` arrives or ``--timeout`` elapses, which is
+    how a second terminal watches a running sweep live.
+    """
+    import os
+
+    from repro.obs.journal import follow_journal, replay_journal
+    if not args.follow and not os.path.exists(args.journal):
+        print(f"repro tail: no such journal: {args.journal}",
+              file=sys.stderr)
+        return 2
+    if args.follow:
+        for event in follow_journal(args.journal, poll=args.poll,
+                                    timeout=args.timeout):
+            print(_render_journal_event(event))
+        return 0
+    replay = replay_journal(args.journal)
+    for event in replay.events:
+        print(_render_journal_event(event))
+    if replay.torn_tail is not None:
+        print(f"  ! torn tail: {len(replay.torn_tail)} byte(s) cut "
+              f"mid-append (writer killed); {len(replay.events)} "
+              f"complete event(s) recovered")
+    elif not replay.complete:
+        print(f"  ! no campaign.end: sweep still running or interrupted "
+              f"({len(replay.events)} event(s) so far)")
+    return 0
+
+
+def _render_journal_event(event) -> str:
+    """One journal event as a tail line."""
+    data = event.data
+    bits = []
+    for key in ("engine", "name", "label", "case", "target", "status",
+                "protocol", "budget", "configs", "executed", "codes",
+                "violations", "new_coverage", "coverage_total", "findings",
+                "ok"):
+        if key in data and data[key] not in (None, [], ""):
+            bits.append(f"{key}={data[key]}")
+    detail = " ".join(bits)
+    return f"{event.t:9.3f}s  {event.kind:<28} {detail}"
+
+
+def cmd_history(args) -> int:
+    """Cross-run history: record journals, show per-sweep deltas.
+
+    ``repro history DIR`` renders the store; ``--record <journal>``
+    first folds one or more journals into content-addressed summary
+    rows (idempotent -- re-recording an unchanged sweep adds nothing),
+    and ``--bench <BENCH_*.json>`` records benchmark payloads the same
+    way, turning them into a tracked trajectory.
+    """
+    from repro.obs.history import HistoryStore
+    store = HistoryStore(args.dir)
+    for journal in args.record or ():
+        row = store.record_journal(journal)
+        if not args.json:
+            print(f"recorded {journal} -> {row.id} "
+                  f"(fingerprint {row.fingerprint})")
+    for bench in args.bench or ():
+        row = store.record_bench(bench)
+        if not args.json:
+            print(f"recorded {bench} -> {row.id}")
+    if args.json:
+        import json
+
+        from repro.analysis.export import _jsonable
+        print(json.dumps(_jsonable(store.to_json()), indent=2,
+                         sort_keys=True))
+    else:
+        print(store.render())
+    return 0
+
+
 def cmd_trace(args) -> int:
     """Export a JSON-lines trace as Chrome-trace/Perfetto JSON.
 
     Load the output in https://ui.perfetto.dev or ``chrome://tracing``:
     nodes become processes, fault-injection delays and hold/release
     windows become duration spans, everything else instant events.
+    ``--journal <journal>`` converts a campaign journal instead:
+    campaign phases (preflight, capture, dispatch, merge) and runs
+    become duration spans on the sweep's wall-clock timeline.
     """
-    from repro.obs.chrometrace import dump_chrome_trace
-    trace = _load_trace_file(args.trace_file)
-    text = dump_chrome_trace(trace, title=args.trace_file)
+    import json
+
+    if args.journal:
+        from repro.obs.chrometrace import journal_chrome_trace
+        from repro.obs.journal import replay_journal
+        replay = replay_journal(args.journal)
+        text = json.dumps(journal_chrome_trace(replay, title=args.journal),
+                          sort_keys=True)
+        count = len(replay.events)
+    else:
+        if not args.trace_file:
+            print("repro trace: give a trace file, or --journal <journal>",
+                  file=sys.stderr)
+            return 2
+        from repro.obs.chrometrace import dump_chrome_trace
+        trace = _load_trace_file(args.trace_file)
+        text = dump_chrome_trace(trace, title=args.trace_file)
+        count = len(trace)
     if args.out:
         with open(args.out, "w") as fp:
             fp.write(text)
-        print(f"wrote {args.out} ({len(trace)} entries); open in "
+        print(f"wrote {args.out} ({count} entries); open in "
               f"https://ui.perfetto.dev or chrome://tracing")
     else:
         print(text)
@@ -423,7 +560,8 @@ def cmd_fuzz(args) -> int:
     report = run_fuzz(args.protocol, seed=args.seed, budget=args.budget,
                       workers=args.workers,
                       checkpoint_depth=args.checkpoint_depth,
-                      progress=print if args.progress else None)
+                      progress=print if args.progress else None,
+                      journal=args.journal or None)
     print(report.render())
     if not args.save_repro:
         return 0
@@ -461,7 +599,8 @@ def cmd_explore(args) -> int:
                      max_schedules=args.max_schedules,
                      max_perturbations=args.max_perturbations,
                      defer_delta=args.defer_delta,
-                     progress=print if args.progress else None)
+                     progress=print if args.progress else None,
+                     journal=args.journal or None)
     print(report.render())
     return 1 if report.findings else 0
 
@@ -565,8 +704,9 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser(
         "report", help="summarize an exported JSON-lines trace: metrics, "
                        "message lineage, timeline (docs/observability.md)")
-    report.add_argument("trace_file", help="JSON-lines trace "
-                                           "(analysis.export.dump_trace)")
+    report.add_argument("trace_file", nargs="?", default="",
+                        help="JSON-lines trace "
+                             "(analysis.export.dump_trace)")
     report.add_argument("--tail", type=int, default=40,
                         help="timeline entries to show (default 40)")
     report.add_argument("--kind", default="",
@@ -578,6 +718,43 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--oracle", default="",
                         help="add a conformance section: comma list of "
                              "invariant packs (tcp,gmp)")
+    report.add_argument("--campaign", default="", metavar="JOURNAL",
+                        help="report a campaign journal instead: partial "
+                             "scorecard + bug-yield ranking "
+                             "(docs/campaign-journal.md)")
+    report.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="campaign report format (default text)")
+    report.add_argument("--html", default="", metavar="FILE",
+                        help="also write a self-contained HTML campaign "
+                             "report to FILE")
+    tail = sub.add_parser(
+        "tail", help="follow or replay a campaign journal "
+                     "(docs/campaign-journal.md)")
+    tail.add_argument("journal", help="journal file (from any --journal "
+                                      "sweep)")
+    tail.add_argument("--follow", action="store_true",
+                      help="poll for appended events until campaign.end "
+                           "or --timeout (watch a running sweep)")
+    tail.add_argument("--poll", type=float, default=0.2,
+                      help="seconds between polls with --follow "
+                           "(default 0.2)")
+    tail.add_argument("--timeout", type=float, default=None,
+                      help="stop following after this many wall seconds")
+    history = sub.add_parser(
+        "history", help="cross-run history: record campaign journals, "
+                        "show per-sweep deltas (docs/campaign-journal.md)")
+    history.add_argument("dir", help="history store directory")
+    history.add_argument("--record", action="append", default=[],
+                         metavar="JOURNAL",
+                         help="fold a journal into the store first "
+                              "(repeatable, idempotent)")
+    history.add_argument("--bench", action="append", default=[],
+                         metavar="FILE",
+                         help="record a BENCH_*.json payload "
+                              "(repeatable)")
+    history.add_argument("--json", action="store_true",
+                         help="machine-readable output")
     fuzz = sub.add_parser(
         "fuzz", help="coverage-guided fault-scenario fuzzing with the "
                      "conformance oracle as verdict (docs/conformance.md)")
@@ -602,6 +779,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--progress", action="store_true",
                       help="print a progress line per batch "
                            "(trials/sec, checkpoint hit-rate)")
+    fuzz.add_argument("--journal", default="", metavar="FILE",
+                      help="append a crash-safe JSONL flight record of "
+                           "the sweep to FILE (repro tail / repro report "
+                           "--campaign; docs/campaign-journal.md)")
     explore = sub.add_parser(
         "explore", help="bounded delivery-order exploration from a "
                         "prefix checkpoint, oracle packs as verdict "
@@ -634,13 +815,21 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--progress", action="store_true",
                          help="print findings and progress as schedules "
                               "run")
+    explore.add_argument("--journal", default="", metavar="FILE",
+                         help="append a crash-safe JSONL flight record "
+                              "of the exploration to FILE "
+                              "(docs/campaign-journal.md)")
     chrome = sub.add_parser(
         "trace", help="convert a JSON-lines trace to Chrome-trace/"
                       "Perfetto JSON")
-    chrome.add_argument("trace_file", help="JSON-lines trace "
-                                           "(analysis.export.dump_trace)")
+    chrome.add_argument("trace_file", nargs="?", default="",
+                        help="JSON-lines trace "
+                             "(analysis.export.dump_trace)")
     chrome.add_argument("--out", default="",
                         help="write to this file instead of stdout")
+    chrome.add_argument("--journal", default="", metavar="FILE",
+                        help="convert a campaign journal instead: phases "
+                             "and runs become duration spans")
     return parser
 
 
@@ -658,6 +847,10 @@ def main(argv=None) -> int:
         cmd_sequence(args)
     elif args.command == "report":
         return cmd_report(args)
+    elif args.command == "tail":
+        return cmd_tail(args)
+    elif args.command == "history":
+        return cmd_history(args)
     elif args.command == "trace":
         return cmd_trace(args)
     elif args.command == "fuzz":

@@ -28,6 +28,7 @@ import hashlib
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
 from time import perf_counter
@@ -35,10 +36,13 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.distributions import DistributionSet, derive_seed
 from repro.core.sync import ScriptSync
+from repro.netsim import kinds as K
 from repro.netsim.network import Network
 from repro.netsim.scheduler import Scheduler, SchedulerClock, SchedulerError
 from repro.netsim.trace import TraceRecorder
-from repro.obs.telemetry import RunTelemetry, render_scorecard
+from repro.obs.journal import Journal
+from repro.obs.progress import ProgressRenderer
+from repro.obs.telemetry import RunTelemetry, _config_label, render_scorecard
 
 #: config keys whose string values are treated as tclish script sources
 SCRIPT_KEYS = ("script", "tclish", "tclish_source", "send_script",
@@ -408,7 +412,9 @@ class Campaign:
             workers: Union[int, str] = 1, telemetry: bool = True,
             scorecard: bool = False,
             cache: Optional[RunCache] = None,
-            oracle: Optional[Callable[[], List[Any]]] = None
+            oracle: Optional[Callable[[], List[Any]]] = None,
+            journal: Union[None, str, Path, Journal] = None,
+            progress: Optional[Callable[[str], None]] = None
             ) -> List[RunResult]:
         """Execute the body once per configuration.
 
@@ -442,13 +448,62 @@ class Campaign:
         it* (the trace is already hot there), and the resulting violation
         list lands on ``RunResult.violations``.  Parallel runs need the
         factory picklable, i.e. module-level -- the same rule as the body.
+
+        ``journal`` (default off) attaches the campaign flight recorder
+        (:class:`repro.obs.journal.Journal`, or a path one is opened at):
+        the sweep's lifecycle -- start, lint preflight, every
+        configuration's ``run_end`` with telemetry and oracle verdicts,
+        worker errors, dispatch/merge phases, end -- is appended as
+        crash-safe JSONL the parent process owns, so a killed sweep
+        still reproduces its partial scorecard via ``repro report
+        --campaign``.  ``progress`` is a line sink (e.g. ``print``) fed
+        by the shared renderer as configurations complete.
         """
         config_list = [dict(config) for config in configs]
+        journal_obj, journal_owned = Journal.ensure(journal)
+        try:
+            return self._run_journaled(
+                config_list, journal_obj, workers=workers,
+                telemetry=telemetry, scorecard=scorecard, cache=cache,
+                oracle=oracle, progress=progress)
+        finally:
+            if journal_owned:
+                journal_obj.close()
+
+    def _run_journaled(self, config_list: List[Dict[str, Any]],
+                       journal: Optional[Journal], *,
+                       workers: Union[int, str], telemetry: bool,
+                       scorecard: bool, cache: Optional[RunCache],
+                       oracle: Optional[Callable],
+                       progress: Optional[Callable[[str], None]]
+                       ) -> List[RunResult]:
+        if journal is not None:
+            journal.start("campaign", seed=self._seed,
+                          configs=len(config_list), workers=str(workers),
+                          telemetry=telemetry, lint=self._lint,
+                          oracle=getattr(oracle, "__qualname__", None),
+                          body=getattr(self._body, "__qualname__",
+                                       repr(self._body)))
+        renderer = (ProgressRenderer("campaign", total=len(config_list),
+                                     unit="configs", sink=progress)
+                    if progress is not None else None)
         if self._lint != "off":
-            failing = self.precheck_body()
-            failing += self.validate_scripts(config_list)
+            if journal is not None:
+                with journal.phase("preflight"):
+                    failing = self.precheck_body()
+                    failing += self.validate_scripts(config_list)
+                    journal.record(K.CAMPAIGN_PREFLIGHT,
+                                   ok=not failing, failing=len(failing))
+            else:
+                failing = self.precheck_body()
+                failing += self.validate_scripts(config_list)
             if failing:
+                if journal is not None:
+                    journal.record(K.CAMPAIGN_END, status="preflight_failed",
+                                   executed=0, cached=0)
                 raise CampaignScriptError(failing)
+        elif journal is not None:
+            journal.record(K.CAMPAIGN_PREFLIGHT, ok=True, skipped=True)
 
         slots: List[Optional[RunResult]] = [None] * len(config_list)
         keys: List[Optional[str]] = [None] * len(config_list)
@@ -461,46 +516,156 @@ class Campaign:
                 cached = cache.get(key)
                 if cached is not None:
                     slots[index] = cached
+                    if journal is not None:
+                        journal.record(K.CAMPAIGN_RUN_END,
+                                       **_run_end_payload(index, cached,
+                                                          cached_hit=True))
                 else:
                     todo.append(index)
+            done = len(config_list) - len(todo)
+            if renderer is not None and done:
+                renderer.update(done, cached=done)
         else:
             todo = list(range(len(config_list)))
 
         pool_size = self._resolve_workers(workers, len(todo))
-        if todo:
-            if pool_size <= 1 or len(todo) <= 1:
-                for index in todo:
-                    slots[index] = _execute_config(
-                        self._body, self._seed, config_list[index],
-                        telemetry=telemetry, oracle=oracle)
-            else:
-                try:
-                    pickle.dumps((self._body, oracle))
-                except Exception as err:
-                    raise TypeError(
-                        "Campaign.run(workers>1) needs a picklable "
-                        "(module-level) body and oracle, got "
-                        f"{self._body!r} / {oracle!r}: {err}") from err
-                pool = _get_pool(min(pool_size, len(todo)))
-                futures = []
-                for start, stop in _chunk_ranges(len(todo), pool_size):
-                    indices = todo[start:stop]
-                    futures.append((indices, pool.submit(
-                        _execute_chunk, self._body, self._seed,
-                        [config_list[i] for i in indices], indices,
-                        telemetry=telemetry, oracle=oracle)))
-                for indices, future in futures:
-                    chunk_results = future.result()
-                    for index, run_result in zip(indices, chunk_results):
-                        slots[index] = run_result
-            if cache is not None:
-                for index in todo:
-                    cache.put(keys[index], slots[index])
+        failed: Optional[BaseException] = None
+        try:
+            if todo:
+                if pool_size <= 1 or len(todo) <= 1:
+                    self._run_serial(todo, config_list, slots, journal,
+                                     renderer, telemetry=telemetry,
+                                     oracle=oracle)
+                else:
+                    self._run_parallel(todo, config_list, slots, journal,
+                                       renderer, pool_size=pool_size,
+                                       telemetry=telemetry, oracle=oracle)
+                if cache is not None:
+                    for index in todo:
+                        if slots[index] is not None:
+                            cache.put(keys[index], slots[index])
+        except BaseException as err:
+            failed = err
+            raise
+        finally:
+            if journal is not None:
+                executed = sum(1 for i in todo if slots[i] is not None)
+                journal.record(
+                    K.CAMPAIGN_END,
+                    status="failed" if failed is not None else "ok",
+                    executed=executed,
+                    cached=len(config_list) - len(todo),
+                    findings=sum(1 for r in slots
+                                 if r is not None and not r.ok()))
 
         results = [result for result in slots if result is not None]
         if scorecard:
             print(render_scorecard(results))
         return results
+
+    def _run_serial(self, todo: List[int],
+                    config_list: List[Dict[str, Any]],
+                    slots: List[Optional[RunResult]],
+                    journal: Optional[Journal],
+                    renderer: Optional[ProgressRenderer], *,
+                    telemetry: bool, oracle: Optional[Callable]) -> None:
+        done = len(config_list) - len(todo)
+        with _maybe_phase(journal, "dispatch"):
+            for index in todo:
+                if journal is not None:
+                    journal.record(K.CAMPAIGN_RUN_START, index=index,
+                                   label=_config_label(config_list[index]))
+                try:
+                    slots[index] = _execute_config(
+                        self._body, self._seed, config_list[index],
+                        telemetry=telemetry, oracle=oracle)
+                except Exception as err:
+                    if journal is not None:
+                        journal.record(K.CAMPAIGN_WORKER_ERROR, index=index,
+                                       error=repr(err))
+                    raise
+                if journal is not None:
+                    journal.record(K.CAMPAIGN_RUN_END,
+                                   **_run_end_payload(index, slots[index]))
+                done += 1
+                if renderer is not None:
+                    renderer.update(done, findings=sum(
+                        1 for r in slots if r is not None and not r.ok())
+                        or None)
+
+    def _run_parallel(self, todo: List[int],
+                      config_list: List[Dict[str, Any]],
+                      slots: List[Optional[RunResult]],
+                      journal: Optional[Journal],
+                      renderer: Optional[ProgressRenderer], *,
+                      pool_size: int, telemetry: bool,
+                      oracle: Optional[Callable]) -> None:
+        try:
+            pickle.dumps((self._body, oracle))
+        except Exception as err:
+            raise TypeError(
+                "Campaign.run(workers>1) needs a picklable "
+                "(module-level) body and oracle, got "
+                f"{self._body!r} / {oracle!r}: {err}") from err
+        pool = _get_pool(min(pool_size, len(todo)))
+        with _maybe_phase(journal, "dispatch"):
+            futures = []
+            for start, stop in _chunk_ranges(len(todo), pool_size):
+                indices = todo[start:stop]
+                futures.append((indices, pool.submit(
+                    _execute_chunk, self._body, self._seed,
+                    [config_list[i] for i in indices], indices,
+                    telemetry=telemetry, oracle=oracle)))
+        done = len(config_list) - len(todo)
+        with _maybe_phase(journal, "merge"):
+            for indices, future in futures:
+                try:
+                    chunk_results = future.result()
+                except Exception as err:
+                    if journal is not None:
+                        journal.record(K.CAMPAIGN_WORKER_ERROR,
+                                       indices=indices, error=repr(err))
+                    raise
+                for index, run_result in zip(indices, chunk_results):
+                    slots[index] = run_result
+                    if journal is not None:
+                        journal.record(K.CAMPAIGN_RUN_END,
+                                       **_run_end_payload(index, run_result))
+                done += len(indices)
+                if renderer is not None:
+                    renderer.update(done, findings=sum(
+                        1 for r in slots if r is not None and not r.ok())
+                        or None)
+
+
+def _maybe_phase(journal: Optional[Journal], name: str, **payload: Any):
+    """``journal.phase(name)`` when journaling, a no-op span otherwise."""
+    if journal is None:
+        return nullcontext()
+    return journal.phase(name, **payload)
+
+
+def _run_end_payload(index: int, result: RunResult, *,
+                     cached_hit: bool = False) -> Dict[str, Any]:
+    """The ``campaign.run_end`` event payload for one result.
+
+    Carries every deterministic scorecard input -- label, oracle verdict
+    codes, telemetry -- so a journal replay can rebuild the exact
+    scorecard the live sweep printed (or would have printed when it was
+    killed first).
+    """
+    payload: Dict[str, Any] = {
+        "index": index,
+        "label": _config_label(result.config),
+        "cached": cached_hit,
+        "ok": result.ok(),
+    }
+    if result.violations is not None:
+        payload["violations"] = len(result.violations)
+        payload["codes"] = sorted({v.code for v in result.violations})
+    if result.telemetry is not None:
+        payload["telemetry"] = result.telemetry.as_dict()
+    return payload
 
 
 def _execute_config(body: Callable[[ExperimentEnv, Dict[str, Any]], Any],

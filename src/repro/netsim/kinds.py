@@ -103,6 +103,24 @@ ABP_DELIVERED = "abp.delivered"
 ABP_DUPLICATE_DELIVERED = "abp.duplicate_delivered"
 ABP_DUPLICATE_SUPPRESSED = "abp.duplicate_suppressed"
 
+# ---------------------------------------------------------------------
+# campaign flight recorder (the JSONL run journal of repro.obs.journal;
+# these kinds name journal events, recorded via Journal.record rather
+# than TraceRecorder.record, but they share this registry so the
+# SC201-SC204 drift pass covers both schemas)
+# ---------------------------------------------------------------------
+
+CAMPAIGN_START = "campaign.start"
+CAMPAIGN_PREFLIGHT = "campaign.preflight"
+CAMPAIGN_CHECKPOINT_CAPTURE = "campaign.checkpoint_capture"
+CAMPAIGN_PHASE_START = "campaign.phase_start"
+CAMPAIGN_PHASE_END = "campaign.phase_end"
+CAMPAIGN_RUN_START = "campaign.run_start"
+CAMPAIGN_RUN_END = "campaign.run_end"
+CAMPAIGN_WORKER_ERROR = "campaign.worker_error"
+CAMPAIGN_SHRINK_STEP = "campaign.shrink_step"
+CAMPAIGN_END = "campaign.end"
+
 NET_SEND = "net.send"
 NET_LINK_DROP = "net.link_drop"
 NET_UNROUTABLE = "net.unroutable"

@@ -17,32 +17,74 @@ capabilities through every layer of the toolchain:
   compiled execution path;
 - :mod:`~repro.obs.telemetry` -- per-configuration campaign timing
   (wall/virtual-time ratio, event counts) rendered as a scorecard;
+- :mod:`~repro.obs.journal` -- the campaign flight recorder: a
+  crash-safe, append-only JSONL event journal every long-running engine
+  can attach (``journal=``), with torn-tail-tolerant replay and a
+  ``repro tail`` follower;
+- :mod:`~repro.obs.progress` -- the one shared live-progress renderer
+  behind ``--progress`` everywhere;
+- :mod:`~repro.obs.campaign_report` -- folds a journal into a summary,
+  partial scorecard, JSON and self-contained HTML ranking fault
+  scenarios by bug yield;
+- :mod:`~repro.obs.history` -- content-addressed cross-run history with
+  per-sweep deltas (``repro history``);
 - :mod:`~repro.obs.chrometrace` / :mod:`~repro.obs.report` -- exporters:
-  Chrome-trace/Perfetto JSON and the ``repro report`` text rendering.
+  Chrome-trace/Perfetto JSON (simulator traces and campaign journals)
+  and the ``repro report`` text rendering.
 
-Everything here is read-side or explicitly opt-in: with no trace bound
-and no profiler attached the instrumented hot paths stay guard-only
-(one ``is not None`` test, no allocation).
+Everything here is read-side or explicitly opt-in: with no trace bound,
+no journal attached and no profiler attached the instrumented hot paths
+stay guard-only (one ``is not None`` test, no allocation).
 """
 
-from repro.obs.chrometrace import chrome_trace, dump_chrome_trace
+from repro.obs.campaign_report import (CampaignSummary, rank_scenarios,
+                                       render_html, render_text,
+                                       summarize_journal, summary_to_json)
+from repro.obs.chrometrace import (chrome_trace, dump_chrome_trace,
+                                   journal_chrome_trace)
+from repro.obs.history import HistoryRow, HistoryStore
+from repro.obs.journal import (JOURNAL_KINDS, SCHEMA_VERSION, Journal,
+                               JournalEvent, JournalReplay, follow_journal,
+                               replay_journal)
 from repro.obs.lineage import Lineage, LineageNode
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profiler import ScriptProfiler
+from repro.obs.progress import ProgressRenderer, format_eta, rate_of
 from repro.obs.report import render_report
-from repro.obs.telemetry import RunTelemetry, render_scorecard
+from repro.obs.telemetry import (RunTelemetry, render_scorecard,
+                                 render_scorecard_rows)
 
 __all__ = [
+    "JOURNAL_KINDS",
+    "SCHEMA_VERSION",
+    "CampaignSummary",
     "Counter",
     "Gauge",
     "Histogram",
+    "HistoryRow",
+    "HistoryStore",
+    "Journal",
+    "JournalEvent",
+    "JournalReplay",
     "Lineage",
     "LineageNode",
     "MetricsRegistry",
+    "ProgressRenderer",
     "RunTelemetry",
     "ScriptProfiler",
     "chrome_trace",
     "dump_chrome_trace",
+    "follow_journal",
+    "format_eta",
+    "journal_chrome_trace",
+    "rank_scenarios",
+    "rate_of",
+    "render_html",
     "render_report",
     "render_scorecard",
+    "render_scorecard_rows",
+    "render_text",
+    "replay_journal",
+    "summarize_journal",
+    "summary_to_json",
 ]

@@ -121,3 +121,78 @@ def dump_chrome_trace(trace: Iterable[TraceEntry], *,
     """The Trace Event Format JSON text for a trace."""
     return json.dumps(chrome_trace(trace, title=title), sort_keys=True,
                       indent=indent or None)
+
+
+def journal_chrome_trace(replay: Any, *,
+                         title: str = "campaign journal"
+                         ) -> Dict[str, Any]:
+    """Trace Event Format view of a campaign journal replay.
+
+    The sweep becomes one timeline process: campaign phases (lint
+    preflight, checkpoint capture, dispatch, merge) map to complete
+    spans on a ``phases`` thread, ``campaign.run_start`` ..
+    ``campaign.run_end`` pairs to spans on a ``runs`` thread (matched by
+    run index, falling back to an instant for a run_end with no
+    recorded start -- e.g. cached runs), and everything else to instant
+    events.  Journal timestamps are wall seconds since journal open,
+    exported as microseconds like the virtual-time traces.
+    """
+    events: List[Dict[str, Any]] = [
+        {"ph": "M", "name": "process_name", "pid": 1, "tid": 0,
+         "args": {"name": "campaign"}},
+        {"ph": "M", "name": "thread_name", "pid": 1, "tid": 1,
+         "args": {"name": "phases"}},
+        {"ph": "M", "name": "thread_name", "pid": 1, "tid": 2,
+         "args": {"name": "runs"}},
+        {"ph": "M", "name": "thread_name", "pid": 1, "tid": 3,
+         "args": {"name": "lifecycle"}},
+    ]
+    open_phases: Dict[str, Any] = {}
+    open_runs: Dict[Any, Any] = {}
+    last_t = 0.0
+    for event in replay.events:
+        ts = event.t * _US
+        last_t = event.t
+        data = {k: _jsonable(v) for k, v in event.data.items()}
+        if event.kind == "campaign.phase_start":
+            open_phases[str(event.get("name", "?"))] = event
+        elif event.kind == "campaign.phase_end":
+            name = str(event.get("name", "?"))
+            started = open_phases.pop(name, None)
+            start_ts = started.t * _US if started is not None else ts
+            events.append({"ph": "X", "name": name, "cat": "campaign",
+                           "ts": start_ts, "dur": ts - start_ts,
+                           "pid": 1, "tid": 1, "args": data})
+        elif event.kind == "campaign.run_start":
+            open_runs[event.get("index")] = event
+        elif event.kind == "campaign.run_end":
+            started = open_runs.pop(event.get("index"), None)
+            name = str(event.get("label", event.get("case",
+                                                    f"run {event.get('index')}")))
+            if started is not None:
+                start_ts = started.t * _US
+                events.append({"ph": "X", "name": name, "cat": "campaign",
+                               "ts": start_ts, "dur": ts - start_ts,
+                               "pid": 1, "tid": 2, "args": data})
+            else:
+                events.append({"ph": "i", "name": name, "cat": "campaign",
+                               "ts": ts, "s": "t", "pid": 1, "tid": 2,
+                               "args": data})
+        else:
+            events.append({"ph": "i", "name": event.kind, "cat": "campaign",
+                           "ts": ts, "s": "t", "pid": 1, "tid": 3,
+                           "args": data})
+    # a killed sweep leaves phases/runs open: close them at the last
+    # recorded instant so the torn flight still renders
+    for name, started in open_phases.items():
+        events.append({"ph": "X", "name": f"{name} (unclosed)",
+                       "cat": "campaign", "ts": started.t * _US,
+                       "dur": max(0.0, (last_t - started.t) * _US),
+                       "pid": 1, "tid": 1, "args": {}})
+    for index, started in open_runs.items():
+        events.append({"ph": "i", "name": f"run {index} (no run_end)",
+                       "cat": "campaign", "ts": started.t * _US, "s": "t",
+                       "pid": 1, "tid": 2, "args": {}})
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"title": title,
+                          "generator": "repro.obs.chrometrace"}}

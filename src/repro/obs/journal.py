@@ -1,0 +1,308 @@
+"""The campaign flight recorder: a crash-safe, append-only run journal.
+
+The paper's methodology is campaign-shaped -- every table is a sweep of
+fault scenarios whose value lies in the aggregate record -- yet an
+in-memory scorecard evaporates the moment a sweep crashes or is killed.
+This module makes the record durable: every long-running engine
+(``Campaign.run``, ``run_fuzz``, ``repro explore``, ddmin shrinking)
+can attach a :class:`Journal` and emit one schema-versioned JSONL event
+per lifecycle step -- ``campaign.start``, ``campaign.preflight``,
+``campaign.checkpoint_capture``, ``campaign.run_start`` /
+``campaign.run_end`` (carrying telemetry, oracle violation codes and
+coverage-key deltas), ``campaign.worker_error``,
+``campaign.shrink_step``, ``campaign.phase_start`` /
+``campaign.phase_end`` spans, ``campaign.end``.
+
+Crash-safety contract:
+
+- **atomic single-line appends**: each event is one ``os.write`` of one
+  complete ``\\n``-terminated line to an ``O_APPEND`` descriptor, so a
+  killed process can tear at most the final line, never interleave or
+  corrupt earlier ones;
+- **tolerant replay**: :func:`replay_journal` recovers every complete
+  event and reports the torn tail (the undecodable trailing bytes)
+  instead of failing, so a journal from a SIGKILLed sweep still
+  reproduces the exact partial scorecard via
+  :mod:`repro.obs.campaign_report`.
+
+Event kinds are part of the trace-schema registry
+(:mod:`repro.netsim.kinds`), so the SC201-SC204 drift pass covers the
+journal schema the same way it covers simulator traces; the journal
+additionally carries :data:`SCHEMA_VERSION` in every ``campaign.start``
+payload, drift-guarded by a pinned-fingerprint test.
+
+Like the rest of :mod:`repro.obs`, journaling is off by default and the
+``journal=`` hooks are single ``is not None`` guards; the enabled cost
+is CI-gated at <=3% by ``benchmarks/bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter, sleep
+from typing import (Any, Dict, Iterator, List, Optional, Tuple, Union)
+
+from repro.analysis.export import _jsonable
+from repro.netsim import kinds as K
+
+#: version of the journal event schema; bump on any change to the event
+#: kind set or to the meaning of a recorded payload field (the pinned
+#: drift test in tests/staticcheck holds the two in lockstep)
+SCHEMA_VERSION = 1
+
+#: every event kind a journal may contain -- the closed journal schema
+JOURNAL_KINDS = frozenset({
+    K.CAMPAIGN_START,
+    K.CAMPAIGN_PREFLIGHT,
+    K.CAMPAIGN_CHECKPOINT_CAPTURE,
+    K.CAMPAIGN_PHASE_START,
+    K.CAMPAIGN_PHASE_END,
+    K.CAMPAIGN_RUN_START,
+    K.CAMPAIGN_RUN_END,
+    K.CAMPAIGN_WORKER_ERROR,
+    K.CAMPAIGN_SHRINK_STEP,
+    K.CAMPAIGN_END,
+})
+
+
+@dataclass(frozen=True)
+class JournalEvent:
+    """One replayed journal event."""
+
+    kind: str
+    seq: int
+    #: wall-clock seconds since the journal was opened
+    t: float
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.data.get(key, default)
+
+
+class Journal:
+    """Append-only crash-safe JSONL event journal.
+
+    One :class:`Journal` records one sweep (or several back-to-back
+    sweeps appended to the same file -- replay segments on
+    ``campaign.start``).  Appends go through a single ``os.write`` per
+    event on an ``O_APPEND`` descriptor: no user-space buffering, no
+    partial flushes, so the only damage a crash can do is truncate the
+    final line -- which replay tolerates.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd: Optional[int] = os.open(
+            str(self.path), os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        self._seq = 0
+        self._t0 = perf_counter()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def ensure(cls, journal: Union[None, str, Path, "Journal"]
+               ) -> "Tuple[Optional[Journal], bool]":
+        """Normalize a ``journal=`` argument to ``(journal, owned)``.
+
+        Engines accept ``None`` (journaling off), a path (the engine
+        opens and closes the journal), or an existing :class:`Journal`
+        (the caller keeps ownership -- several engines can share one
+        file, e.g. a fuzz sweep followed by shrinking).
+        """
+        if journal is None:
+            return None, False
+        if isinstance(journal, Journal):
+            return journal, False
+        return cls(journal), True
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record(self, kind: str, **payload: Any) -> Dict[str, Any]:
+        """Append one event; returns the written dict.
+
+        ``kind`` must belong to :data:`JOURNAL_KINDS` -- the journal
+        schema is closed so replayers never meet a kind they cannot
+        interpret.  Payload values are JSON-sanitized the same way
+        trace exports are.
+        """
+        if kind not in JOURNAL_KINDS:
+            raise ValueError(
+                f"unknown journal event kind {kind!r}; the schema "
+                f"(version {SCHEMA_VERSION}) allows {sorted(JOURNAL_KINDS)}")
+        if self._fd is None:
+            raise RuntimeError(f"journal {self.path} is closed")
+        event = {"kind": kind, "seq": self._seq,
+                 "t": round(perf_counter() - self._t0, 6),
+                 "data": {k: _jsonable(v) for k, v in payload.items()}}
+        line = json.dumps(event, sort_keys=True) + "\n"
+        os.write(self._fd, line.encode("utf-8"))
+        self._seq += 1
+        return event
+
+    def start(self, engine: str, **payload: Any) -> Dict[str, Any]:
+        """Record ``campaign.start`` with the schema version stamped in."""
+        return self.record(K.CAMPAIGN_START, engine=engine,
+                           schema=SCHEMA_VERSION, **payload)
+
+    @contextmanager
+    def phase(self, name: str, **payload: Any) -> Iterator[None]:
+        """A ``campaign.phase_start`` .. ``campaign.phase_end`` span.
+
+        Phases (lint preflight, checkpoint capture, dispatch, merge)
+        become duration spans in the Chrome-trace export of the journal
+        (:func:`repro.obs.chrometrace.journal_chrome_trace`).
+        """
+        self.record(K.CAMPAIGN_PHASE_START, name=name, **payload)
+        try:
+            yield
+        finally:
+            self.record(K.CAMPAIGN_PHASE_END, name=name)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# replay
+# ----------------------------------------------------------------------
+
+@dataclass
+class JournalReplay:
+    """Everything recovered from one journal file."""
+
+    path: Path
+    events: List[JournalEvent] = field(default_factory=list)
+    #: the undecodable trailing bytes of a torn final line (crash mid-
+    #: append), None when the journal ends cleanly
+    torn_tail: Optional[bytes] = None
+    #: bytes consumed by complete events (restart offset for followers)
+    clean_bytes: int = 0
+
+    def of(self, kind: str) -> List[JournalEvent]:
+        """Every event of one kind, in append order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def last(self, kind: str) -> Optional[JournalEvent]:
+        for event in reversed(self.events):
+            if event.kind == kind:
+                return event
+        return None
+
+    @property
+    def complete(self) -> bool:
+        """True when the journal records a finished sweep."""
+        return self.last(K.CAMPAIGN_END) is not None
+
+
+def _decode_line(line: bytes) -> Optional[JournalEvent]:
+    """One journal line as an event, or None when undecodable."""
+    try:
+        raw = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(raw, dict):
+        return None
+    kind = raw.get("kind")
+    seq = raw.get("seq")
+    t = raw.get("t")
+    if not isinstance(kind, str) or kind not in JOURNAL_KINDS:
+        return None
+    if not isinstance(seq, int) or not isinstance(t, (int, float)):
+        return None
+    data = raw.get("data")
+    return JournalEvent(kind=kind, seq=seq, t=float(t),
+                        data=data if isinstance(data, dict) else {})
+
+
+def replay_journal(path: Union[str, Path]) -> JournalReplay:
+    """Recover every complete event from a journal file.
+
+    Tolerates the torn final line a killed writer leaves behind: a
+    trailing chunk that is missing its newline or fails to decode is
+    reported as ``torn_tail``, and everything before it is returned.
+    An undecodable line anywhere earlier also ends the replay there --
+    after a crash only the tail can be damaged, so anything beyond a
+    damaged line is unreachable bookkeeping, not data.
+    """
+    path = Path(path)
+    blob = path.read_bytes()
+    replay = JournalReplay(path=path)
+    offset = 0
+    while offset < len(blob):
+        newline = blob.find(b"\n", offset)
+        if newline < 0:
+            replay.torn_tail = blob[offset:]
+            break
+        line = blob[offset:newline]
+        event = _decode_line(line)
+        if event is None:
+            replay.torn_tail = blob[offset:]
+            break
+        replay.events.append(event)
+        offset = newline + 1
+        replay.clean_bytes = offset
+    return replay
+
+
+def follow_journal(path: Union[str, Path], *, poll: float = 0.2,
+                   timeout: Optional[float] = None
+                   ) -> Iterator[JournalEvent]:
+    """Yield journal events as they are appended (``repro tail``).
+
+    Starts from the beginning of the file and keeps polling for new
+    complete lines until a ``campaign.end`` event arrives (the sweep
+    finished), ``timeout`` wall seconds elapse, or the consumer stops
+    iterating.  A torn tail is never yielded -- if the writer crashed
+    mid-append the follower simply stops seeing new events and the
+    timeout ends the follow.
+    """
+    path = Path(path)
+    offset = 0
+    buffer = b""
+    started = perf_counter()
+    while True:
+        try:
+            with open(path, "rb") as fp:
+                fp.seek(offset)
+                chunk = fp.read()
+        except FileNotFoundError:
+            chunk = b""
+        if chunk:
+            offset += len(chunk)
+            buffer += chunk
+            while True:
+                newline = buffer.find(b"\n")
+                if newline < 0:
+                    break
+                line, buffer = buffer[:newline], buffer[newline + 1:]
+                event = _decode_line(line)
+                if event is None:
+                    return
+                yield event
+                if event.kind == K.CAMPAIGN_END:
+                    return
+        if timeout is not None and perf_counter() - started >= timeout:
+            return
+        sleep(poll)

@@ -17,7 +17,7 @@ wall-clock second).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 
 @dataclass
@@ -44,12 +44,24 @@ class RunTelemetry:
         return self.virtual_s / self.wall_s if self.wall_s > 0 else 0.0
 
     def as_dict(self) -> Dict[str, Any]:
-        """JSON-friendly form (benchmarks, exports)."""
+        """JSON-friendly form (benchmarks, exports, journal events)."""
         return {"wall_s": self.wall_s, "events": self.events,
                 "virtual_s": self.virtual_s,
                 "trace_entries": self.trace_entries,
                 "events_per_s": self.events_per_s,
                 "virtual_per_wall": self.virtual_per_wall}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunTelemetry":
+        """Rehydrate from :meth:`as_dict` output (journal replay).
+
+        The derived rates are recomputed from the stored base figures,
+        so a replayed scorecard matches what the live run printed.
+        """
+        return cls(wall_s=float(payload.get("wall_s", 0.0)),
+                   events=int(payload.get("events", 0)),
+                   virtual_s=float(payload.get("virtual_s", 0.0)),
+                   trace_entries=int(payload.get("trace_entries", 0)))
 
 
 def _config_label(config: Dict[str, Any], width: int = 30) -> str:
@@ -60,12 +72,16 @@ def _config_label(config: Dict[str, Any], width: int = 30) -> str:
     return text or "(config)"
 
 
-def render_scorecard(results: Iterable[Any]) -> str:
-    """The campaign scorecard: one row per configuration.
+def render_scorecard_rows(
+        rows: Iterable[Tuple[str, Optional["RunTelemetry"]]]) -> str:
+    """The scorecard table from pre-labelled ``(label, telemetry)`` rows.
 
-    ``results`` is a list of ``RunResult``; rows for results without
-    telemetry (e.g. constructed by hand) show dashes.  A totals row
-    closes the table.
+    This is the formatting core shared by live campaigns
+    (:func:`render_scorecard`) and journal replays
+    (:mod:`repro.obs.campaign_report`), so a scorecard reproduced from a
+    flight record is byte-identical to the one the live sweep printed.
+    Rows with ``None`` telemetry show dashes; a totals row closes the
+    table.
     """
     header = (f"{'config':<30} {'wall s':>9} {'events':>10} "
               f"{'virt s':>10} {'ev/s':>10} {'virt/wall':>10}")
@@ -73,9 +89,7 @@ def render_scorecard(results: Iterable[Any]) -> str:
     total_wall = 0.0
     total_events = 0
     counted = 0
-    for result in results:
-        label = _config_label(getattr(result, "config", {}) or {})
-        telemetry = getattr(result, "telemetry", None)
+    for label, telemetry in rows:
         if telemetry is None:
             lines.append(f"{label:<30} {'-':>9} {'-':>10} {'-':>10} "
                          f"{'-':>10} {'-':>10}")
@@ -94,3 +108,15 @@ def render_scorecard(results: Iterable[Any]) -> str:
                  + f" {total_wall:>9.4f} {total_events:>10} {'':>10} "
                    f"{rate:>10.0f}")
     return "\n".join(lines)
+
+
+def render_scorecard(results: Iterable[Any]) -> str:
+    """The campaign scorecard: one row per configuration.
+
+    ``results`` is a list of ``RunResult``; rows for results without
+    telemetry (e.g. constructed by hand) show dashes.
+    """
+    return render_scorecard_rows(
+        (_config_label(getattr(result, "config", {}) or {}),
+         getattr(result, "telemetry", None))
+        for result in results)

@@ -35,9 +35,12 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.analysis.export import VOLATILE_ATTRS, dump_trace
 from repro.core.checkpoint import Checkpoint
 from repro.core.orchestrator import make_env
+from repro.netsim import kinds as K
 from repro.netsim.link import Link
 from repro.netsim.scheduler import Event
 from repro.netsim.timer import Timer
+from repro.obs.journal import Journal
+from repro.obs.progress import ProgressRenderer
 from repro.oracle.fuzz import (DEFAULT_DEPTHS, HORIZONS, _gmp_prefix,
                                _targets, _tcp_prefix, pack_for)
 
@@ -247,8 +250,8 @@ def explore(protocol: str = "gmp", target: str = "self_death", *,
             window: float = 1.5, horizon: Optional[float] = None,
             max_schedules: int = 64, max_perturbations: int = 1,
             defer_delta: float = 4.0,
-            progress: Optional[Callable[[str], None]] = None
-            ) -> ExploreReport:
+            progress: Optional[Callable[[str], None]] = None,
+            journal=None) -> ExploreReport:
     """Explore bounded delivery-order schedules of one protocol target.
 
     The world is warmed to ``depth`` (default: the protocol's stock
@@ -258,44 +261,116 @@ def explore(protocol: str = "gmp", target: str = "self_death", *,
     continues undisturbed to ``horizon`` and the protocol's oracle pack
     judges the trace.  Deterministic in all arguments: the same call
     always explores the same schedules.
+
+    ``journal`` (a :class:`~repro.obs.journal.Journal` or a path)
+    attaches the campaign flight recorder: preflight, the prefix
+    capture, one ``campaign.run_end`` per executed schedule (verdict
+    codes, outcome hash, novelty), and the closing summary are appended
+    crash-safe, so an interrupted exploration still reports its partial
+    outcome census.
     """
     valid = _targets(protocol) + ("fixed",)
     if target not in valid:
         raise ValueError(f"unknown {protocol} target {target!r}; "
                          f"expected one of {valid}")
-    _preflight(protocol)
+    journal_obj, journal_owned = Journal.ensure(journal)
+    try:
+        return _explore_journaled(
+            protocol, target, journal_obj, seed=seed, depth=depth,
+            window=window, horizon=horizon, max_schedules=max_schedules,
+            max_perturbations=max_perturbations, defer_delta=defer_delta,
+            progress=progress)
+    finally:
+        if journal_owned:
+            journal_obj.close()
+
+
+def _explore_journaled(protocol: str, target: str,
+                       journal: Optional[Journal], *, seed: int,
+                       depth: Optional[float], window: float,
+                       horizon: Optional[float], max_schedules: int,
+                       max_perturbations: int, defer_delta: float,
+                       progress: Optional[Callable[[str], None]]
+                       ) -> ExploreReport:
     depth = DEFAULT_DEPTHS[protocol] if depth is None else float(depth)
     horizon = HORIZONS[protocol] if horizon is None else float(horizon)
-    checkpoint = _prefix_checkpoint(protocol, target, depth, seed)
+    if journal is not None:
+        journal.start("explore", protocol=protocol, target=target,
+                      seed=seed, depth=depth, window=window,
+                      horizon=horizon, max_schedules=max_schedules,
+                      max_perturbations=max_perturbations,
+                      defer_delta=defer_delta)
+    try:
+        _preflight(protocol)
+    except Exception:
+        if journal is not None:
+            journal.record(K.CAMPAIGN_PREFLIGHT, ok=False)
+            journal.record(K.CAMPAIGN_END, status="preflight_failed",
+                           executed=0)
+        raise
+    if journal is not None:
+        journal.record(K.CAMPAIGN_PREFLIGHT, ok=True)
+        with journal.phase("capture"):
+            checkpoint = _prefix_checkpoint(protocol, target, depth, seed)
+        journal.record(K.CAMPAIGN_CHECKPOINT_CAPTURE, target=target,
+                       depth=depth, label=checkpoint.label,
+                       identity=checkpoint.identity)
+    else:
+        checkpoint = _prefix_checkpoint(protocol, target, depth, seed)
     oracle = pack_for(protocol)
     steps = _survey(checkpoint, window=window)
     report = ExploreReport(protocol=protocol, target=target, depth=depth,
                            window=window, horizon=horizon, seed=seed)
+    renderer = (ProgressRenderer(f"explore {protocol}/{target}",
+                                 total=None, unit="schedules",
+                                 sink=progress)
+                if progress is not None else None)
     seen_hashes: Dict[str, int] = {}
     seen_findings: set = set()
-    for plan in _plans(steps, max_perturbations=max_perturbations,
-                       max_schedules=max_schedules):
-        applied, violations, outcome_hash = _run_schedule(
-            checkpoint, plan, window=window, horizon=horizon,
-            defer_delta=defer_delta, oracle=oracle)
-        codes = sorted({v.code for v in violations})
-        novel = outcome_hash not in seen_hashes
-        seen_hashes.setdefault(outcome_hash, report.schedules)
-        outcome = ScheduleOutcome(perturbations=applied, codes=codes,
-                                  violation_count=len(violations),
-                                  outcome_hash=outcome_hash, novel=novel)
-        report.schedules += 1
-        report.outcomes.append(outcome)
-        if not applied:
-            report.baseline_codes = codes
-        if codes and novel and tuple(codes) not in seen_findings:
-            seen_findings.add(tuple(codes))
-            report.findings.append(outcome)
-            if progress is not None:
-                progress(f"[explore] {outcome.render()}")
-        if progress is not None and report.schedules % 16 == 0:
-            progress(f"[explore] {report.schedules} schedules, "
-                     f"{len(seen_hashes)} distinct outcomes, "
-                     f"{len(report.findings)} findings")
-    report.distinct_outcomes = len(seen_hashes)
+    status = "ok"
+    try:
+        for plan in _plans(steps, max_perturbations=max_perturbations,
+                           max_schedules=max_schedules):
+            applied, violations, outcome_hash = _run_schedule(
+                checkpoint, plan, window=window, horizon=horizon,
+                defer_delta=defer_delta, oracle=oracle)
+            codes = sorted({v.code for v in violations})
+            novel = outcome_hash not in seen_hashes
+            seen_hashes.setdefault(outcome_hash, report.schedules)
+            outcome = ScheduleOutcome(perturbations=applied, codes=codes,
+                                      violation_count=len(violations),
+                                      outcome_hash=outcome_hash,
+                                      novel=novel)
+            if journal is not None:
+                plan_label = (", ".join(p.render() for p in applied)
+                              or "baseline")
+                journal.record(
+                    K.CAMPAIGN_RUN_END, index=report.schedules,
+                    label=plan_label, target=target, ok=not codes,
+                    codes=codes, violations=len(violations),
+                    outcome=outcome_hash, new_coverage=int(novel),
+                    coverage_total=len(seen_hashes))
+            report.schedules += 1
+            report.outcomes.append(outcome)
+            if not applied:
+                report.baseline_codes = codes
+            if codes and novel and tuple(codes) not in seen_findings:
+                seen_findings.add(tuple(codes))
+                report.findings.append(outcome)
+                if progress is not None:
+                    progress(f"[explore] {outcome.render()}")
+            if renderer is not None and report.schedules % 16 == 0:
+                renderer.update(report.schedules,
+                                distinct_outcomes=len(seen_hashes),
+                                findings=len(report.findings))
+    except BaseException:
+        status = "failed"
+        raise
+    finally:
+        report.distinct_outcomes = len(seen_hashes)
+        if journal is not None:
+            journal.record(K.CAMPAIGN_END, status=status,
+                           executed=report.schedules,
+                           distinct_outcomes=report.distinct_outcomes,
+                           findings=len(report.findings))
     return report

@@ -31,6 +31,9 @@ from typing import (TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional,
 
 from repro.core.distributions import derive_seed
 from repro.core.orchestrator import Campaign, CampaignScriptError, RunResult
+from repro.netsim import kinds as K
+from repro.obs.journal import Journal
+from repro.obs.progress import ProgressRenderer
 
 if TYPE_CHECKING:
     from repro.core.checkpoint import Checkpoint
@@ -340,7 +343,8 @@ class ForkEngine:
     """
 
     def __init__(self, protocol: str, *, campaign_seed: int = 0,
-                 depth: Optional[float] = None):
+                 depth: Optional[float] = None,
+                 journal: Optional[Journal] = None):
         if protocol not in DEFAULT_DEPTHS:
             raise ValueError(f"unknown protocol {protocol!r}")
         self.protocol = protocol
@@ -348,6 +352,8 @@ class ForkEngine:
         self.depth = (DEFAULT_DEPTHS[protocol] if depth is None
                       else float(depth))
         self._checkpoints: Dict[str, "Checkpoint"] = {}
+        #: flight recorder each prefix capture is reported to (optional)
+        self.journal = journal
         #: trials served by forking (every trial is one fork)
         self.forks = 0
         #: prefix simulations actually run (one per distinct target)
@@ -388,6 +394,11 @@ class ForkEngine:
                 label=f"{self.protocol}/{target}@{self.depth:g}")
             self._checkpoints[target] = checkpoint
             self.captures += 1
+            if self.journal is not None:
+                self.journal.record(K.CAMPAIGN_CHECKPOINT_CAPTURE,
+                                    target=target, depth=self.depth,
+                                    label=checkpoint.label,
+                                    identity=checkpoint.identity)
         return checkpoint
 
     def run_config(self, config: Dict[str, object], *, oracle=None,
@@ -460,8 +471,8 @@ def _draw_case(rng: random.Random, protocol: str, corpus: List[FuzzCase],
 def run_fuzz(protocol: str = "gmp", *, seed: int = 0, budget: int = 24,
              workers: int = 1, batch: int = 0,
              checkpoint_depth: Optional[float] = None,
-             progress: Optional[Callable[[str], None]] = None
-             ) -> FuzzReport:
+             progress: Optional[Callable[[str], None]] = None,
+             journal=None) -> FuzzReport:
     """Fuzz one protocol's rig for ``budget`` cases.
 
     Fully deterministic in ``seed``: case generation, per-case seeds,
@@ -476,66 +487,132 @@ def run_fuzz(protocol: str = "gmp", *, seed: int = 0, budget: int = 24,
     defaults -- produces the *same* report the cold path produces, just
     faster; other depths are distinct experiments (the ``install_at``
     config key changes every run seed).  ``progress`` (e.g. ``print``)
-    receives one status line per batch with the trial rate and, on the
-    engine path, the checkpoint hit-rate.
+    receives one status line per batch (shared renderer format) with
+    the trial rate, coverage, findings and, on the engine path, the
+    checkpoint hit-rate.
+
+    ``journal`` (a :class:`~repro.obs.journal.Journal` or a path)
+    attaches the campaign flight recorder: every executed case appends
+    a crash-safe ``campaign.run_end`` event carrying its verdict codes
+    and coverage delta, so a sweep killed mid-run still reproduces its
+    exact partial scorecard from the journal (``repro report
+    --campaign``).  Off by default; the hook is a single ``is not
+    None`` guard per case.
     """
     if batch <= 0:
         batch = max(4, workers * 2)
+    journal_obj, journal_owned = Journal.ensure(journal)
+    try:
+        return _run_fuzz_journaled(
+            protocol, journal_obj, seed=seed, budget=budget,
+            workers=workers, batch=batch,
+            checkpoint_depth=checkpoint_depth, progress=progress)
+    finally:
+        if journal_owned:
+            journal_obj.close()
+
+
+def _run_fuzz_journaled(protocol: str, journal: Optional[Journal], *,
+                        seed: int, budget: int, workers: int, batch: int,
+                        checkpoint_depth: Optional[float],
+                        progress: Optional[Callable[[str], None]]
+                        ) -> FuzzReport:
     report = FuzzReport(protocol=protocol, seed=seed, budget=budget)
     coverage: set = set()
     campaign = Campaign(fuzz_body, seed=seed, lint="error")
     engine = None
     if checkpoint_depth is not None:
         engine = ForkEngine(protocol, campaign_seed=seed,
-                            depth=checkpoint_depth)
+                            depth=checkpoint_depth, journal=journal)
         report.checkpoint_depth = engine.depth
+    if journal is not None:
+        journal.start("fuzz", protocol=protocol, seed=seed, budget=budget,
+                      workers=workers, batch=batch,
+                      checkpoint_depth=report.checkpoint_depth)
+    renderer = (ProgressRenderer(f"fuzz {protocol}", total=budget,
+                                 unit="trials", sink=progress)
+                if progress is not None else None)
     batch_index = 0
     started = perf_counter()
-    while report.executed < budget:
-        count = min(batch, budget - report.executed)
-        rng = random.Random(derive_seed(seed, "fuzz-batch", batch_index))
-        cases = [_draw_case(rng, protocol, report.corpus,
-                            report.executed + i, seed)
-                 for i in range(count)]
-        if engine is not None:
-            # the engine path bypasses Campaign.run, so it repeats the
-            # same pre-flight: body precheck once, script lint per batch
-            configs = [engine.config_for(case) for case in cases]
-            failing = campaign.precheck_body() if batch_index == 0 else []
-            failing += campaign.validate_scripts(configs)
-            if failing:
-                raise CampaignScriptError(failing)
-            oracle = pack_for(protocol)
-            results = [engine.run_config(config, oracle=oracle)
-                       for config in configs]
-        else:
-            results = campaign.run([case.config() for case in cases],
-                                   workers=workers, telemetry=False,
-                                   oracle=pack_for(protocol))
-        for case, result in zip(cases, results):
-            report.executed += 1
-            keys = coverage_keys(result.trace)
-            if keys - coverage:
-                coverage |= keys
-                report.corpus.append(case)
-            if result.violations:
-                codes = sorted({v.code for v in result.violations})
-                report.findings.append(Finding(
-                    case=case, codes=codes,
-                    violation_count=len(result.violations),
-                    example=result.violations[0]))
-        batch_index += 1
-        elapsed = perf_counter() - started
-        report.trials_per_sec = report.executed / elapsed if elapsed else 0.0
-        if engine is not None:
-            report.checkpoint_hit_rate = engine.hit_rate
-        if progress is not None:
-            line = (f"[fuzz {protocol}] {report.executed}/{budget} trials, "
-                    f"{report.trials_per_sec:.1f} trials/s, "
-                    f"findings {len(report.findings)}")
+    status = "ok"
+    try:
+        while report.executed < budget:
+            count = min(batch, budget - report.executed)
+            rng = random.Random(derive_seed(seed, "fuzz-batch", batch_index))
+            cases = [_draw_case(rng, protocol, report.corpus,
+                                report.executed + i, seed)
+                     for i in range(count)]
             if engine is not None:
-                line += f", checkpoint hit-rate {engine.hit_rate:.0%}"
-            progress(line)
+                # the engine path bypasses Campaign.run, so it repeats the
+                # same pre-flight: body precheck once, script lint per batch
+                configs = [engine.config_for(case) for case in cases]
+                failing = campaign.precheck_body() if batch_index == 0 else []
+                failing += campaign.validate_scripts(configs)
+                if journal is not None and batch_index == 0:
+                    journal.record(K.CAMPAIGN_PREFLIGHT, ok=not failing,
+                                   failing=len(failing))
+                if failing:
+                    raise CampaignScriptError(failing)
+                oracle = pack_for(protocol)
+                results = [engine.run_config(config, oracle=oracle)
+                           for config in configs]
+            else:
+                results = campaign.run([case.config() for case in cases],
+                                       workers=workers, telemetry=False,
+                                       oracle=pack_for(protocol))
+                if journal is not None and batch_index == 0:
+                    journal.record(K.CAMPAIGN_PREFLIGHT, ok=True,
+                                   failing=0)
+            for case, result in zip(cases, results):
+                index = report.executed
+                report.executed += 1
+                keys = coverage_keys(result.trace)
+                fresh = len(keys - coverage)
+                in_corpus = False
+                if fresh:
+                    coverage |= keys
+                    report.corpus.append(case)
+                    in_corpus = True
+                codes: List[str] = []
+                if result.violations:
+                    codes = sorted({v.code for v in result.violations})
+                    report.findings.append(Finding(
+                        case=case, codes=codes,
+                        violation_count=len(result.violations),
+                        example=result.violations[0]))
+                if journal is not None:
+                    journal.record(
+                        K.CAMPAIGN_RUN_END, index=index,
+                        label=case.script.name, case=case.script.name,
+                        target=case.target, case_seed=case.case_seed,
+                        ok=not codes, codes=codes,
+                        violations=len(result.violations or ()),
+                        new_coverage=fresh, coverage_total=len(coverage),
+                        corpus=in_corpus)
+            batch_index += 1
+            elapsed = perf_counter() - started
+            report.trials_per_sec = (report.executed / elapsed if elapsed
+                                     else 0.0)
+            if engine is not None:
+                report.checkpoint_hit_rate = engine.hit_rate
+            if renderer is not None:
+                renderer.update(
+                    report.executed,
+                    coverage=len(coverage),
+                    findings=len(report.findings),
+                    checkpoint_hit_rate=(f"{engine.hit_rate:.0%}"
+                                         if engine is not None else None))
+    except BaseException:
+        status = "failed"
+        raise
+    finally:
+        if journal is not None:
+            journal.record(
+                K.CAMPAIGN_END, status=status, executed=report.executed,
+                findings=len(report.findings), coverage=len(coverage),
+                corpus=len(report.corpus),
+                trials_per_sec=round(report.trials_per_sec, 3),
+                checkpoint_hit_rate=report.checkpoint_hit_rate)
     report.coverage = frozenset(coverage)
     return report
 

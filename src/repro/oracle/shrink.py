@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.netsim import kinds as K
+from repro.obs.journal import Journal
 from repro.oracle.fuzz import (Finding, ForkEngine, FuzzCase, pack_for,
                                run_case)
 from repro.oracle.grammar import Clause
@@ -105,7 +107,7 @@ def ddmin(items: Sequence, test) -> List:
 
 
 def shrink_case(case: FuzzCase, code: str, *, campaign_seed: int = 0,
-                checkpoint: bool = True
+                checkpoint: bool = True, journal=None
                 ) -> "tuple[FuzzCase, ShrinkStats]":
     """Reduce ``case`` while it still reports ``code``.
 
@@ -113,42 +115,71 @@ def shrink_case(case: FuzzCase, code: str, *, campaign_seed: int = 0,
     case's warmed prefix checkpoint instead of cold-starting; probe
     verdicts are identical either way, the forked path just reaches
     them faster.  ``checkpoint=False`` keeps the historical cold path.
+
+    ``journal`` (a :class:`~repro.obs.journal.Journal` or a path)
+    records one ``campaign.shrink_step`` per ddmin/seed probe -- clause
+    count, whether the probe still violated -- so an interrupted shrink
+    shows how far it got.  Pass the fuzz sweep's own journal to append
+    the shrink trail to the same flight record.
     """
     stats = ShrinkStats(clauses_before=len(case.script.clauses),
                         seed_before=case.case_seed)
     engine = _probe_engine(case, campaign_seed) if checkpoint else None
+    journal_obj, journal_owned = Journal.ensure(journal)
+    if journal_owned:
+        journal_obj.start("shrink", code=code, case=case.script.name,
+                          target=case.target, campaign_seed=campaign_seed,
+                          clauses=len(case.script.clauses))
 
     def still_violates(candidate: FuzzCase) -> bool:
         stats.runs += 1
-        return code in _codes_of(candidate, campaign_seed, engine=engine)
+        verdict = code in _codes_of(candidate, campaign_seed, engine=engine)
+        if journal_obj is not None:
+            journal_obj.record(
+                K.CAMPAIGN_SHRINK_STEP, probe=stats.runs,
+                case=candidate.script.name,
+                clauses=len(candidate.script.clauses),
+                case_seed=candidate.case_seed, code=code,
+                still_violates=verdict)
+        return verdict
 
-    if not still_violates(case):
-        raise ValueError(
-            f"case {case.script.name} does not reproduce {code} under "
-            f"campaign seed {campaign_seed}; nothing to shrink")
+    try:
+        if not still_violates(case):
+            raise ValueError(
+                f"case {case.script.name} does not reproduce {code} under "
+                f"campaign seed {campaign_seed}; nothing to shrink")
 
-    def with_clauses(clauses: Sequence[Clause]) -> FuzzCase:
-        return FuzzCase(
-            script=case.script.with_clauses(
-                clauses, name=f"{case.script.name}_min"),
-            target=case.target, case_seed=case.case_seed)
+        def with_clauses(clauses: Sequence[Clause]) -> FuzzCase:
+            return FuzzCase(
+                script=case.script.with_clauses(
+                    clauses, name=f"{case.script.name}_min"),
+                target=case.target, case_seed=case.case_seed)
 
-    clauses = ddmin(case.script.clauses,
-                    lambda cand: still_violates(with_clauses(cand)))
-    shrunk = with_clauses(clauses)
+        clauses = ddmin(case.script.clauses,
+                        lambda cand: still_violates(with_clauses(cand)))
+        shrunk = with_clauses(clauses)
 
-    for seed in SEED_CANDIDATES:
-        if seed == shrunk.case_seed:
-            break
-        candidate = FuzzCase(script=shrunk.script, target=shrunk.target,
-                             case_seed=seed)
-        if still_violates(candidate):
-            shrunk = candidate
-            break
+        for seed in SEED_CANDIDATES:
+            if seed == shrunk.case_seed:
+                break
+            candidate = FuzzCase(script=shrunk.script, target=shrunk.target,
+                                 case_seed=seed)
+            if still_violates(candidate):
+                shrunk = candidate
+                break
 
-    stats.clauses_after = len(shrunk.script.clauses)
-    stats.seed_after = shrunk.case_seed
-    return shrunk, stats
+        stats.clauses_after = len(shrunk.script.clauses)
+        stats.seed_after = shrunk.case_seed
+        if journal_owned:
+            journal_obj.record(
+                K.CAMPAIGN_END, status="ok", executed=stats.runs,
+                clauses_before=stats.clauses_before,
+                clauses_after=stats.clauses_after,
+                seed_after=stats.seed_after)
+        return shrunk, stats
+    finally:
+        if journal_owned:
+            journal_obj.close()
 
 
 # ----------------------------------------------------------------------
@@ -247,19 +278,20 @@ def replay_artifact(artifact: Union[ReproArtifact, str, Path]
 
 
 def shrink_finding(finding: Finding, *, campaign_seed: int = 0,
-                   checkpoint: bool = True
+                   checkpoint: bool = True, journal=None
                    ) -> "tuple[ReproArtifact, ShrinkStats]":
     """Shrink one fuzz finding and freeze the result.
 
     Probes may run checkpointed (see :func:`shrink_case`); the final
     artifact is always frozen from a cold :func:`~repro.oracle.fuzz
     .run_case` replay, so a committed artifact never depends on the
-    checkpoint layer to reproduce.
+    checkpoint layer to reproduce.  ``journal`` is forwarded to
+    :func:`shrink_case`.
     """
     code = finding.codes[0]
     shrunk, stats = shrink_case(finding.case, code,
                                 campaign_seed=campaign_seed,
-                                checkpoint=checkpoint)
+                                checkpoint=checkpoint, journal=journal)
     return make_artifact(shrunk, code, campaign_seed=campaign_seed), stats
 
 

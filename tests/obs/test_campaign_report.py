@@ -1,0 +1,178 @@
+"""Journal -> summary -> scorecard/ranking/report fidelity."""
+
+import json
+
+from repro.netsim import kinds as K
+from repro.obs.campaign_report import (CampaignSummary, rank_scenarios,
+                                       render_html, render_text,
+                                       summarize_journal, summary_to_json)
+from repro.obs.journal import Journal, SCHEMA_VERSION, replay_journal
+from repro.obs.telemetry import RunTelemetry
+
+
+def _write_sweep(path, *, budget=6, end=True):
+    """A fuzz-shaped journal: one finding, one corpus promotion."""
+    with Journal(path) as journal:
+        journal.start("fuzz", protocol="gmp", seed=0, budget=budget,
+                      checkpoint_depth=8)
+        journal.record(K.CAMPAIGN_PREFLIGHT, ok=True)
+        journal.record(K.CAMPAIGN_CHECKPOINT_CAPTURE, target="m0",
+                       depth=8, label="gmp@8")
+        rows = [
+            ("fuzz_0", [], 0, 3, True, None),
+            ("fuzz_1", ["GMP-SELF-DEATH"], 2, 1, False, "dead"),
+            ("fuzz_2", [], 0, 0, False, None),
+            ("fuzz_3", [], 0, 0, False, None),
+        ]
+        coverage = 0
+        journal.record(K.CAMPAIGN_PHASE_START, name="dispatch")
+        for index, (label, codes, violations, fresh,
+                    corpus, outcome) in enumerate(rows[:budget]):
+            coverage += fresh
+            journal.record(K.CAMPAIGN_RUN_END, index=index, label=label,
+                           target="m0", ok=not codes, codes=codes,
+                           violations=violations, new_coverage=fresh,
+                           coverage_total=coverage, corpus=corpus,
+                           outcome=outcome)
+        if end:  # a killed sweep never closes its phase span
+            journal.record(K.CAMPAIGN_PHASE_END, name="dispatch")
+            journal.record(K.CAMPAIGN_END, status="ok",
+                           executed=min(budget, len(rows)), findings=1)
+    return path
+
+
+class TestSummarize:
+    def test_complete_sweep(self, tmp_path):
+        summary = summarize_journal(_write_sweep(tmp_path / "j.jsonl"))
+        assert summary.engine == "fuzz"
+        assert summary.schema == SCHEMA_VERSION
+        assert summary.completed
+        assert summary.executed == 4
+        assert summary.total == 6
+        assert [row.label for row in summary.findings] == ["fuzz_1"]
+        assert summary.coverage_total == 4
+        assert summary.corpus_size == 1
+        assert summary.codes_histogram() == {"GMP-SELF-DEATH": 1}
+        assert len(summary.checkpoints) == 1
+
+    def test_interrupted_sweep_reports_partial_scorecard(self, tmp_path):
+        path = _write_sweep(tmp_path / "j.jsonl", end=False)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-7])  # tear the final run_end line
+        summary = summarize_journal(path)
+        assert not summary.completed
+        assert summary.torn_tail_bytes > 0
+        assert summary.executed == 3  # the torn fourth row is not invented
+        assert len(summary.findings) == 1
+
+    def test_last_start_segment_wins(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_sweep(path, budget=6)
+        with Journal(path) as journal:  # append a second flight
+            journal.start("shrink", code="GMP-SELF-DEATH")
+            journal.record(K.CAMPAIGN_SHRINK_STEP, probe=1,
+                           still_violates=True)
+            journal.record(K.CAMPAIGN_END, status="ok")
+        summary = summarize_journal(path)
+        assert summary.engine == "shrink"
+        assert summary.executed == 0
+        assert summary.shrink_steps == 1
+
+    def test_replay_object_accepted(self, tmp_path):
+        replay = replay_journal(_write_sweep(tmp_path / "j.jsonl"))
+        assert summarize_journal(replay).executed == 4
+
+    def test_fingerprint_pairs_same_experiment(self, tmp_path):
+        full = summarize_journal(_write_sweep(tmp_path / "a.jsonl"))
+        partial_path = _write_sweep(tmp_path / "b.jsonl", end=False)
+        partial = summarize_journal(partial_path)
+        other = summarize_journal(
+            _write_sweep(tmp_path / "c.jsonl", budget=3))
+        assert full.fingerprint() == partial.fingerprint()
+        assert full.fingerprint() != other.fingerprint()
+
+
+class TestRanking:
+    def test_violations_dominate_then_coverage_then_rarity(self, tmp_path):
+        summary = summarize_journal(_write_sweep(tmp_path / "j.jsonl"))
+        ranked = rank_scenarios(summary)
+        assert ranked[0].row.label == "fuzz_1"  # 2 violations -> score > 20
+        assert ranked[0].score == 2 * 10 + 1 + 1.0  # unique signature
+        assert ranked[1].row.label == "fuzz_0"  # 3 coverage keys
+        # clean runs share a signature -> rarity 1/3 each, index ties
+        assert [r.row.label for r in ranked[2:]] == ["fuzz_2", "fuzz_3"]
+        assert ranked[2].rarity == 1 / 3
+
+    def test_limit(self, tmp_path):
+        summary = summarize_journal(_write_sweep(tmp_path / "j.jsonl"))
+        assert len(rank_scenarios(summary, limit=2)) == 2
+
+    def test_deterministic_across_replays(self, tmp_path):
+        path = _write_sweep(tmp_path / "j.jsonl")
+        first = [(r.row.label, r.score)
+                 for r in rank_scenarios(summarize_journal(path))]
+        second = [(r.row.label, r.score)
+                  for r in rank_scenarios(summarize_journal(path))]
+        assert first == second
+
+
+class TestRenderers:
+    def test_text_scorecard(self, tmp_path):
+        summary = summarize_journal(_write_sweep(tmp_path / "j.jsonl"))
+        text = render_text(summary)
+        assert "campaign flight record: fuzz" in text
+        assert "protocol=gmp" in text and "seed=0" in text
+        assert "completed" in text
+        assert "executed 4/6 runs" in text
+        assert "coverage 4 keys" in text
+        assert "findings 1" in text
+        assert "GMP-SELF-DEATH" in text
+        assert "top scenarios by bug yield:" in text
+        assert "checkpoints captured: gmp@8" in text
+
+    def test_text_marks_interruption(self, tmp_path):
+        path = _write_sweep(tmp_path / "j.jsonl", end=False)
+        path.write_bytes(path.read_bytes()[:-7])
+        text = render_text(summarize_journal(path))
+        assert "INTERRUPTED" in text
+        assert "torn tail" in text
+
+    def test_json_shape(self, tmp_path):
+        summary = summarize_journal(_write_sweep(tmp_path / "j.jsonl"))
+        payload = summary_to_json(summary)
+        json.dumps(payload)  # must be serializable as-is
+        assert payload["engine"] == "fuzz"
+        assert payload["executed"] == 4 and payload["total"] == 6
+        assert payload["findings"] == 1
+        assert payload["codes"] == {"GMP-SELF-DEATH": 1}
+        assert len(payload["runs"]) == 4
+        assert payload["ranking"][0]["label"] == "fuzz_1"
+        assert payload["fingerprint"] == summary.fingerprint()
+
+    def test_html_is_self_contained(self, tmp_path):
+        summary = summarize_journal(_write_sweep(tmp_path / "j.jsonl"))
+        page = render_html(summary)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "GMP-SELF-DEATH" in page
+        assert "fuzz_1" in page
+        assert "src=" not in page and "href=" not in page  # no assets
+        assert "<style>" in page
+
+    def test_telemetry_rows_reproduce_live_scorecard(self, tmp_path):
+        """Replayed telemetry renders the exact table a live run prints."""
+        from repro.obs.telemetry import render_scorecard_rows
+        telemetry = RunTelemetry(wall_s=2.0, events=100, virtual_s=500.0,
+                                 trace_entries=7)
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.start("campaign", seed=7, configs=1)
+            journal.record(K.CAMPAIGN_RUN_END, index=0, label="cfg_a",
+                           ok=True, telemetry=telemetry.as_dict())
+            journal.record(K.CAMPAIGN_END, status="ok")
+        text = render_text(summarize_journal(path))
+        live = render_scorecard_rows([("cfg_a", telemetry)])
+        assert live in text
+
+    def test_empty_summary_renders(self):
+        text = render_text(CampaignSummary(path=None))
+        assert "executed 0 runs" in text

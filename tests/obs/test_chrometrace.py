@@ -76,3 +76,60 @@ class TestSpans:
         instants = _events(harness.env.trace, ph="i", name_part="pfi.drop")
         assert len(instants) == 1
         assert instants[0]["s"] == "t"
+
+
+class TestJournalExport:
+    def _campaign_journal(self, path):
+        from repro.netsim import kinds as K
+        from repro.obs.journal import Journal
+        with Journal(path) as journal:
+            journal.start("campaign", seed=7, configs=2)
+            with journal.phase("dispatch"):
+                for index in range(2):
+                    journal.record(K.CAMPAIGN_RUN_START, index=index,
+                                   label=f"cfg_{index}")
+                    journal.record(K.CAMPAIGN_RUN_END, index=index,
+                                   label=f"cfg_{index}", ok=True)
+            journal.record(K.CAMPAIGN_END, status="ok")
+        return path
+
+    def test_journal_phases_and_runs_become_spans(self, tmp_path):
+        from repro.obs.chrometrace import journal_chrome_trace
+        from repro.obs.journal import replay_journal
+
+        replay = replay_journal(self._campaign_journal(tmp_path / "j.jsonl"))
+        payload = journal_chrome_trace(replay)
+        json.dumps(payload)
+        events = payload["traceEvents"]
+        spans = [e for e in events if e.get("ph") == "X"]
+        assert [e["name"] for e in spans if e["tid"] == 1] == ["dispatch"]
+        run_spans = [e for e in spans if e["tid"] == 2]
+        assert sorted(e["name"] for e in run_spans) == ["cfg_0", "cfg_1"]
+        instants = [e for e in events if e.get("ph") == "i"]
+        assert any(e["name"] == "campaign.start" for e in instants)
+        assert any(e["name"] == "campaign.end" for e in instants)
+
+    def test_run_end_without_start_becomes_instant(self, tmp_path):
+        """Fuzz-shaped journals (no run_start) export as instants."""
+        from repro.obs.chrometrace import journal_chrome_trace
+        from repro.obs.journal import replay_journal
+        from tests.obs.test_campaign_report import _write_sweep
+
+        replay = replay_journal(_write_sweep(tmp_path / "j.jsonl"))
+        payload = journal_chrome_trace(replay)
+        run_events = [e for e in payload["traceEvents"] if e["tid"] == 2
+                      and e["ph"] != "M"]
+        assert run_events and all(e["ph"] == "i" for e in run_events)
+
+    def test_interrupted_journal_closes_open_spans(self, tmp_path):
+        from repro.obs.chrometrace import journal_chrome_trace
+        from repro.obs.journal import replay_journal
+        from tests.obs.test_campaign_report import _write_sweep
+
+        path = _write_sweep(tmp_path / "j.jsonl", end=False)
+        path.write_bytes(path.read_bytes()[:-7])
+        payload = journal_chrome_trace(replay_journal(path))
+        spans = [e for e in payload["traceEvents"] if e.get("ph") == "X"]
+        assert spans  # the torn dispatch phase still renders as a span
+        for event in spans:
+            assert event["dur"] >= 0

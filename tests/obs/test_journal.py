@@ -1,0 +1,200 @@
+"""The flight recorder core: crash-safe appends and tolerant replay.
+
+The crash-safety contract is exercised literally: a multi-event journal
+is truncated at *every* byte offset and replay must recover exactly the
+events whose terminating newline survived, reporting the rest as the
+torn tail -- never raising, never inventing an event.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.netsim import kinds as K
+from repro.obs.journal import (JOURNAL_KINDS, SCHEMA_VERSION, Journal,
+                               follow_journal, replay_journal)
+
+
+def _sample_journal(path):
+    with Journal(path) as journal:
+        journal.start("fuzz", protocol="gmp", seed=0, budget=4)
+        journal.record(K.CAMPAIGN_PREFLIGHT, ok=True)
+        with journal.phase("dispatch"):
+            for index in range(4):
+                journal.record(K.CAMPAIGN_RUN_END, index=index,
+                               label=f"case_{index}", ok=index != 2,
+                               codes=[] if index != 2 else ["GMP-X"],
+                               violations=0 if index != 2 else 1)
+        journal.record(K.CAMPAIGN_END, status="ok", executed=4)
+    return path
+
+
+class TestJournalRecording:
+    def test_roundtrip_preserves_kinds_order_and_payloads(self, tmp_path):
+        path = _sample_journal(tmp_path / "j.jsonl")
+        replay = replay_journal(path)
+        assert replay.torn_tail is None
+        assert [e.kind for e in replay.events] == [
+            K.CAMPAIGN_START, K.CAMPAIGN_PREFLIGHT, K.CAMPAIGN_PHASE_START,
+            K.CAMPAIGN_RUN_END, K.CAMPAIGN_RUN_END, K.CAMPAIGN_RUN_END,
+            K.CAMPAIGN_RUN_END, K.CAMPAIGN_PHASE_END, K.CAMPAIGN_END]
+        assert [e.seq for e in replay.events] == list(range(9))
+        bad = replay.of(K.CAMPAIGN_RUN_END)[2]
+        assert bad.get("codes") == ["GMP-X"]
+        assert bad.get("ok") is False
+        assert replay.complete
+
+    def test_start_stamps_schema_version(self, tmp_path):
+        path = _sample_journal(tmp_path / "j.jsonl")
+        start = replay_journal(path).events[0]
+        assert start.get("schema") == SCHEMA_VERSION
+        assert start.get("engine") == "fuzz"
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with Journal(tmp_path / "j.jsonl") as journal:
+            with pytest.raises(ValueError, match="unknown journal event"):
+                journal.record("net.send", uid=1)
+            with pytest.raises(ValueError):
+                journal.record("campaign.bogus")
+
+    def test_closed_journal_rejects_appends(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            journal.record(K.CAMPAIGN_END, status="ok")
+        journal.close()  # idempotent
+
+    def test_payloads_json_sanitized(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.record(K.CAMPAIGN_RUN_END, index=0,
+                           codes={"B", "A"}, blob=b"\x00\xff",
+                           where=path)
+        event = replay_journal(path).events[0]
+        assert sorted(event.get("codes")) == ["A", "B"]
+        assert event.get("blob") == {"__bytes__": "00ff"}
+        assert isinstance(event.get("where"), str)
+
+    def test_each_line_is_one_complete_json_document(self, tmp_path):
+        path = _sample_journal(tmp_path / "j.jsonl")
+        for line in path.read_bytes().splitlines():
+            doc = json.loads(line)
+            assert set(doc) == {"kind", "seq", "t", "data"}
+
+    def test_appending_engine_shares_open_file(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.start("fuzz", seed=0)
+            journal.record(K.CAMPAIGN_END, status="ok")
+            journal.start("shrink", code="GMP-X")
+            journal.record(K.CAMPAIGN_END, status="ok")
+        replay = replay_journal(path)
+        assert len(replay.of(K.CAMPAIGN_START)) == 2
+        assert [e.seq for e in replay.events] == list(range(4))
+
+
+class TestEnsure:
+    def test_none_stays_off(self):
+        journal, owned = Journal.ensure(None)
+        assert journal is None and owned is False
+
+    def test_path_is_opened_and_owned(self, tmp_path):
+        journal, owned = Journal.ensure(tmp_path / "j.jsonl")
+        assert isinstance(journal, Journal) and owned is True
+        journal.close()
+
+    def test_existing_journal_is_borrowed(self, tmp_path):
+        with Journal(tmp_path / "j.jsonl") as original:
+            journal, owned = Journal.ensure(original)
+            assert journal is original and owned is False
+
+
+class TestTornTailRecovery:
+    def test_missing_trailing_newline_is_torn(self, tmp_path):
+        path = _sample_journal(tmp_path / "j.jsonl")
+        blob = path.read_bytes()
+        torn = tmp_path / "torn.jsonl"
+        torn.write_bytes(blob[:-10])
+        replay = replay_journal(torn)
+        assert replay.torn_tail is not None
+        assert len(replay.events) == 8
+        assert not replay.complete
+
+    def test_truncation_sweep_recovers_every_complete_event(self, tmp_path):
+        """Cut at every byte offset: replay = events before the cut."""
+        path = _sample_journal(tmp_path / "j.jsonl")
+        blob = path.read_bytes()
+        newlines = [i for i, b in enumerate(blob) if b == ord("\n")]
+        torn = tmp_path / "torn.jsonl"
+        for cut in range(len(blob) + 1):
+            torn.write_bytes(blob[:cut])
+            replay = replay_journal(torn)
+            expected = sum(1 for nl in newlines if nl < cut)
+            assert len(replay.events) == expected, f"cut at byte {cut}"
+            assert [e.seq for e in replay.events] == list(range(expected))
+            clean = newlines[expected - 1] + 1 if expected else 0
+            assert replay.clean_bytes == clean
+            if cut == clean:
+                assert replay.torn_tail is None
+            else:
+                assert replay.torn_tail == blob[clean:cut]
+
+    def test_garbage_line_ends_replay_there(self, tmp_path):
+        path = _sample_journal(tmp_path / "j.jsonl")
+        blob = path.read_bytes()
+        first_nl = blob.index(b"\n") + 1
+        mangled = tmp_path / "mangled.jsonl"
+        mangled.write_bytes(blob[:first_nl] + b"\xfe\xffnot json\n"
+                            + blob[first_nl:])
+        replay = replay_journal(mangled)
+        assert len(replay.events) == 1
+        assert replay.torn_tail.startswith(b"\xfe\xff")
+
+    def test_empty_journal_replays_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_bytes(b"")
+        replay = replay_journal(path)
+        assert replay.events == [] and replay.torn_tail is None
+        assert not replay.complete
+
+
+class TestFollow:
+    def test_follow_stops_at_campaign_end(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+
+        def writer():
+            with Journal(path) as journal:
+                journal.start("fuzz", seed=0)
+                journal.record(K.CAMPAIGN_RUN_END, index=0, ok=True)
+                journal.record(K.CAMPAIGN_END, status="ok")
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        events = list(follow_journal(path, poll=0.01, timeout=5.0))
+        thread.join()
+        assert [e.kind for e in events] == [
+            K.CAMPAIGN_START, K.CAMPAIGN_RUN_END, K.CAMPAIGN_END]
+
+    def test_follow_times_out_on_stalled_journal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.start("fuzz", seed=0)
+        events = list(follow_journal(path, poll=0.01, timeout=0.05))
+        assert [e.kind for e in events] == [K.CAMPAIGN_START]
+
+
+class TestSchemaRegistry:
+    def test_journal_kinds_live_in_the_trace_registry(self):
+        from repro.netsim.kinds import all_kinds
+        assert JOURNAL_KINDS <= set(all_kinds())
+
+    def test_schema_fingerprint_pinned_to_version(self):
+        """Changing the journal kind set must bump SCHEMA_VERSION."""
+        import hashlib
+        blob = ",".join(sorted(JOURNAL_KINDS)).encode()
+        fingerprint = hashlib.sha256(blob).hexdigest()[:12]
+        pinned = {1: "f26643f04ebc"}
+        assert pinned.get(SCHEMA_VERSION) == fingerprint, (
+            f"journal schema drifted (fingerprint {fingerprint}); bump "
+            f"SCHEMA_VERSION and re-pin")

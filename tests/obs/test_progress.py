@@ -1,0 +1,80 @@
+"""The shared progress renderer: one line shape for every engine."""
+
+from repro.obs.progress import ProgressRenderer, format_eta, rate_of
+
+
+class TestRateOf:
+    def test_normal_rate(self):
+        assert rate_of(50, 2.0) == 25.0
+
+    def test_zero_elapsed_guards_division(self):
+        assert rate_of(5, 0.0) == 0.0
+
+    def test_negative_elapsed_guards_division(self):
+        assert rate_of(5, -0.001) == 0.0
+
+
+class TestFormatEta:
+    def test_seconds(self):
+        assert format_eta(42.4) == "42s"
+
+    def test_minutes(self):
+        assert format_eta(90.0) == "1.5m"
+
+    def test_hours(self):
+        assert format_eta(5400.0) == "1.5h"
+
+
+class TestProgressRenderer:
+    def _renderer(self, **kwargs):
+        ticks = iter([0.0, 2.0, 4.0, 6.0, 8.0])
+        return ProgressRenderer("fuzz gmp", clock=lambda: next(ticks),
+                                **kwargs)
+
+    def test_line_shape_with_total(self):
+        renderer = self._renderer(total=64, unit="trials")
+        line = renderer.line(12, coverage=58, findings=1)
+        assert line == ("[fuzz gmp] 12/64 trials, 6.0 trials/s, eta 9s, "
+                        "coverage 58, findings 1")
+
+    def test_line_without_total_omits_eta(self):
+        renderer = self._renderer(unit="schedules")
+        line = renderer.line(7)
+        assert line == "[fuzz gmp] 7 schedules, 3.5 schedules/s"
+
+    def test_none_stats_skipped(self):
+        renderer = self._renderer(total=10)
+        line = renderer.line(2, findings=0, checkpoint_hit_rate=None)
+        assert "checkpoint" not in line
+        assert "findings 0" in line
+
+    def test_stat_keys_render_with_spaces_and_float_precision(self):
+        renderer = self._renderer(total=10)
+        line = renderer.line(2, checkpoint_hit_rate="83%", speedup=2.357)
+        assert "checkpoint hit rate 83%" in line
+        assert "speedup 2.4" in line
+
+    def test_done_equals_total_omits_eta(self):
+        renderer = self._renderer(total=10)
+        assert "eta" not in renderer.line(10)
+
+    def test_zero_elapsed_renders_zero_rate(self):
+        renderer = ProgressRenderer("x", total=4, clock=lambda: 1.0)
+        assert "0.0 trials/s" in renderer.line(2)
+        assert "eta" not in renderer.line(2)
+
+    def test_explicit_elapsed_overrides_clock(self):
+        renderer = self._renderer(total=100)
+        assert "5.0 trials/s" in renderer.line(50, elapsed=10.0)
+
+    def test_update_pushes_to_sink(self):
+        seen = []
+        renderer = ProgressRenderer("campaign", total=3, unit="configs",
+                                    sink=seen.append)
+        text = renderer.update(1, findings=0)
+        assert seen == [text]
+        assert text.startswith("[campaign] 1/3 configs")
+
+    def test_no_sink_still_formats(self):
+        renderer = ProgressRenderer("campaign", total=3)
+        assert renderer.update(1).startswith("[campaign] 1/3")

@@ -121,3 +121,85 @@ class TestTraceMetrics:
         counts = kind_counts(harness.env.trace)
         assert counts["pfi.duplicate"] == 1
         assert list(counts) == sorted(counts)
+
+
+class TestCampaignJournalCli:
+    """`repro tail` / `repro history` / `repro report --campaign`."""
+
+    def _journal(self, tmp_path):
+        from tests.obs.test_campaign_report import _write_sweep
+        return _write_sweep(tmp_path / "sweep.jsonl")
+
+    def test_report_campaign_text(self, tmp_path, capsys):
+        path = self._journal(tmp_path)
+        assert main(["report", "--campaign", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign flight record: fuzz" in out
+        assert "top scenarios by bug yield:" in out
+
+    def test_report_campaign_json(self, tmp_path, capsys):
+        path = self._journal(tmp_path)
+        assert main(["report", "--campaign", str(path),
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "fuzz"
+        assert payload["findings"] == 1
+
+    def test_report_campaign_html(self, tmp_path, capsys):
+        path = self._journal(tmp_path)
+        out = tmp_path / "report.html"
+        assert main(["report", "--campaign", str(path),
+                     "--html", str(out)]) == 0
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_report_campaign_missing_journal(self, tmp_path):
+        assert main(["report", "--campaign",
+                     str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_report_without_any_source_fails(self):
+        assert main(["report"]) == 2
+
+    def test_tail_renders_every_event(self, tmp_path, capsys):
+        path = self._journal(tmp_path)
+        assert main(["tail", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign.start" in out
+        assert "campaign.run_end" in out
+        assert "campaign.end" in out
+
+    def test_tail_reports_torn_tail(self, tmp_path, capsys):
+        path = self._journal(tmp_path)
+        path.write_bytes(path.read_bytes()[:-9])
+        assert main(["tail", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "torn" in out
+
+    def test_tail_missing_journal(self, tmp_path):
+        assert main(["tail", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_history_record_and_render(self, tmp_path, capsys):
+        path = self._journal(tmp_path)
+        hist = tmp_path / "hist"
+        assert main(["history", str(hist), "--record", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["history", str(hist)]) == 0
+        out = capsys.readouterr().out
+        assert "1 recorded sweep(s)" in out
+        assert "findings 1" in out
+
+    def test_history_json(self, tmp_path, capsys):
+        path = self._journal(tmp_path)
+        hist = tmp_path / "hist"
+        assert main(["history", str(hist), "--record", str(path),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["rows"]) == 1
+
+    def test_trace_journal_export(self, tmp_path, capsys):
+        path = self._journal(tmp_path)
+        assert main(["trace", "--journal", str(path)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert any(e.get("ph") == "X" for e in data["traceEvents"])
+
+    def test_trace_without_any_source_fails(self):
+        assert main(["trace"]) == 2

@@ -51,6 +51,35 @@ class TestRunTelemetry:
         assert telemetry.events_per_s == 0.0
         assert telemetry.virtual_per_wall == 0.0
 
+    def test_negative_wall_guards_like_zero(self):
+        # a clock that steps backwards (ntp, frozen perf counters on
+        # some VMs) must degrade to 0.0, never a negative rate
+        telemetry = RunTelemetry(wall_s=-0.5, events=5, virtual_s=1.0,
+                                 trace_entries=0)
+        assert telemetry.events_per_s == 0.0
+        assert telemetry.virtual_per_wall == 0.0
+
+    def test_as_dict_at_zero_duration_is_serializable(self):
+        import json
+        payload = RunTelemetry(wall_s=0.0, events=0, virtual_s=0.0,
+                               trace_entries=0).as_dict()
+        assert payload["events_per_s"] == 0.0
+        json.dumps(payload)
+
+    def test_from_dict_roundtrip(self):
+        telemetry = RunTelemetry(wall_s=2.0, events=100, virtual_s=500.0,
+                                 trace_entries=7)
+        clone = RunTelemetry.from_dict(telemetry.as_dict())
+        assert clone == telemetry
+        assert clone.events_per_s == telemetry.events_per_s
+
+    def test_from_dict_zero_duration_roundtrip(self):
+        telemetry = RunTelemetry(wall_s=0.0, events=5, virtual_s=1.0,
+                                 trace_entries=0)
+        clone = RunTelemetry.from_dict(telemetry.as_dict())
+        assert clone.events_per_s == 0.0
+        assert clone.virtual_per_wall == 0.0
+
 
 class TestScorecard:
     def test_one_row_per_config_plus_totals(self):
