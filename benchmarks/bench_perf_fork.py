@@ -29,7 +29,7 @@ import perf_common
 from repro.analysis.export import VOLATILE_ATTRS, dump_trace
 from repro.core import TclishFilter
 from repro.core.checkpoint import Checkpoint
-from repro.core.orchestrator import make_env
+from repro.core.orchestrator import Campaign, PrefixedBody, make_env
 from repro.experiments.gmp_common import build_gmp_cluster
 from repro.oracle import evaluate
 from repro.oracle.fuzz import pack_for
@@ -41,6 +41,9 @@ TARGET = 3
 SCRIPT = 'if {[msg_type cur_msg] eq "HEARTBEAT"} { xDrop cur_msg }'
 
 MIN_SPEEDUP = 3.0
+#: grouped Campaign.run over ungrouped serial; lower than the raw fork
+#: gate because the sweep pays one capture plus per-run scheduling
+MIN_CAMPAIGN_SPEEDUP = 2.0
 
 
 def _prefix(seed: int = 0):
@@ -143,9 +146,106 @@ def run_bench(trials: int = 30, verbose: bool = True) -> dict:
     return payload
 
 
+# ----------------------------------------------------------------------
+# campaign prefix-sharing: grouped sweep vs ungrouped serial
+# ----------------------------------------------------------------------
+
+def _campaign_prefix(env, config):
+    """The sweep's shared warm prefix: the 5-machine group at DEPTH."""
+    cluster = build_gmp_cluster(WORLD, env=env)
+    cluster.start()
+    env.run_until(DEPTH)
+    return {"cluster": cluster}
+
+
+def _campaign_continue(env, state, config):
+    """Per-config tail: arm the heartbeat-drop filter, run out."""
+    script = TclishFilter(SCRIPT, name=f"bench_prefix_{config['case']}")
+    state["cluster"].pfis[TARGET].set_send_filter(script)
+    env.run_until(HORIZON)
+    return {"case": config["case"]}
+
+
+def _campaign_key(config):
+    return f"gmp{len(WORLD)}@{DEPTH:g}"
+
+
+campaign_body = PrefixedBody(_campaign_prefix, _campaign_continue,
+                             key=_campaign_key)
+
+
+def run_campaign_bench(configs: int = 20, verbose: bool = True) -> dict:
+    """Grouped ``Campaign.run`` vs the same sweep forced cold, serially.
+
+    This is the whole-sweep view of the fork speedup above: one prefix
+    group of ``configs`` configurations, single worker, oracle verdicts
+    computed in both paths.  Canonical traces are asserted byte-
+    identical pairwise before any number is reported.
+    """
+    oracle = pack_for("gmp")
+    sweep = [{"case": case} for case in range(configs)]
+
+    # untimed warmup (imports, deepcopy dispatch, tclish compile cache)
+    Campaign(campaign_body, seed=0).run(sweep[:1], group=False,
+                                        telemetry=False)
+
+    def canon(trace):
+        return dump_trace(trace, exclude_attrs=VOLATILE_ATTRS)
+
+    def timed(fn):
+        gc.collect()
+        gc.disable()
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        gc.enable()
+        return result, elapsed
+
+    campaign = Campaign(campaign_body, seed=0)
+    cold, cold_s = timed(lambda: campaign.run(
+        sweep, group=False, telemetry=False, oracle=oracle))
+    grouped, grouped_s = timed(lambda: campaign.run(
+        sweep, telemetry=False, oracle=oracle))
+
+    identical = all(
+        canon(g.trace) == canon(c.trace)
+        and g.result == c.result
+        and [v.fingerprint() for v in (g.violations or [])]
+        == [v.fingerprint() for v in (c.violations or [])]
+        for g, c in zip(grouped, cold))
+    payload = {
+        "world": len(WORLD),
+        "depth": DEPTH,
+        "horizon": HORIZON,
+        "configs": configs,
+        "ungrouped_seconds": round(cold_s, 4),
+        "grouped_seconds": round(grouped_s, 4),
+        "ungrouped_ms_per_config": round(cold_s / configs * 1e3, 3),
+        "grouped_ms_per_config": round(grouped_s / configs * 1e3, 3),
+        "speedup": round(cold_s / grouped_s, 2),
+        "byte_identical": identical,
+    }
+    if verbose:
+        print(f"campaign prefix sharing: {configs} configs, one "
+              f"{len(WORLD)}-machine GMP prefix group at depth {DEPTH:g}")
+        print(f"  ungrouped: {cold_s:8.3f}s "
+              f"({payload['ungrouped_ms_per_config']:.2f} ms/config)")
+        print(f"  grouped  : {grouped_s:8.3f}s "
+              f"({payload['grouped_ms_per_config']:.2f} ms/config)")
+        print(f"  speedup  : {payload['speedup']:.2f}x")
+        print(f"  grouped runs byte-identical to ungrouped: {identical}")
+    return payload
+
+
 def test_perf_fork_quick():
     """CI smoke: forked continuations must replay byte-identically."""
     payload = run_bench(trials=2, verbose=False)
+    assert payload["byte_identical"], payload
+
+
+def test_perf_campaign_prefix_quick():
+    """CI smoke: grouped sweeps must match ungrouped byte-for-byte."""
+    payload = run_campaign_bench(configs=3, verbose=False)
     assert payload["byte_identical"], payload
 
 
@@ -154,9 +254,15 @@ if __name__ == "__main__":
     parser.add_argument("--quick", action="store_true",
                         help="fewer trials, no JSON update, no speed gate")
     parser.add_argument("--trials", type=int, default=30)
+    parser.add_argument("--configs", type=int, default=20)
     args = parser.parse_args()
     result = run_bench(trials=3 if args.quick else args.trials)
     assert result["byte_identical"], result
+    sweep_result = run_campaign_bench(
+        configs=4 if args.quick else args.configs)
+    assert sweep_result["byte_identical"], sweep_result
     if not args.quick:
         assert result["speedup"] >= MIN_SPEEDUP, result
+        assert sweep_result["speedup"] >= MIN_CAMPAIGN_SPEEDUP, sweep_result
         perf_common.update_bench_json("fork", result)
+        perf_common.update_bench_json("campaign_prefix", sweep_result)

@@ -555,11 +555,16 @@ def cmd_fuzz(args) -> int:
     parents.  ``--save-repro`` shrinks every finding (delta debugging
     over script clauses, then seed minimization) and writes a
     deterministic JSON repro artifact into the regression corpus.
+    One checkpoint pool is shared between the sweep and the shrinkers,
+    so a finding's probe prefix is only ever simulated once.
     """
+    from repro.core.checkpoint import CheckpointPool
     from repro.oracle.fuzz import run_fuzz
+    pool = CheckpointPool(max_items=8)
     report = run_fuzz(args.protocol, seed=args.seed, budget=args.budget,
                       workers=args.workers,
                       checkpoint_depth=args.checkpoint_depth,
+                      pool=pool,
                       progress=print if args.progress else None,
                       journal=args.journal or None)
     print(report.render())
@@ -573,7 +578,8 @@ def cmd_fuzz(args) -> int:
     from repro.oracle.shrink import artifact_name, shrink_finding
     out_dir = Path(args.save_repro)
     for finding in report.findings:
-        artifact, stats = shrink_finding(finding, campaign_seed=args.seed)
+        artifact, stats = shrink_finding(finding, campaign_seed=args.seed,
+                                         pool=pool)
         path = artifact.save(out_dir / artifact_name(artifact))
         print(f"  shrunk {finding.case.script.name}: "
               f"{stats.clauses_before}->{stats.clauses_after} clause(s), "
@@ -599,6 +605,7 @@ def cmd_explore(args) -> int:
                      max_schedules=args.max_schedules,
                      max_perturbations=args.max_perturbations,
                      defer_delta=args.defer_delta,
+                     recheckpoint_every=args.recheckpoint_every,
                      progress=print if args.progress else None,
                      journal=args.journal or None)
     print(report.render())
@@ -812,6 +819,12 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--defer-delta", type=float, default=4.0,
                          help="seconds a deferred event is pushed back "
                               "(default 4)")
+    explore.add_argument("--recheckpoint-every", type=int, default=8,
+                         metavar="K",
+                         help="re-checkpoint explored branches every K "
+                              "steps and refork later schedules from "
+                              "the nearest ancestor (0 disables the "
+                              "checkpoint tree; default 8)")
     explore.add_argument("--progress", action="store_true",
                          help="print findings and progress as schedules "
                               "run")

@@ -41,6 +41,15 @@ condition above, process-local (never pickled), and its ``identity``
 digest is what consumers mix into cache keys (see
 :meth:`repro.core.orchestrator.RunCache.key`) so results computed from
 different prefixes can never alias.
+
+Checkpoints form **trees**: ``capture`` also accepts a :class:`Forked`
+continuation, snapshotting the branch mid-flight with the originating
+checkpoint recorded as ``parent`` and its digest chained into the
+child's ``identity`` -- so two branches that diverged from the same
+root but applied different perturbations can never alias either.  Deep
+trees are kept affordable by :class:`CheckpointPool`, an LRU store
+bounded by snapshot count and retained trace entries (the live-memory
+proxy for a snapshot, since worlds are never pickled).
 """
 
 from __future__ import annotations
@@ -49,8 +58,9 @@ import copy
 import functools
 import hashlib
 import inspect
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Hashable, List, Optional, Union
 
 from repro.core.orchestrator import ExperimentEnv
 from repro.netsim.scheduler import Scheduler, SchedulerClock
@@ -133,7 +143,8 @@ class Checkpoint:
     """
 
     def __init__(self, snapshot: Dict[str, Any], *, label: str,
-                 identity: str, time: float, position: int):
+                 identity: str, time: float, position: int,
+                 parent: Optional["Checkpoint"] = None):
         self._snapshot = snapshot
         self.label = label
         self.identity = identity
@@ -143,12 +154,32 @@ class Checkpoint:
         self.position = position
         #: how many forks this checkpoint has produced
         self.forks = 0
+        #: the checkpoint this one's branch was forked from (None: root)
+        self.parent = parent
+
+    @property
+    def depth(self) -> int:
+        """Distance from the tree root (0 for a root checkpoint)."""
+        depth = 0
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
 
     @classmethod
-    def capture(cls, env: ExperimentEnv,
+    def capture(cls, env: Union[ExperimentEnv, "Forked"],
                 roots: Optional[Dict[str, Any]] = None, *,
                 label: str = "", audit: bool = True) -> "Checkpoint":
         """Snapshot ``env`` (plus named rig ``roots``) as of right now.
+
+        ``env`` may also be a :class:`Forked` continuation, in which
+        case the branch is captured mid-flight as a *nested* checkpoint:
+        its ``roots`` default to the fork's roots, its ``parent`` is the
+        checkpoint the branch came from, and the parent's digest is
+        chained into the child's ``identity`` so siblings that diverged
+        differently from the same root never alias.  The fork keeps
+        running after the capture, exactly like a root env does.
 
         The scheduler heap is compacted first so cancelled tombstones
         are not copied into every fork, and (unless ``audit=False``)
@@ -158,6 +189,13 @@ class Checkpoint:
         the runtime :func:`audit_scheduler` for anything the static
         pass cannot see.
         """
+        parent: Optional[Checkpoint] = None
+        if isinstance(env, Forked):
+            forked = env
+            env = forked.env
+            parent = forked.checkpoint
+            if roots is None:
+                roots = forked.roots
         if audit:
             from repro.staticcheck import audit_pending
             static = audit_pending(env.scheduler,
@@ -175,10 +213,10 @@ class Checkpoint:
         env.scheduler.compact()
         world = {"env": env, "roots": dict(roots or {})}
         snapshot = _copy_world(world)
-        identity = _identity(env, world["roots"], label)
+        identity = _identity(env, world["roots"], label, parent=parent)
         return cls(snapshot, label=label or f"t={env.scheduler.now:g}",
                    identity=identity, time=env.scheduler.now,
-                   position=env.trace.position)
+                   position=env.trace.position, parent=parent)
 
     def fork(self, *, seed: Optional[int] = None) -> Forked:
         """An independent continuation; optionally re-seeded.
@@ -201,8 +239,91 @@ class Checkpoint:
         return Forked(env=env, roots=world["roots"], checkpoint=self)
 
     def __repr__(self) -> str:
+        lineage = f", depth={self.depth}" if self.parent is not None else ""
         return (f"Checkpoint({self.label}, t={self.time:g}, "
-                f"entries={self.position}, forks={self.forks})")
+                f"entries={self.position}, forks={self.forks}{lineage})")
+
+
+class CheckpointPool:
+    """LRU store of live checkpoints with a count and entry budget.
+
+    Checkpoint trees grow one snapshot per explored branch segment, and
+    each snapshot retains a full world graph -- an unbounded tree on a
+    long exploration would exhaust memory before the scheduler does.
+    The pool bounds that: ``put`` evicts least-recently-used snapshots
+    once either ``max_items`` (snapshot count) or ``max_entries`` (sum
+    of retained trace positions, the cheap live-memory proxy for worlds
+    that are never pickled) would be exceeded.  The newest snapshot is
+    never evicted, so a single oversized checkpoint still pools.
+
+    ``get`` refreshes recency and counts a hit; a miss (including a
+    previously evicted key) counts against ``misses`` so consumers such
+    as :class:`repro.oracle.fuzz.ForkEngine` can report reuse rates.
+    """
+
+    def __init__(self, max_items: Optional[int] = None,
+                 max_entries: Optional[int] = None):
+        self._items: "OrderedDict[Hashable, Checkpoint]" = OrderedDict()
+        self.max_items = max_items
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._items
+
+    @property
+    def entries(self) -> int:
+        """Total retained trace entries across pooled snapshots."""
+        return sum(cp.position for cp in self._items.values())
+
+    def keys(self) -> List[Hashable]:
+        """Live keys, LRU-first (for ancestor search over a tree)."""
+        return list(self._items.keys())
+
+    def get(self, key: Hashable) -> Optional[Checkpoint]:
+        """The pooled checkpoint under ``key``, refreshed as most recent."""
+        checkpoint = self._items.get(key)
+        if checkpoint is None:
+            self.misses += 1
+            return None
+        self._items.move_to_end(key)
+        self.hits += 1
+        return checkpoint
+
+    def put(self, key: Hashable, checkpoint: Checkpoint) -> Checkpoint:
+        """Pool ``checkpoint`` under ``key``, evicting LRU past budget."""
+        self._items[key] = checkpoint
+        self._items.move_to_end(key)
+        while len(self._items) > 1 and self._over_budget():
+            self._items.popitem(last=False)
+            self.evictions += 1
+        return checkpoint
+
+    def clear(self) -> None:
+        """Drop every pooled snapshot (budget counters are kept)."""
+        self._items.clear()
+
+    def _over_budget(self) -> bool:
+        if self.max_items is not None and len(self._items) > self.max_items:
+            return True
+        return (self.max_entries is not None
+                and self.entries > self.max_entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Reuse counters for reports: hits/misses/evictions/size."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "items": len(self._items),
+                "entries": self.entries}
+
+    def __repr__(self) -> str:
+        return (f"CheckpointPool(items={len(self._items)}, "
+                f"entries={self.entries}, hits={self.hits}, "
+                f"misses={self.misses}, evictions={self.evictions})")
 
 
 def _copy_world(world: Dict[str, Any]) -> Dict[str, Any]:
@@ -223,16 +344,21 @@ def _copy_world(world: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def _identity(env: ExperimentEnv, roots: Dict[str, Any],
-              label: str) -> str:
+              label: str, *, parent: Optional[Checkpoint] = None) -> str:
     """A content digest naming what this checkpoint is a snapshot *of*.
 
     Mixes the capture label, seed, scheduler progress and the trace's
     per-kind histogram: two checkpoints built by different prefix code,
     depths or seeds get different identities, which is what cache keys
     need (full byte-level state hashing would cost more than the fork
-    it protects).
+    it protects).  A nested checkpoint additionally chains its parent's
+    digest, so the identity names the whole branch path from the root,
+    not just the local scheduler position.
     """
     digest = hashlib.sha256()
+    if parent is not None:
+        digest.update(b"parent:")
+        digest.update(parent.identity.encode())
     digest.update(label.encode())
     digest.update(str(env.seed).encode())
     digest.update(f"{env.scheduler.now!r}".encode())

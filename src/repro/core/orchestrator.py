@@ -184,12 +184,17 @@ class RunCache:
             telemetry: bool, oracle: Optional[Callable] = None,
             checkpoint: Optional[str] = None) -> str:
         digest = hashlib.sha256()
-        digest.update(getattr(body, "__module__", "").encode())
-        digest.update(getattr(body, "__qualname__", repr(body)).encode())
-        code = getattr(body, "__code__", None)
-        if code is not None:
-            digest.update(code.co_code)
-            digest.update(repr(code.co_consts).encode())
+        # split bodies (PrefixedBody) expose their parts so the key
+        # covers the prefix *and* continuation bytecode, not the
+        # wrapper instance whose repr would churn per process
+        parts = getattr(body, "cache_parts", None)
+        for fn in (parts() if callable(parts) else (body,)):
+            digest.update(getattr(fn, "__module__", "").encode())
+            digest.update(getattr(fn, "__qualname__", repr(fn)).encode())
+            code = getattr(fn, "__code__", None)
+            if code is not None:
+                digest.update(code.co_code)
+                digest.update(repr(code.co_consts).encode())
         digest.update(str(seed).encode())
         digest.update(b"telemetry" if telemetry else b"bare")
         if checkpoint is not None:
@@ -330,6 +335,148 @@ def _chunk_ranges(total: int, workers: int) -> List[Tuple[int, int]]:
             for start in range(0, total, size)]
 
 
+#: roots key a non-dict prefix state travels under through a checkpoint
+_STATE_ROOT = "__prefix_state__"
+
+
+class PrefixedBody:
+    """A campaign body split at a shareable warm prefix.
+
+    ``prefix(env, config)`` simulates the part many configurations have
+    in common (handshake, view formation, steady state) and returns the
+    rig state the rest of the run needs; ``continuation(env, state,
+    config)`` runs the part that varies and returns the run's result.
+    Called directly (``body(env, config)``) it executes prefix then
+    continuation back to back -- that cold path is the byte-identity
+    reference the grouped scheduler is checked against.
+
+    ``key`` maps a configuration to its *prefix key*: configurations
+    with equal keys promise byte-identical prefix behaviour (same
+    simulated events, zero RNG draws -- the checkpoint reseed contract),
+    so :meth:`Campaign.run` may capture the prefix once per group and
+    fork it per configuration.  A config may override the derivation
+    with an explicit ``"prefix_key"`` entry; a key of ``None`` opts the
+    configuration out of grouping (it always runs cold).
+
+    Instances are SC101-clean callable objects; with module-level
+    ``prefix``/``continuation`` functions they pickle, so a split body
+    works under parallel campaigns unchanged.
+    """
+
+    def __init__(self, prefix: Callable[[ExperimentEnv, Dict[str, Any]], Any],
+                 continuation: Callable[[ExperimentEnv, Any,
+                                         Dict[str, Any]], Any],
+                 key: Optional[Callable[[Dict[str, Any]], Optional[str]]]
+                 = None):
+        self.prefix = prefix
+        self.continuation = continuation
+        self.key = key
+        self.__module__ = getattr(continuation, "__module__",
+                                  type(self).__module__)
+        self.__qualname__ = (
+            f"PrefixedBody({getattr(prefix, '__qualname__', repr(prefix))}"
+            f"+{getattr(continuation, '__qualname__', repr(continuation))})")
+
+    def __call__(self, env: ExperimentEnv, config: Dict[str, Any]) -> Any:
+        state = self.prefix(env, config)
+        return self.continuation(env, state, config)
+
+    def prefix_key(self, config: Dict[str, Any]) -> Optional[str]:
+        """The grouping key for one configuration (None: never group)."""
+        if "prefix_key" in config:
+            return config["prefix_key"]
+        if self.key is None:
+            return None
+        return self.key(config)
+
+    def cache_parts(self) -> Tuple[Callable, ...]:
+        """The callables whose code determines results (for cache keys)."""
+        return (self.prefix, self.continuation)
+
+    def __repr__(self) -> str:
+        return f"<{self.__qualname__}>"
+
+
+def _prefix_digest(body: PrefixedBody, key: Any) -> str:
+    """A static digest naming one (prefix code, prefix key) pair.
+
+    Deterministic *before* any capture happens -- unlike a captured
+    checkpoint's ``identity`` -- so cache pre-passes can mix it into
+    :meth:`RunCache.key` and let fully-cached groups skip capture
+    entirely, while a changed prefix function or key still misses.
+    """
+    digest = hashlib.sha256()
+    fn = body.prefix
+    digest.update(getattr(fn, "__module__", "").encode())
+    digest.update(getattr(fn, "__qualname__", repr(fn)).encode())
+    code = getattr(fn, "__code__", None)
+    if code is not None:
+        digest.update(code.co_code)
+        digest.update(repr(code.co_consts).encode())
+    digest.update(repr(key).encode())
+    return digest.hexdigest()[:16]
+
+
+def _prefix_groups(todo: List[int], keys: List[Optional[Any]]
+                   ) -> List[Tuple[Optional[Any], List[int]]]:
+    """Group sweep indices by prefix key, in first-appearance order.
+
+    ``None``-keyed configurations stay singleton groups (they always run
+    cold); every other key collects all its indices into one group even
+    when they are scattered through the input, which is what lets one
+    capture serve the whole group.
+    """
+    groups: List[Tuple[Optional[Any], List[int]]] = []
+    by_key: Dict[Any, List[int]] = {}
+    for index in todo:
+        key = keys[index]
+        if key is None:
+            groups.append((None, [index]))
+        elif key in by_key:
+            by_key[key].append(index)
+        else:
+            members = [index]
+            by_key[key] = members
+            groups.append((key, members))
+    return groups
+
+
+def _prefix_chunks(todo: List[int], keys: List[Optional[Any]],
+                   workers: int) -> List[List[int]]:
+    """Worker chunks that keep prefix groups whole.
+
+    Contiguous chunking (:func:`_chunk_ranges`) can land one group's
+    configurations in two workers' chunks, paying the prefix capture
+    twice.  This packs whole groups into chunks instead, under two
+    budgets: small groups pack up to the fine-grained load-balancing
+    size (:data:`_CHUNKS_PER_WORKER` chunks per worker), but a group is
+    only *split* -- duplicating its capture -- when it alone exceeds a
+    worker's fair share of the sweep.  Result assembly stays input-
+    ordered regardless, because results land in slots by global index.
+    """
+    groups = _prefix_groups(todo, keys)
+    target = min(len(todo), workers * _CHUNKS_PER_WORKER)
+    pack_size = -(-len(todo) // target)  # ceil division
+    split_size = -(-len(todo) // max(1, workers))
+    chunks: List[List[int]] = []
+    current: List[int] = []
+    for _key, indices in groups:
+        if len(indices) > split_size:
+            if current:
+                chunks.append(current)
+                current = []
+            chunks.extend(indices[start:start + split_size]
+                          for start in range(0, len(indices), split_size))
+            continue
+        if current and len(current) + len(indices) > pack_size:
+            chunks.append(current)
+            current = []
+        current.extend(indices)
+    if current:
+        chunks.append(current)
+    return chunks
+
+
 class Campaign:
     """Run an experiment body across a sweep of configurations.
 
@@ -391,11 +538,19 @@ class Campaign:
         clean, and for bodies whose source cannot be retrieved).
         ``run`` calls this alongside :meth:`validate_scripts` so a
         body that would poison determinism or checkpoint capture is
-        refused before any worker starts.
+        refused before any worker starts.  A :class:`PrefixedBody` is
+        vetted part by part (prefix and continuation), since the
+        wrapper instance itself carries no retrievable source.
         """
         from repro.staticcheck import precheck_body
-        report = precheck_body(self._body)
-        return [] if report.ok() else [report]
+        parts = (self._body.cache_parts()
+                 if isinstance(self._body, PrefixedBody) else (self._body,))
+        failing = []
+        for part in parts:
+            report = precheck_body(part)
+            if not report.ok():
+                failing.append(report)
+        return failing
 
     def _resolve_workers(self, workers: Union[int, str], jobs: int) -> int:
         if workers == "auto":
@@ -414,7 +569,9 @@ class Campaign:
             cache: Optional[RunCache] = None,
             oracle: Optional[Callable[[], List[Any]]] = None,
             journal: Union[None, str, Path, Journal] = None,
-            progress: Optional[Callable[[str], None]] = None
+            progress: Optional[Callable[[str], None]] = None,
+            group: bool = True,
+            prefix_pool: Optional[Any] = None
             ) -> List[RunResult]:
         """Execute the body once per configuration.
 
@@ -458,6 +615,19 @@ class Campaign:
         still reproduces its partial scorecard via ``repro report
         --campaign``.  ``progress`` is a line sink (e.g. ``print``) fed
         by the shared renderer as configurations complete.
+
+        ``group`` (default on) enables **prefix-grouped scheduling**
+        when the body is a :class:`PrefixedBody`: configurations
+        sharing a prefix key have their warm prefix simulated once per
+        worker process (a :class:`~repro.core.checkpoint.Checkpoint`
+        capture) and are each run as a re-seeded fork of it -- byte-
+        identical to the cold path, just without re-simulating the
+        shared prefix per configuration.  ``group=False`` forces every
+        configuration cold (the reference path benches and byte-
+        identity tests compare against).  ``prefix_pool`` (a
+        :class:`~repro.core.checkpoint.CheckpointPool`) carries
+        captured prefixes across ``run`` calls in this process;
+        omitted, each sweep uses a private pool.
         """
         config_list = [dict(config) for config in configs]
         journal_obj, journal_owned = Journal.ensure(journal)
@@ -465,7 +635,8 @@ class Campaign:
             return self._run_journaled(
                 config_list, journal_obj, workers=workers,
                 telemetry=telemetry, scorecard=scorecard, cache=cache,
-                oracle=oracle, progress=progress)
+                oracle=oracle, progress=progress, group=group,
+                prefix_pool=prefix_pool)
         finally:
             if journal_owned:
                 journal_obj.close()
@@ -475,7 +646,9 @@ class Campaign:
                        workers: Union[int, str], telemetry: bool,
                        scorecard: bool, cache: Optional[RunCache],
                        oracle: Optional[Callable],
-                       progress: Optional[Callable[[str], None]]
+                       progress: Optional[Callable[[str], None]],
+                       group: bool = True,
+                       prefix_pool: Optional[Any] = None
                        ) -> List[RunResult]:
         if journal is not None:
             journal.start("campaign", seed=self._seed,
@@ -505,13 +678,29 @@ class Campaign:
         elif journal is not None:
             journal.record(K.CAMPAIGN_PREFLIGHT, ok=True, skipped=True)
 
+        split = isinstance(self._body, PrefixedBody)
+        prefix_keys: List[Optional[Any]] = (
+            [self._body.prefix_key(config) for config in config_list]
+            if split else [None] * len(config_list))
+        grouped = (group and split
+                   and any(key is not None for key in prefix_keys))
+        stats = {"captures": 0, "forks": 0, "fallbacks": 0}
+
         slots: List[Optional[RunResult]] = [None] * len(config_list)
         keys: List[Optional[str]] = [None] * len(config_list)
         todo: List[int] = []
         if cache is not None:
             for index, config in enumerate(config_list):
-                key = cache.key(self._body, self._seed, config,
-                                telemetry=telemetry, oracle=oracle)
+                # mix the static prefix digest in for split bodies so a
+                # cached hit never needs a capture, yet a changed
+                # prefix function or key can never alias a stale result
+                key = cache.key(
+                    self._body, self._seed, config,
+                    telemetry=telemetry, oracle=oracle,
+                    checkpoint=(_prefix_digest(self._body,
+                                               prefix_keys[index])
+                                if split and prefix_keys[index] is not None
+                                else None))
                 keys[index] = key
                 cached = cache.get(key)
                 if cached is not None:
@@ -533,13 +722,23 @@ class Campaign:
         try:
             if todo:
                 if pool_size <= 1 or len(todo) <= 1:
-                    self._run_serial(todo, config_list, slots, journal,
-                                     renderer, telemetry=telemetry,
-                                     oracle=oracle)
+                    if grouped:
+                        self._run_serial_grouped(
+                            todo, config_list, slots, journal, renderer,
+                            telemetry=telemetry, oracle=oracle,
+                            prefix_keys=prefix_keys, pool=prefix_pool,
+                            stats=stats)
+                    else:
+                        self._run_serial(todo, config_list, slots, journal,
+                                         renderer, telemetry=telemetry,
+                                         oracle=oracle)
                 else:
-                    self._run_parallel(todo, config_list, slots, journal,
-                                       renderer, pool_size=pool_size,
-                                       telemetry=telemetry, oracle=oracle)
+                    self._run_parallel(
+                        todo, config_list, slots, journal, renderer,
+                        pool_size=pool_size, telemetry=telemetry,
+                        oracle=oracle,
+                        prefix_keys=prefix_keys if grouped else None,
+                        stats=stats)
                 if cache is not None:
                     for index in todo:
                         if slots[index] is not None:
@@ -550,13 +749,18 @@ class Campaign:
         finally:
             if journal is not None:
                 executed = sum(1 for i in todo if slots[i] is not None)
-                journal.record(
-                    K.CAMPAIGN_END,
-                    status="failed" if failed is not None else "ok",
-                    executed=executed,
-                    cached=len(config_list) - len(todo),
-                    findings=sum(1 for r in slots
-                                 if r is not None and not r.ok()))
+                payload: Dict[str, Any] = {
+                    "status": "failed" if failed is not None else "ok",
+                    "executed": executed,
+                    "cached": len(config_list) - len(todo),
+                    "findings": sum(1 for r in slots
+                                    if r is not None and not r.ok()),
+                }
+                if grouped:
+                    payload["prefix_captures"] = stats["captures"]
+                    payload["prefix_forks"] = stats["forks"]
+                    payload["prefix_fallbacks"] = stats["fallbacks"]
+                journal.record(K.CAMPAIGN_END, **payload)
 
         results = [result for result in slots if result is not None]
         if scorecard:
@@ -593,13 +797,99 @@ class Campaign:
                         1 for r in slots if r is not None and not r.ok())
                         or None)
 
+    def _run_serial_grouped(self, todo: List[int],
+                            config_list: List[Dict[str, Any]],
+                            slots: List[Optional[RunResult]],
+                            journal: Optional[Journal],
+                            renderer: Optional[ProgressRenderer], *,
+                            telemetry: bool, oracle: Optional[Callable],
+                            prefix_keys: List[Optional[Any]],
+                            pool: Optional[Any],
+                            stats: Dict[str, int]) -> None:
+        """Serial sweep with one prefix capture per group, one fork per run.
+
+        Execution happens group by group (results still land in input
+        order via ``slots``).  A group whose prefix cannot be captured
+        or re-seeded (:class:`~repro.core.checkpoint.CheckpointError`:
+        the prefix drew from an RNG stream, or holds an uncopyable
+        callback) falls back to the cold path for every member -- the
+        sweep's results never depend on whether sharing worked, only
+        its speed does.
+        """
+        from repro.core.checkpoint import CheckpointError, CheckpointPool
+        if pool is None:
+            pool = CheckpointPool(max_items=4)
+        body: PrefixedBody = self._body
+        done = len(config_list) - len(todo)
+        with _maybe_phase(journal, "dispatch"):
+            for key, indices in _prefix_groups(todo, prefix_keys):
+                checkpoint = None
+                if key is not None:
+                    pool_key = _prefix_digest(body, key)
+                    checkpoint = pool.get(pool_key)
+                    if checkpoint is None and len(indices) > 1:
+                        try:
+                            checkpoint = _capture_prefix(
+                                body, config_list[indices[0]], key)
+                        except CheckpointError:
+                            stats["fallbacks"] += len(indices)
+                        else:
+                            pool.put(pool_key, checkpoint)
+                            stats["captures"] += 1
+                            if journal is not None:
+                                journal.record(
+                                    K.CAMPAIGN_CHECKPOINT_CAPTURE,
+                                    **_capture_payload(key, checkpoint,
+                                                       len(indices)))
+                for index in indices:
+                    if journal is not None:
+                        journal.record(
+                            K.CAMPAIGN_RUN_START, index=index,
+                            label=_config_label(config_list[index]))
+                    try:
+                        forked = checkpoint is not None
+                        if forked:
+                            try:
+                                slots[index] = _execute_forked(
+                                    body, self._seed, config_list[index],
+                                    checkpoint, telemetry=telemetry,
+                                    oracle=oracle)
+                                stats["forks"] += 1
+                            except CheckpointError:
+                                # prefix is not seed-portable: run this
+                                # and the rest of the group cold
+                                checkpoint = None
+                                forked = False
+                                stats["fallbacks"] += 1
+                        if not forked:
+                            slots[index] = _execute_config(
+                                body, self._seed, config_list[index],
+                                telemetry=telemetry, oracle=oracle)
+                    except Exception as err:
+                        if journal is not None:
+                            journal.record(K.CAMPAIGN_WORKER_ERROR,
+                                           index=index, error=repr(err))
+                        raise
+                    if journal is not None:
+                        journal.record(
+                            K.CAMPAIGN_RUN_END,
+                            **_run_end_payload(index, slots[index],
+                                               prefix=key, forked=forked))
+                    done += 1
+                    if renderer is not None:
+                        renderer.update(done, findings=sum(
+                            1 for r in slots
+                            if r is not None and not r.ok()) or None)
+
     def _run_parallel(self, todo: List[int],
                       config_list: List[Dict[str, Any]],
                       slots: List[Optional[RunResult]],
                       journal: Optional[Journal],
                       renderer: Optional[ProgressRenderer], *,
                       pool_size: int, telemetry: bool,
-                      oracle: Optional[Callable]) -> None:
+                      oracle: Optional[Callable],
+                      prefix_keys: Optional[List[Optional[Any]]] = None,
+                      stats: Optional[Dict[str, int]] = None) -> None:
         try:
             pickle.dumps((self._body, oracle))
         except Exception as err:
@@ -608,29 +898,54 @@ class Campaign:
                 "(module-level) body and oracle, got "
                 f"{self._body!r} / {oracle!r}: {err}") from err
         pool = _get_pool(min(pool_size, len(todo)))
+        if prefix_keys is not None:
+            chunk_indices = _prefix_chunks(todo, prefix_keys, pool_size)
+        else:
+            chunk_indices = [todo[start:stop]
+                             for start, stop in _chunk_ranges(len(todo),
+                                                              pool_size)]
         with _maybe_phase(journal, "dispatch"):
             futures = []
-            for start, stop in _chunk_ranges(len(todo), pool_size):
-                indices = todo[start:stop]
+            for indices in chunk_indices:
                 futures.append((indices, pool.submit(
                     _execute_chunk, self._body, self._seed,
                     [config_list[i] for i in indices], indices,
-                    telemetry=telemetry, oracle=oracle)))
+                    telemetry=telemetry, oracle=oracle,
+                    prefix_keys=([prefix_keys[i] for i in indices]
+                                 if prefix_keys is not None else None))))
         done = len(config_list) - len(todo)
         with _maybe_phase(journal, "merge"):
             for indices, future in futures:
                 try:
-                    chunk_results = future.result()
+                    chunk_results, chunk_stats = future.result()
                 except Exception as err:
                     if journal is not None:
                         journal.record(K.CAMPAIGN_WORKER_ERROR,
                                        indices=indices, error=repr(err))
                     raise
-                for index, run_result in zip(indices, chunk_results):
+                if stats is not None:
+                    for capture in chunk_stats.get("captured", ()):
+                        stats["captures"] += 1
+                        if journal is not None:
+                            journal.record(K.CAMPAIGN_CHECKPOINT_CAPTURE,
+                                           **capture)
+                    stats["forks"] += chunk_stats.get("forks", 0)
+                    stats["fallbacks"] += chunk_stats.get("fallbacks", 0)
+                forked_flags = chunk_stats.get("forked", [])
+                for position, (index, run_result) in enumerate(
+                        zip(indices, chunk_results)):
                     slots[index] = run_result
                     if journal is not None:
                         journal.record(K.CAMPAIGN_RUN_END,
-                                       **_run_end_payload(index, run_result))
+                                       **_run_end_payload(
+                                           index, run_result,
+                                           prefix=(prefix_keys[index]
+                                                   if prefix_keys is not None
+                                                   else None),
+                                           forked=(forked_flags[position]
+                                                   if position
+                                                   < len(forked_flags)
+                                                   else False)))
                 done += len(indices)
                 if renderer is not None:
                     renderer.update(done, findings=sum(
@@ -646,13 +961,17 @@ def _maybe_phase(journal: Optional[Journal], name: str, **payload: Any):
 
 
 def _run_end_payload(index: int, result: RunResult, *,
-                     cached_hit: bool = False) -> Dict[str, Any]:
+                     cached_hit: bool = False,
+                     prefix: Optional[Any] = None,
+                     forked: bool = False) -> Dict[str, Any]:
     """The ``campaign.run_end`` event payload for one result.
 
     Carries every deterministic scorecard input -- label, oracle verdict
     codes, telemetry -- so a journal replay can rebuild the exact
     scorecard the live sweep printed (or would have printed when it was
-    killed first).
+    killed first).  Grouped runs additionally carry their prefix key
+    and whether they were served by a fork, so ``repro report
+    --campaign`` can show amortization per prefix group.
     """
     payload: Dict[str, Any] = {
         "index": index,
@@ -660,12 +979,70 @@ def _run_end_payload(index: int, result: RunResult, *,
         "cached": cached_hit,
         "ok": result.ok(),
     }
+    if prefix is not None:
+        payload["prefix"] = str(prefix)
+        payload["forked"] = forked
     if result.violations is not None:
         payload["violations"] = len(result.violations)
         payload["codes"] = sorted({v.code for v in result.violations})
     if result.telemetry is not None:
         payload["telemetry"] = result.telemetry.as_dict()
     return payload
+
+
+def _capture_payload(key: Any, checkpoint: Any,
+                     group_size: int) -> Dict[str, Any]:
+    """The ``campaign.checkpoint_capture`` payload for one prefix group."""
+    return {"prefix": str(key), "label": checkpoint.label,
+            "identity": checkpoint.identity, "time": checkpoint.time,
+            "entries": checkpoint.position, "configs": group_size}
+
+
+def _capture_prefix(body: PrefixedBody, config: Dict[str, Any],
+                    key: Any) -> Any:
+    """Simulate one group's warm prefix and capture it as a checkpoint.
+
+    The capture env is built at seed 0; forks re-seed to each member's
+    run seed, which the checkpoint layer only permits for zero-draw
+    prefixes (the grouping contract).  Raises ``CheckpointError`` when
+    the world cannot be captured soundly -- callers fall back cold.
+    """
+    from repro.core.checkpoint import Checkpoint
+    env = make_env(seed=0)
+    state = body.prefix(env, dict(config))
+    roots = state if isinstance(state, dict) else {_STATE_ROOT: state}
+    return Checkpoint.capture(env, roots, label=f"campaign/{key}")
+
+
+def _execute_forked(body: PrefixedBody, seed: int, config: Dict[str, Any],
+                    checkpoint: Any, *, telemetry: bool = True,
+                    oracle: Optional[Callable] = None) -> RunResult:
+    """Run one configuration as a re-seeded fork of its prefix checkpoint.
+
+    Derives the run seed exactly as :func:`_execute_config` does, so the
+    forked run is byte-identical to the cold one; telemetry's event and
+    trace counts carry the prefix's share too (the forked scheduler and
+    recorder resume from the captured counters, matching a cold run's
+    totals), only ``wall_s`` reflects the saved simulation.
+    """
+    run_seed = derive_seed(seed, repr(sorted(config.items())))
+    forked = checkpoint.fork(seed=run_seed)
+    env = forked.env
+    state = (forked.roots[_STATE_ROOT] if set(forked.roots) == {_STATE_ROOT}
+             else forked.roots)
+    if not telemetry:
+        result = body.continuation(env, state, dict(config))
+        return RunResult(config=dict(config), result=result, trace=env.trace,
+                         violations=_oracle_violations(env.trace, oracle))
+    start = perf_counter()
+    result = body.continuation(env, state, dict(config))
+    wall_s = perf_counter() - start
+    run_telemetry = RunTelemetry(
+        wall_s=wall_s, events=env.scheduler.dispatched_count,
+        virtual_s=env.scheduler.now, trace_entries=len(env.trace))
+    return RunResult(config=dict(config), result=result, trace=env.trace,
+                     telemetry=run_telemetry,
+                     violations=_oracle_violations(env.trace, oracle))
 
 
 def _execute_config(body: Callable[[ExperimentEnv, Dict[str, Any]], Any],
@@ -703,21 +1080,68 @@ def _execute_chunk(body: Callable[[ExperimentEnv, Dict[str, Any]], Any],
                    seed: int, configs: List[Dict[str, Any]],
                    indices: List[int], *,
                    telemetry: bool = True,
-                   oracle: Optional[Callable] = None) -> List[RunResult]:
+                   oracle: Optional[Callable] = None,
+                   prefix_keys: Optional[List[Optional[Any]]] = None
+                   ) -> Tuple[List[RunResult], Dict[str, Any]]:
     """Worker-side loop over one chunk of configurations.
+
+    With ``prefix_keys`` given (prefix-grouped dispatch), contiguous
+    same-key runs share one locally captured prefix checkpoint; the
+    returned stats dict reports each capture (for the parent's journal)
+    plus fork/fallback counts.  Only the current group's checkpoint is
+    kept alive, so worker memory stays flat however long the chunk is.
 
     A failure is annotated with the *global* sweep index before it
     propagates (exception notes survive pickling back to the parent), so
     a bare pool traceback still names which sweep point died.
     """
-    results = []
-    for index, config in zip(indices, configs):
+    stats: Dict[str, Any] = {"captured": [], "forks": 0, "fallbacks": 0,
+                             "forked": []}
+    results: List[RunResult] = []
+    checkpoint = None
+    current_key: Optional[Any] = None
+    for position, (index, config) in enumerate(zip(indices, configs)):
+        key = prefix_keys[position] if prefix_keys is not None else None
         try:
+            if key is None:
+                checkpoint, current_key = None, None
+                results.append(_execute_config(body, seed, config,
+                                               telemetry=telemetry,
+                                               oracle=oracle))
+                stats["forked"].append(False)
+                continue
+            if key != current_key:
+                from repro.core.checkpoint import CheckpointError
+                current_key = key
+                checkpoint = None
+                group_size = sum(1 for k in prefix_keys[position:]
+                                 if k == key)
+                if group_size > 1:
+                    try:
+                        checkpoint = _capture_prefix(body, config, key)
+                    except CheckpointError:
+                        checkpoint = None
+                    else:
+                        stats["captured"].append(
+                            _capture_payload(key, checkpoint, group_size))
+            if checkpoint is not None:
+                from repro.core.checkpoint import CheckpointError
+                try:
+                    results.append(_execute_forked(
+                        body, seed, config, checkpoint,
+                        telemetry=telemetry, oracle=oracle))
+                    stats["forks"] += 1
+                    stats["forked"].append(True)
+                    continue
+                except CheckpointError:
+                    checkpoint = None
+                    stats["fallbacks"] += 1
             results.append(_execute_config(body, seed, config,
                                            telemetry=telemetry,
                                            oracle=oracle))
+            stats["forked"].append(False)
         except Exception as err:
             err.add_note(
                 f"campaign config [{index}] failed: {config!r}")
             raise
-    return results
+    return results, stats

@@ -138,6 +138,46 @@ class CampaignSummary:
                 histogram[code] = histogram.get(code, 0) + 1
         return histogram
 
+    def prefix_sharing(self) -> Optional[Dict[str, Any]]:
+        """Amortization scorecard when the sweep ran prefix-grouped.
+
+        Folds the grouped dispatcher's journal trail -- capture events
+        carrying a ``prefix`` key, run rows flagged ``forked``, and the
+        ``campaign.end`` counters -- into per-group "capture hits /
+        forks" rows.  ``None`` for sweeps that never grouped (flat
+        campaigns, fuzz, explore), so renderers stay byte-identical for
+        historical journals.
+        """
+        captures = [c for c in self.checkpoints if c.get("prefix")]
+        rows = [row for row in self.runs
+                if row.data.get("prefix") is not None]
+        end = self.end or {}
+        if not captures and not rows and "prefix_captures" not in end:
+            return None
+        groups: Dict[str, Dict[str, int]] = {}
+
+        def group(key: str) -> Dict[str, int]:
+            return groups.setdefault(
+                key, {"captures": 0, "runs": 0, "forks": 0, "cached": 0})
+
+        for capture in captures:
+            group(str(capture.get("prefix")))["captures"] += 1
+        for row in rows:
+            stats = group(str(row.data["prefix"]))
+            stats["runs"] += 1
+            if row.data.get("forked"):
+                stats["forks"] += 1
+            if row.cached:
+                stats["cached"] += 1
+        return {
+            "captures": int(end.get("prefix_captures", len(captures))),
+            "forks": int(end.get("prefix_forks",
+                                 sum(g["forks"]
+                                     for g in groups.values()))),
+            "fallbacks": int(end.get("prefix_fallbacks", 0)),
+            "groups": groups,
+        }
+
     def fingerprint(self) -> str:
         """Content hash of the sweep configuration (not its outcome).
 
@@ -311,6 +351,27 @@ def render_text(summary: CampaignSummary, *, rank: int = 10) -> str:
         labels = ", ".join(str(c.get("label", "?"))
                            for c in summary.checkpoints)
         lines.append(f"  checkpoints captured: {labels}")
+    sharing = summary.prefix_sharing()
+    if sharing is not None:
+        lines.append(f"  prefix sharing: {sharing['captures']} captures, "
+                     f"{sharing['forks']} forked runs, "
+                     f"{sharing['fallbacks']} cold fallbacks")
+        if sharing["groups"]:
+            lines.append("  prefix group                     "
+                         "capture hits / forks")
+            for key in sorted(sharing["groups"]):
+                group = sharing["groups"][key]
+                extra = (f", {group['cached']} cached"
+                         if group["cached"] else "")
+                lines.append(
+                    f"    {key:<28} {group['captures']:>12} / "
+                    f"{group['forks']} over {group['runs']} runs{extra}")
+    end = summary.end or {}
+    if end.get("simulated_events") is not None:
+        lines.append(
+            f"  simulated {end['simulated_events']} events "
+            f"({end.get('ancestor_forks', 0)} ancestor forks, "
+            f"{end.get('nested_captures', 0)} nested checkpoints)")
     if summary.shrink_steps:
         lines.append(f"  shrink probes: {summary.shrink_steps}")
     if summary.phases:
@@ -355,6 +416,7 @@ def summary_to_json(summary: CampaignSummary, *, rank: int = 10
         "codes": summary.codes_histogram(),
         "worker_errors": summary.worker_errors,
         "checkpoints": summary.checkpoints,
+        "prefix_sharing": summary.prefix_sharing(),
         "shrink_steps": summary.shrink_steps,
         "phases": [{"name": name, "start_s": start, "end_s": end}
                    for name, start, end in summary.phases],
@@ -420,6 +482,23 @@ def render_html(summary: CampaignSummary, *, rank: int = 20) -> str:
     start_rows = "".join(
         f"<tr><td>{esc(str(key))}</td><td>{esc(str(value))}</td></tr>"
         for key, value in sorted(summary.start.items()))
+    sharing = summary.prefix_sharing()
+    sharing_section = ""
+    if sharing is not None:
+        sharing_rows = "".join(
+            f"<tr><td>{esc(key)}</td><td>{group['captures']}</td>"
+            f"<td>{group['forks']}</td><td>{group['runs']}</td>"
+            f"<td>{group['cached']}</td></tr>"
+            for key, group in sorted(sharing["groups"].items()))
+        sharing_section = f"""
+<h2>Prefix sharing</h2>
+<p class="muted">{sharing['captures']} captures &middot;
+ {sharing['forks']} forked runs &middot;
+ {sharing['fallbacks']} cold fallbacks</p>
+<table><thead><tr><th>prefix group</th><th>capture hits</th>
+<th>forks</th><th>runs</th><th>cached</th></tr></thead>
+<tbody>{sharing_rows or
+        '<tr><td colspan="5" class="muted">none</td></tr>'}</tbody></table>"""
     total = summary.total
     progress = (f"{summary.executed}/{total}" if total is not None
                 else str(summary.executed))
@@ -444,6 +523,7 @@ def render_html(summary: CampaignSummary, *, rank: int = 20) -> str:
 <table><thead><tr><th>code</th><th>runs</th></tr></thead>
 <tbody>{code_rows or '<tr><td colspan="2" class="ok">none</td></tr>'}</tbody>
 </table>
+{sharing_section}
 <h2>Campaign phases</h2>
 <table><thead><tr><th>phase</th><th>start&nbsp;s</th><th>end&nbsp;s</th>
 </tr></thead><tbody>{phase_rows or

@@ -24,16 +24,26 @@ index into the *baseline* event order, and an earlier perturbation may
 shift what later indices refer to.  That is standard for bounded
 schedule fuzzing -- every executed schedule is still a real, legal
 event order, which is all the oracle verdict needs.
+
+Reforking is **tree-shaped**: while a schedule executes, the explorer
+re-checkpoints its branch every ``recheckpoint_every`` steps (a nested
+:meth:`Checkpoint.capture` on the running fork), and every later
+schedule forks from the *nearest ancestor* whose applied-perturbation
+prefix matches its plan instead of from the flat root -- so a branch
+that diverges at step d costs one fork plus the steps past d, not d
+re-simulated events.  The per-schedule event counts are tracked
+(``ExploreReport.simulated_events``) and the nested tree is bounded by
+an LRU :class:`CheckpointPool`.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.export import VOLATILE_ATTRS, dump_trace
-from repro.core.checkpoint import Checkpoint
+from repro.core.checkpoint import Checkpoint, CheckpointPool
 from repro.core.orchestrator import make_env
 from repro.netsim import kinds as K
 from repro.netsim.link import Link
@@ -47,6 +57,9 @@ from repro.oracle.fuzz import (DEFAULT_DEPTHS, HORIZONS, _gmp_prefix,
 #: perturbation actions by event class; "fire" (run as scheduled) is
 #: always legal and never counts as a perturbation
 ACTIONS = {"delivery": ("drop", "defer"), "timer": ("drop", "defer")}
+
+#: nested-checkpoint tree budget: snapshots kept live at once
+_TREE_ITEMS = 32
 
 
 def classify_event(event: Event) -> str:
@@ -122,6 +135,14 @@ class ExploreReport:
     baseline_codes: List[str] = field(default_factory=list)
     findings: List[ScheduleOutcome] = field(default_factory=list)
     outcomes: List[ScheduleOutcome] = field(default_factory=list)
+    #: scheduler events dispatched across all executed schedules
+    simulated_events: int = 0
+    #: nested checkpoints captured along explored branches
+    nested_captures: int = 0
+    #: schedules forked from a nested ancestor instead of the root
+    ancestor_forks: int = 0
+    #: the re-checkpoint interval this exploration ran with (0: flat)
+    recheckpoint_every: int = 0
 
     def render(self) -> str:
         lines = [f"explore {self.protocol}/{self.target}: "
@@ -129,6 +150,10 @@ class ExploreReport:
                  f"[{self.depth:g}, {self.depth + self.window:g}], "
                  f"{self.distinct_outcomes} distinct outcomes, "
                  f"findings {len(self.findings)}"]
+        lines.append(f"  simulated {self.simulated_events} events"
+                     + (f" ({self.ancestor_forks} ancestor forks, "
+                        f"{self.nested_captures} nested checkpoints)"
+                        if self.recheckpoint_every else ""))
         if self.baseline_codes:
             lines.append(f"  baseline already violates: "
                          f"{','.join(self.baseline_codes)}")
@@ -167,16 +192,95 @@ def _prefix_checkpoint(protocol: str, target: str, depth: float,
         env, roots, label=f"explore/{protocol}/{target}@{depth:g}")
 
 
+class _Tree:
+    """The nested-checkpoint tree one exploration grows and reforks from.
+
+    Nodes are keyed ``(applied_pairs, step)``: the world after ``step``
+    baseline-window iterations with exactly the perturbations in
+    ``applied_pairs`` applied.  A later plan reforks from the deepest
+    live node whose applied prefix equals the plan's own entries below
+    that step -- never from a node that applied something the plan does
+    not want, because keys record what a branch *actually* did, not
+    what its plan asked for.  Nodes are captured only along branches a
+    longer plan could still extend (fewer than ``max_prefix``
+    perturbations applied) and live in an LRU-bounded
+    :class:`CheckpointPool`.
+    """
+
+    def __init__(self, root: Checkpoint, *, every: int, max_prefix: int,
+                 journal: Optional[Journal] = None):
+        self.root = root
+        self.every = every
+        self.max_prefix = max_prefix
+        self.pool = CheckpointPool(max_items=_TREE_ITEMS)
+        self._applied: Dict[Any, Tuple[Perturbation, ...]] = {}
+        self.journal = journal
+        self.captures = 0
+
+    def start_for(self, plan: Dict[int, str]
+                  ) -> Tuple[Checkpoint, int, Tuple[Perturbation, ...]]:
+        """The nearest ancestor to fork for ``plan``: deepest match wins."""
+        best = (self.root, 0, ())
+        for key in self.pool.keys():
+            pairs, step = key
+            if step <= best[1]:
+                continue
+            prefix = {s: a for s, a in plan.items() if s < step}
+            if len(pairs) == len(prefix) and dict(pairs) == prefix:
+                checkpoint = self.pool.get(key)
+                if checkpoint is not None:
+                    best = (checkpoint, step, self._applied.get(key, ()))
+        return best
+
+    def maybe_capture(self, forked, step: int,
+                      applied: List[Perturbation]) -> None:
+        """Re-checkpoint a running branch at its ``every``-step marks."""
+        if self.every <= 0 or step <= 0 or step % self.every:
+            return
+        if len(applied) >= self.max_prefix:
+            return  # no longer plan can extend this branch
+        key = (tuple((p.step, p.action) for p in applied), step)
+        if key in self.pool:
+            return
+        checkpoint = Checkpoint.capture(
+            forked, label=f"{self.root.label}+{len(applied)}p@{step}",
+            audit=False)
+        self.pool.put(key, checkpoint)
+        self._applied[key] = tuple(applied)
+        self.captures += 1
+        if self.journal is not None:
+            self.journal.record(
+                K.CAMPAIGN_CHECKPOINT_CAPTURE, nested=True, step=step,
+                prefix_perturbations=len(applied),
+                label=checkpoint.label, identity=checkpoint.identity,
+                parent=checkpoint.parent.identity)
+
+
 def _run_schedule(checkpoint: Checkpoint, plan: Dict[int, str], *,
                   window: float, horizon: float, defer_delta: float,
-                  oracle) -> Tuple[Tuple[Perturbation, ...], List, str]:
-    """Execute one schedule; returns (applied plan, violations, hash)."""
-    forked = checkpoint.fork()
+                  oracle, tree: Optional[_Tree] = None,
+                  counters: Optional[Dict[str, int]] = None
+                  ) -> Tuple[Tuple[Perturbation, ...], List, str]:
+    """Execute one schedule; returns (applied plan, violations, hash).
+
+    With a ``tree``, the schedule starts from its nearest ancestor
+    checkpoint (skipping every event that ancestor already simulated)
+    and leaves new nested checkpoints along its own branch for later
+    schedules; the result is byte-identical to a flat root fork, only
+    the number of re-simulated events changes (tracked in
+    ``counters``).
+    """
+    if tree is not None:
+        start, start_step, prefix_applied = tree.start_for(plan)
+    else:
+        start, start_step, prefix_applied = checkpoint, 0, ()
+    forked = start.fork()
     env = forked.env
     scheduler = env.scheduler
+    dispatched_before = scheduler.dispatched_count
     end = checkpoint.time + window
-    step = 0
-    applied: List[Perturbation] = []
+    step = start_step
+    applied: List[Perturbation] = list(prefix_applied)
     while True:
         event = scheduler.peek_entry()
         if event is None or event.time > end:
@@ -192,7 +296,13 @@ def _run_schedule(checkpoint: Checkpoint, plan: Dict[int, str], *,
         else:
             scheduler.step()
         step += 1
+        if tree is not None:
+            tree.maybe_capture(forked, step, applied)
     env.run_until(horizon)
+    if counters is not None:
+        counters["events"] += scheduler.dispatched_count - dispatched_before
+        if start_step > 0:
+            counters["ancestor_forks"] += 1
     from repro.oracle import evaluate
     violations = evaluate(env.trace, oracle()).violations
     digest = hashlib.sha256(
@@ -249,7 +359,7 @@ def explore(protocol: str = "gmp", target: str = "self_death", *,
             seed: int = 0, depth: Optional[float] = None,
             window: float = 1.5, horizon: Optional[float] = None,
             max_schedules: int = 64, max_perturbations: int = 1,
-            defer_delta: float = 4.0,
+            defer_delta: float = 4.0, recheckpoint_every: int = 8,
             progress: Optional[Callable[[str], None]] = None,
             journal=None) -> ExploreReport:
     """Explore bounded delivery-order schedules of one protocol target.
@@ -262,12 +372,19 @@ def explore(protocol: str = "gmp", target: str = "self_death", *,
     judges the trace.  Deterministic in all arguments: the same call
     always explores the same schedules.
 
+    ``recheckpoint_every`` (default 8, ``0`` disables) grows a
+    checkpoint *tree*: executing schedules re-checkpoint their branch
+    every that many steps, and later schedules refork from the nearest
+    matching ancestor instead of the root -- same outcomes (the
+    reported hashes are byte-identical to the flat path's), strictly
+    fewer re-simulated events (``ExploreReport.simulated_events``).
+
     ``journal`` (a :class:`~repro.obs.journal.Journal` or a path)
     attaches the campaign flight recorder: preflight, the prefix
-    capture, one ``campaign.run_end`` per executed schedule (verdict
-    codes, outcome hash, novelty), and the closing summary are appended
-    crash-safe, so an interrupted exploration still reports its partial
-    outcome census.
+    capture (root and nested), one ``campaign.run_end`` per executed
+    schedule (verdict codes, outcome hash, novelty), and the closing
+    summary are appended crash-safe, so an interrupted exploration
+    still reports its partial outcome census.
     """
     valid = _targets(protocol) + ("fixed",)
     if target not in valid:
@@ -279,7 +396,7 @@ def explore(protocol: str = "gmp", target: str = "self_death", *,
             protocol, target, journal_obj, seed=seed, depth=depth,
             window=window, horizon=horizon, max_schedules=max_schedules,
             max_perturbations=max_perturbations, defer_delta=defer_delta,
-            progress=progress)
+            recheckpoint_every=recheckpoint_every, progress=progress)
     finally:
         if journal_owned:
             journal_obj.close()
@@ -290,6 +407,7 @@ def _explore_journaled(protocol: str, target: str,
                        depth: Optional[float], window: float,
                        horizon: Optional[float], max_schedules: int,
                        max_perturbations: int, defer_delta: float,
+                       recheckpoint_every: int,
                        progress: Optional[Callable[[str], None]]
                        ) -> ExploreReport:
     depth = DEFAULT_DEPTHS[protocol] if depth is None else float(depth)
@@ -320,7 +438,12 @@ def _explore_journaled(protocol: str, target: str,
     oracle = pack_for(protocol)
     steps = _survey(checkpoint, window=window)
     report = ExploreReport(protocol=protocol, target=target, depth=depth,
-                           window=window, horizon=horizon, seed=seed)
+                           window=window, horizon=horizon, seed=seed,
+                           recheckpoint_every=max(0, recheckpoint_every))
+    tree = (_Tree(checkpoint, every=recheckpoint_every,
+                  max_prefix=max_perturbations, journal=journal)
+            if recheckpoint_every > 0 else None)
+    counters = {"events": 0, "ancestor_forks": 0}
     renderer = (ProgressRenderer(f"explore {protocol}/{target}",
                                  total=None, unit="schedules",
                                  sink=progress)
@@ -333,7 +456,8 @@ def _explore_journaled(protocol: str, target: str,
                            max_schedules=max_schedules):
             applied, violations, outcome_hash = _run_schedule(
                 checkpoint, plan, window=window, horizon=horizon,
-                defer_delta=defer_delta, oracle=oracle)
+                defer_delta=defer_delta, oracle=oracle, tree=tree,
+                counters=counters)
             codes = sorted({v.code for v in violations})
             novel = outcome_hash not in seen_hashes
             seen_hashes.setdefault(outcome_hash, report.schedules)
@@ -368,9 +492,15 @@ def _explore_journaled(protocol: str, target: str,
         raise
     finally:
         report.distinct_outcomes = len(seen_hashes)
+        report.simulated_events = counters["events"]
+        report.ancestor_forks = counters["ancestor_forks"]
+        report.nested_captures = tree.captures if tree is not None else 0
         if journal is not None:
             journal.record(K.CAMPAIGN_END, status=status,
                            executed=report.schedules,
                            distinct_outcomes=report.distinct_outcomes,
-                           findings=len(report.findings))
+                           findings=len(report.findings),
+                           simulated_events=report.simulated_events,
+                           ancestor_forks=report.ancestor_forks,
+                           nested_captures=report.nested_captures)
     return report

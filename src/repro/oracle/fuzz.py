@@ -30,13 +30,14 @@ from typing import (TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional,
                     Tuple)
 
 from repro.core.distributions import derive_seed
-from repro.core.orchestrator import Campaign, CampaignScriptError, RunResult
+from repro.core.orchestrator import (Campaign, CampaignScriptError,
+                                     PrefixedBody, RunResult)
 from repro.netsim import kinds as K
 from repro.obs.journal import Journal
 from repro.obs.progress import ProgressRenderer
 
 if TYPE_CHECKING:
-    from repro.core.checkpoint import Checkpoint
+    from repro.core.checkpoint import Checkpoint, CheckpointPool
 from repro.oracle.grammar import (FuzzScript, generate_script, mutate_script,
                                   trial_seed)
 from repro.oracle.invariants import Violation
@@ -202,6 +203,37 @@ def _continue_body(env, state, config):
     return _gmp_continue(env, state, config)
 
 
+def _fuzz_prefix(env, config):
+    """The script-free head of a fuzz run, as a prefix stage."""
+    protocol = config["protocol"]
+    depth = config.get("install_at", DEFAULT_DEPTHS[protocol])
+    if protocol == "tcp":
+        return _tcp_prefix(env, config, depth)
+    return _gmp_prefix(env, config, depth)
+
+
+def _fuzz_prefix_key(config):
+    """Prefix identity of one fuzz config: (protocol, target, depth).
+
+    Every config sharing this key runs the same script-free,
+    zero-draw head -- the fuzzed script only differs downstream of the
+    install point -- so the grouped campaign dispatcher may warm the
+    prefix once and fork it per case.
+    """
+    protocol = config["protocol"]
+    depth = config.get("install_at", DEFAULT_DEPTHS[protocol])
+    return (protocol, config["target"], depth)
+
+
+#: :func:`fuzz_body` as a split body: cold calls are prefix+continuation
+#: back to back (byte-identical to ``fuzz_body`` by construction), while
+#: a prefix-grouped :meth:`Campaign.run <repro.core.orchestrator
+#: .Campaign.run>` captures one warm prefix per (protocol, target,
+#: depth) group and forks it per case.  Module-level and picklable.
+prefixed_fuzz_body = PrefixedBody(_fuzz_prefix, _continue_body,
+                                  key=_fuzz_prefix_key)
+
+
 def pack_for(protocol: str):
     """The (picklable) oracle factory for one protocol's fuzz runs."""
     from repro.oracle import gmp_pack, tcp_pack
@@ -344,14 +376,20 @@ class ForkEngine:
 
     def __init__(self, protocol: str, *, campaign_seed: int = 0,
                  depth: Optional[float] = None,
-                 journal: Optional[Journal] = None):
+                 journal: Optional[Journal] = None,
+                 pool: Optional["CheckpointPool"] = None):
         if protocol not in DEFAULT_DEPTHS:
             raise ValueError(f"unknown protocol {protocol!r}")
+        from repro.core.checkpoint import CheckpointPool
         self.protocol = protocol
         self.campaign_seed = campaign_seed
         self.depth = (DEFAULT_DEPTHS[protocol] if depth is None
                       else float(depth))
-        self._checkpoints: Dict[str, "Checkpoint"] = {}
+        #: prefix snapshots, keyed ``(protocol, target, depth)`` --
+        #: pass a shared :class:`CheckpointPool` to let several engines
+        #: (fuzz loop, per-finding shrinkers) reuse one another's
+        #: captures instead of re-simulating the same warmup
+        self.pool = pool if pool is not None else CheckpointPool()
         #: flight recorder each prefix capture is reported to (optional)
         self.journal = journal
         #: trials served by forking (every trial is one fork)
@@ -378,8 +416,9 @@ class ForkEngine:
         return config
 
     def checkpoint_for(self, target: str) -> "Checkpoint":
-        """The (lazily captured) prefix checkpoint for one target."""
-        checkpoint = self._checkpoints.get(target)
+        """The (lazily captured, pooled) prefix checkpoint for one target."""
+        key = (self.protocol, target, self.depth)
+        checkpoint = self.pool.get(key)
         if checkpoint is None:
             from repro.core.checkpoint import Checkpoint
             from repro.core.orchestrator import make_env
@@ -392,7 +431,7 @@ class ForkEngine:
             checkpoint = Checkpoint.capture(
                 env, roots,
                 label=f"{self.protocol}/{target}@{self.depth:g}")
-            self._checkpoints[target] = checkpoint
+            self.pool.put(key, checkpoint)
             self.captures += 1
             if self.journal is not None:
                 self.journal.record(K.CAMPAIGN_CHECKPOINT_CAPTURE,
@@ -471,6 +510,7 @@ def _draw_case(rng: random.Random, protocol: str, corpus: List[FuzzCase],
 def run_fuzz(protocol: str = "gmp", *, seed: int = 0, budget: int = 24,
              workers: int = 1, batch: int = 0,
              checkpoint_depth: Optional[float] = None,
+             pool: Optional["CheckpointPool"] = None,
              progress: Optional[Callable[[str], None]] = None,
              journal=None) -> FuzzReport:
     """Fuzz one protocol's rig for ``budget`` cases.
@@ -498,6 +538,12 @@ def run_fuzz(protocol: str = "gmp", *, seed: int = 0, budget: int = 24,
     exact partial scorecard from the journal (``repro report
     --campaign``).  Off by default; the hook is a single ``is not
     None`` guard per case.
+
+    ``pool`` (a :class:`~repro.core.checkpoint.CheckpointPool`) backs
+    the engine path's prefix snapshots; share one pool across sweeps
+    and the subsequent finding shrinkers (``repro fuzz --save-repro``
+    does) and the warmup is simulated once per target for the whole
+    session, not once per consumer.
     """
     if batch <= 0:
         batch = max(4, workers * 2)
@@ -506,7 +552,8 @@ def run_fuzz(protocol: str = "gmp", *, seed: int = 0, budget: int = 24,
         return _run_fuzz_journaled(
             protocol, journal_obj, seed=seed, budget=budget,
             workers=workers, batch=batch,
-            checkpoint_depth=checkpoint_depth, progress=progress)
+            checkpoint_depth=checkpoint_depth, pool=pool,
+            progress=progress)
     finally:
         if journal_owned:
             journal_obj.close()
@@ -515,6 +562,7 @@ def run_fuzz(protocol: str = "gmp", *, seed: int = 0, budget: int = 24,
 def _run_fuzz_journaled(protocol: str, journal: Optional[Journal], *,
                         seed: int, budget: int, workers: int, batch: int,
                         checkpoint_depth: Optional[float],
+                        pool: Optional["CheckpointPool"],
                         progress: Optional[Callable[[str], None]]
                         ) -> FuzzReport:
     report = FuzzReport(protocol=protocol, seed=seed, budget=budget)
@@ -523,7 +571,8 @@ def _run_fuzz_journaled(protocol: str, journal: Optional[Journal], *,
     engine = None
     if checkpoint_depth is not None:
         engine = ForkEngine(protocol, campaign_seed=seed,
-                            depth=checkpoint_depth, journal=journal)
+                            depth=checkpoint_depth, journal=journal,
+                            pool=pool)
         report.checkpoint_depth = engine.depth
     if journal is not None:
         journal.start("fuzz", protocol=protocol, seed=seed, budget=budget,

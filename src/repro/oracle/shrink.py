@@ -46,8 +46,8 @@ MAX_FINGERPRINTS = 50
 SEED_CANDIDATES = (0, 1, 2)
 
 
-def _probe_engine(case: FuzzCase,
-                  campaign_seed: int) -> Optional[ForkEngine]:
+def _probe_engine(case: FuzzCase, campaign_seed: int,
+                  pool=None) -> Optional[ForkEngine]:
     """A checkpointed probe engine for shrinking ``case``, or None.
 
     ddmin probes share the case's script-free prefix (same protocol,
@@ -55,9 +55,13 @@ def _probe_engine(case: FuzzCase,
     serves every probe.  Engine results at the default depth are
     byte-identical to :func:`~repro.oracle.fuzz.run_case` -- the
     property suite pins it -- which keeps the shrink predicate exactly
-    the predicate the cold replayer applies.
+    the predicate the cold replayer applies.  ``pool`` (a
+    :class:`~repro.core.checkpoint.CheckpointPool`) lets the engine
+    reuse a prefix an earlier consumer -- the fuzz sweep itself, or a
+    sibling finding's shrinker -- already captured.
     """
-    return ForkEngine(case.protocol, campaign_seed=campaign_seed)
+    return ForkEngine(case.protocol, campaign_seed=campaign_seed,
+                      pool=pool)
 
 
 def _codes_of(case: FuzzCase, campaign_seed: int, *,
@@ -107,7 +111,7 @@ def ddmin(items: Sequence, test) -> List:
 
 
 def shrink_case(case: FuzzCase, code: str, *, campaign_seed: int = 0,
-                checkpoint: bool = True, journal=None
+                checkpoint: bool = True, pool=None, journal=None
                 ) -> "tuple[FuzzCase, ShrinkStats]":
     """Reduce ``case`` while it still reports ``code``.
 
@@ -120,11 +124,14 @@ def shrink_case(case: FuzzCase, code: str, *, campaign_seed: int = 0,
     records one ``campaign.shrink_step`` per ddmin/seed probe -- clause
     count, whether the probe still violated -- so an interrupted shrink
     shows how far it got.  Pass the fuzz sweep's own journal to append
-    the shrink trail to the same flight record.
+    the shrink trail to the same flight record.  ``pool`` (a shared
+    :class:`~repro.core.checkpoint.CheckpointPool`) lets this shrink
+    fork a prefix the fuzz sweep or a sibling shrink already captured.
     """
     stats = ShrinkStats(clauses_before=len(case.script.clauses),
                         seed_before=case.case_seed)
-    engine = _probe_engine(case, campaign_seed) if checkpoint else None
+    engine = (_probe_engine(case, campaign_seed, pool=pool)
+              if checkpoint else None)
     journal_obj, journal_owned = Journal.ensure(journal)
     if journal_owned:
         journal_obj.start("shrink", code=code, case=case.script.name,
@@ -278,20 +285,21 @@ def replay_artifact(artifact: Union[ReproArtifact, str, Path]
 
 
 def shrink_finding(finding: Finding, *, campaign_seed: int = 0,
-                   checkpoint: bool = True, journal=None
+                   checkpoint: bool = True, pool=None, journal=None
                    ) -> "tuple[ReproArtifact, ShrinkStats]":
     """Shrink one fuzz finding and freeze the result.
 
     Probes may run checkpointed (see :func:`shrink_case`); the final
     artifact is always frozen from a cold :func:`~repro.oracle.fuzz
     .run_case` replay, so a committed artifact never depends on the
-    checkpoint layer to reproduce.  ``journal`` is forwarded to
-    :func:`shrink_case`.
+    checkpoint layer to reproduce.  ``pool`` and ``journal`` are
+    forwarded to :func:`shrink_case`.
     """
     code = finding.codes[0]
     shrunk, stats = shrink_case(finding.case, code,
                                 campaign_seed=campaign_seed,
-                                checkpoint=checkpoint, journal=journal)
+                                checkpoint=checkpoint, pool=pool,
+                                journal=journal)
     return make_artifact(shrunk, code, campaign_seed=campaign_seed), stats
 
 

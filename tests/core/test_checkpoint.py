@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.checkpoint import (Checkpoint, CheckpointError,
-                                   audit_scheduler)
+                                   CheckpointPool, audit_scheduler)
 from repro.core.orchestrator import make_env
 
 
@@ -201,3 +201,127 @@ def test_identity_distinguishes_depth_label_and_seed():
     assert capture(depth=6.0) != base
     assert capture(label="y") != base
     assert capture(seed=1) != base
+
+
+# ----------------------------------------------------------------------
+# checkpoint trees: capture on a fork
+# ----------------------------------------------------------------------
+
+def test_capture_on_fork_records_parent_and_depth():
+    env, counter = warmed_env(3.0)
+    root = Checkpoint.capture(env, {"counter": counter})
+    branch = root.fork()
+    branch.env.run_until(6.0)
+    child = Checkpoint.capture(branch)
+    assert child.parent is root
+    assert root.depth == 0 and child.depth == 1
+    assert "depth=1" in repr(child)
+    grandbranch = child.fork()
+    grandbranch.env.run_until(9.0)
+    grandchild = Checkpoint.capture(grandbranch)
+    assert grandchild.depth == 2
+
+
+def test_nested_capture_inherits_fork_roots():
+    env, counter = warmed_env(2.0)
+    root = Checkpoint.capture(env, {"counter": counter})
+    branch = root.fork()
+    branch.env.run_until(5.0)
+    child = Checkpoint.capture(branch)  # no explicit roots
+    refork = child.fork()
+    assert refork["counter"].fired == 5
+    refork.env.run_until(8.0)
+    assert refork["counter"].fired == 8
+
+
+def test_nested_fork_matches_flat_run():
+    # root -> branch -> nested capture -> fork must land exactly where
+    # one uninterrupted run of the same world lands
+    env, counter = warmed_env(2.0)
+    root = Checkpoint.capture(env, {"counter": counter})
+    branch = root.fork()
+    branch.env.run_until(6.0)
+    child = Checkpoint.capture(branch)
+    leaf = child.fork()
+    leaf.env.run_until(12.0)
+    env.run_until(12.0)  # the original, never checkpointed past t=2
+    assert leaf["counter"].fired == counter.fired == 12
+    assert list(leaf.env.trace)[-1].time == list(env.trace)[-1].time
+
+
+def test_nested_capture_leaves_the_branch_running():
+    env, counter = warmed_env(2.0)
+    root = Checkpoint.capture(env, {"counter": counter})
+    branch = root.fork()
+    branch.env.run_until(5.0)
+    Checkpoint.capture(branch)
+    branch.env.run_until(9.0)  # the branch keeps going after capture
+    assert branch["counter"].fired == 9
+
+
+def test_nested_identity_chains_the_parent_digest():
+    env, counter = warmed_env(2.0)
+    root = Checkpoint.capture(env, {"counter": counter}, label="x")
+    branch = root.fork()
+    branch.env.run_until(5.0)
+    nested = Checkpoint.capture(branch, label="x")
+    # same world state, captured flat vs on the branch: the parent link
+    # alone must split the identities
+    flat_env, flat_counter = warmed_env(5.0)
+    flat = Checkpoint.capture(flat_env, {"counter": flat_counter},
+                              label="x")
+    assert nested.identity != flat.identity
+    assert nested.identity != root.identity
+
+
+# ----------------------------------------------------------------------
+# CheckpointPool
+# ----------------------------------------------------------------------
+
+def _pooled_checkpoint(depth=2.0):
+    env, counter = warmed_env(depth)
+    return Checkpoint.capture(env, {"counter": counter})
+
+
+class TestCheckpointPool:
+    def test_get_put_and_counters(self):
+        pool = CheckpointPool()
+        assert pool.get("a") is None and pool.misses == 1
+        cp = _pooled_checkpoint()
+        pool.put("a", cp)
+        assert pool.get("a") is cp
+        assert pool.stats() == {"hits": 1, "misses": 1, "evictions": 0,
+                                "items": 1, "entries": cp.position}
+        assert "a" in pool and len(pool) == 1
+
+    def test_max_items_evicts_lru(self):
+        pool = CheckpointPool(max_items=2)
+        for key in ("a", "b", "c"):
+            pool.put(key, _pooled_checkpoint())
+        assert pool.keys() == ["b", "c"]
+        assert pool.evictions == 1
+        pool.get("b")  # refresh: "c" becomes LRU
+        pool.put("d", _pooled_checkpoint())
+        assert pool.keys() == ["b", "d"]
+
+    def test_max_entries_budget(self):
+        small = _pooled_checkpoint(depth=2.0)
+        big = _pooled_checkpoint(depth=20.0)
+        pool = CheckpointPool(max_entries=small.position + 1)
+        pool.put("small", small)
+        pool.put("big", big)
+        assert pool.keys() == ["big"]  # small evicted to make room
+
+    def test_never_evicts_the_last_item(self):
+        oversized = _pooled_checkpoint(depth=30.0)
+        pool = CheckpointPool(max_items=1, max_entries=1)
+        pool.put("only", oversized)
+        assert pool.get("only") is oversized
+
+    def test_clear_keeps_counters(self):
+        pool = CheckpointPool()
+        pool.put("a", _pooled_checkpoint())
+        pool.get("a")
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.hits == 1

@@ -176,3 +176,53 @@ class TestRenderers:
     def test_empty_summary_renders(self):
         text = render_text(CampaignSummary(path=None))
         assert "executed 0 runs" in text
+
+
+class TestPrefixSharing:
+    def _write_grouped(self, path):
+        with Journal(path) as journal:
+            journal.start("campaign", seed=5, configs=4)
+            journal.record(K.CAMPAIGN_CHECKPOINT_CAPTURE, prefix="warm-a",
+                           label="campaign/warm-a", identity="abc",
+                           time=5.0, entries=10, configs=3)
+            for index, (prefix, forked, cached) in enumerate(
+                    [("warm-a", True, False), ("warm-a", True, False),
+                     ("warm-a", False, False), ("warm-b", False, True)]):
+                journal.record(K.CAMPAIGN_RUN_END, index=index,
+                               label=f"cfg{index}", ok=True, codes=[],
+                               prefix=prefix, forked=forked, cached=cached)
+            journal.record(K.CAMPAIGN_END, status="ok", executed=4,
+                           prefix_captures=1, prefix_forks=2,
+                           prefix_fallbacks=1)
+        return path
+
+    def test_sharing_folds_groups(self, tmp_path):
+        summary = summarize_journal(self._write_grouped(tmp_path / "j.jsonl"))
+        sharing = summary.prefix_sharing()
+        assert sharing["captures"] == 1
+        assert sharing["forks"] == 2
+        assert sharing["fallbacks"] == 1
+        assert sharing["groups"]["warm-a"] == {
+            "captures": 1, "runs": 3, "forks": 2, "cached": 0}
+        assert sharing["groups"]["warm-b"] == {
+            "captures": 0, "runs": 1, "forks": 0, "cached": 1}
+
+    def test_sharing_renders_in_text_json_and_html(self, tmp_path):
+        summary = summarize_journal(self._write_grouped(tmp_path / "j.jsonl"))
+        text = render_text(summary)
+        assert "prefix sharing: 1 captures, 2 forked runs, " \
+            "1 cold fallbacks" in text
+        assert "capture hits / forks" in text
+        assert "warm-a" in text
+        payload = summary_to_json(summary)
+        assert payload["prefix_sharing"]["forks"] == 2
+        json.dumps(payload)  # stays serializable
+        html = render_html(summary)
+        assert "Prefix sharing" in html and "warm-b" in html
+
+    def test_ungrouped_journal_has_no_sharing(self, tmp_path):
+        summary = summarize_journal(_write_sweep(tmp_path / "j.jsonl"))
+        assert summary.prefix_sharing() is None
+        assert "prefix sharing" not in render_text(summary)
+        assert summary_to_json(summary)["prefix_sharing"] is None
+        assert "Prefix sharing" not in render_html(summary)

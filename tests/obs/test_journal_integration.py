@@ -169,7 +169,12 @@ class TestExploreJournal:
         assert summary.completed
         assert summary.engine == "explore"
         assert summary.executed == report.schedules
-        assert len(summary.checkpoints) == 1
+        roots = [c for c in summary.checkpoints if not c.get("nested")]
+        nested = [c for c in summary.checkpoints if c.get("nested")]
+        assert len(roots) == 1
+        assert len(nested) == report.nested_captures
+        assert summary.end.get("simulated_events") == \
+            report.simulated_events
         assert [name for name, _, _ in summary.phases] == ["capture"]
         assert summary.end.get("distinct_outcomes") == \
             report.distinct_outcomes

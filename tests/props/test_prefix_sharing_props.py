@@ -1,0 +1,123 @@
+"""Prefix-grouped sweeps and checkpoint-tree exploration change nothing
+but the clock.
+
+Two contracts, pinned over the real protocol rigs:
+
+- a prefix-grouped ``Campaign.run`` of the split fuzz body is
+  byte-identical -- results, canonical traces, oracle fingerprints --
+  to the cold :func:`~repro.oracle.fuzz.fuzz_body` sweep it amortizes,
+  across every TCP vendor profile and GMP bug variant;
+- :func:`~repro.oracle.explore.explore` with nested re-checkpointing
+  reaches exactly the flat exploration's outcomes while dispatching
+  strictly fewer simulated events (deep branches refork a warm
+  ancestor instead of replaying their prefix).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.export import VOLATILE_ATTRS, dump_trace
+from repro.core.orchestrator import Campaign
+from repro.oracle.explore import explore
+from repro.oracle.fuzz import (DEFAULT_DEPTHS, GMP_VARIANTS, fuzz_body,
+                               pack_for, prefixed_fuzz_body)
+from repro.oracle.grammar import generate_script
+from repro.tcp import VENDORS
+
+
+def canon(trace) -> str:
+    return dump_trace(trace, exclude_attrs=VOLATILE_ATTRS)
+
+
+def _config(protocol: str, target: str, index: int, depth=None):
+    script = generate_script(random.Random(index), protocol, index=index)
+    config = {"protocol": protocol, "target": target,
+              "script": script.source, "init_script": script.init,
+              "direction": script.direction}
+    if depth is not None:
+        config["install_at"] = depth
+    return config
+
+
+def _stable(results):
+    return [(r.config, r.result, canon(r.trace),
+             [v.fingerprint() for v in (r.violations or [])],
+             None if r.telemetry is None else
+             (r.telemetry.events, r.telemetry.virtual_s,
+              r.telemetry.trace_entries))
+            for r in results]
+
+
+def _assert_grouped_matches_cold(configs, protocol, seed):
+    cold = Campaign(fuzz_body, seed=seed).run(
+        configs, oracle=pack_for(protocol))
+    grouped = Campaign(prefixed_fuzz_body, seed=seed).run(
+        configs, oracle=pack_for(protocol))
+    assert _stable(grouped) == _stable(cold)
+
+
+# ----------------------------------------------------------------------
+# grouped campaign == cold fuzz_body sweep
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("vendor", sorted(VENDORS))
+def test_tcp_grouped_sweep_matches_cold(vendor):
+    # depth 5.0 shares a mid-stream prefix: handshake done, segments
+    # and retransmission timers in flight when each script arms
+    configs = [_config("tcp", vendor, index, depth=5.0)
+               for index in range(3)]
+    _assert_grouped_matches_cold(configs, "tcp", seed=42)
+
+
+@pytest.mark.parametrize("variant", GMP_VARIANTS + ("fixed",))
+def test_gmp_grouped_sweep_matches_cold(variant):
+    configs = [_config("gmp", variant, index) for index in range(3)]
+    _assert_grouped_matches_cold(configs, "gmp", seed=7)
+
+
+def test_mixed_target_sweep_groups_per_target():
+    # a sweep across all GMP variants forms one prefix group per
+    # variant (the bug flags differ, so the warm worlds differ)
+    configs = [_config("gmp", variant, index)
+               for variant in GMP_VARIANTS for index in range(2)]
+    keys = {prefixed_fuzz_body.prefix_key(c) for c in configs}
+    assert keys == {("gmp", v, DEFAULT_DEPTHS["gmp"])
+                    for v in GMP_VARIANTS}
+    _assert_grouped_matches_cold(configs, "gmp", seed=3)
+
+
+def test_grouped_parallel_matches_cold():
+    configs = [_config("gmp", variant, index)
+               for variant in ("self_death", "fixed")
+               for index in range(3)]
+    cold = Campaign(fuzz_body, seed=7).run(configs,
+                                           oracle=pack_for("gmp"))
+    grouped = Campaign(prefixed_fuzz_body, seed=7).run(
+        configs, workers=2, oracle=pack_for("gmp"))
+    assert _stable(grouped) == _stable(cold)
+
+
+# ----------------------------------------------------------------------
+# nested-checkpoint exploration == flat exploration, fewer events
+# ----------------------------------------------------------------------
+
+def _outcome_set(report):
+    return sorted((o.outcome_hash, tuple(o.codes), o.violation_count)
+                  for o in report.outcomes)
+
+
+@pytest.mark.parametrize("target", ("self_death", "fixed"))
+def test_explore_nested_matches_flat_with_fewer_events(target):
+    kwargs = dict(seed=0, max_schedules=24, max_perturbations=2)
+    flat = explore("gmp", target, recheckpoint_every=0, **kwargs)
+    nested = explore("gmp", target, recheckpoint_every=8, **kwargs)
+    assert nested.schedules == flat.schedules
+    assert _outcome_set(nested) == _outcome_set(flat)
+    assert ([o.outcome_hash for o in nested.outcomes]
+            == [o.outcome_hash for o in flat.outcomes])
+    assert nested.distinct_outcomes == flat.distinct_outcomes
+    # the acceptance criterion: strictly fewer dispatched events
+    assert nested.simulated_events < flat.simulated_events
+    assert nested.nested_captures > 0
+    assert flat.nested_captures == 0 and flat.ancestor_forks == 0
