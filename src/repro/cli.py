@@ -402,7 +402,14 @@ def cmd_report(args) -> int:
 
 
 def _cmd_report_campaign(args) -> int:
-    """The ``repro report --campaign <journal>`` path."""
+    """The ``repro report --campaign <journal-or-directory>`` path.
+
+    A directory -- a fabric campaign dir or any folder of shard
+    journals -- is folded by :func:`repro.core.fabric.merge.
+    merge_campaign_dir` into one merged summary (rows deduplicated by
+    config index, per-group capture-hits table included); a file is
+    replayed as the single journal it always was.
+    """
     import json
     import os
 
@@ -413,7 +420,15 @@ def _cmd_report_campaign(args) -> int:
         print(f"repro report: no such journal: {args.campaign}",
               file=sys.stderr)
         return 2
-    summary = summarize_journal(args.campaign)
+    if os.path.isdir(args.campaign):
+        from repro.core.fabric.merge import merge_campaign_dir
+        try:
+            summary = merge_campaign_dir(args.campaign)
+        except FileNotFoundError as exc:
+            print(f"repro report: {exc}", file=sys.stderr)
+            return 2
+    else:
+        summary = summarize_journal(args.campaign)
     if args.html:
         with open(args.html, "w") as fp:
             fp.write(render_html(summary))
@@ -585,6 +600,99 @@ def cmd_fuzz(args) -> int:
               f"{stats.clauses_before}->{stats.clauses_after} clause(s), "
               f"seed {stats.seed_before}->{stats.seed_after} "
               f"({stats.runs} runs) -> {path}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Distributed, resumable campaign sweeps (docs/fabric.md).
+
+    Runs a generated fault-script battery through ``Campaign.run`` on a
+    chosen backend.  ``--backend local`` is the in-process engine;
+    ``--backend sockets`` is the fabric: a coordinator plus
+    ``--workers`` worker processes over the lease protocol, every
+    completed row persisted to the campaign directory's shared result
+    store.  The campaign directory (``--journal-dir``) holds the sweep
+    spec, the store, and per-shard journals; SIGKILL anything mid-sweep
+    and ``repro sweep --resume <dir>`` finishes the remainder --
+    ``repro report --campaign <dir>`` then renders the merged scorecard,
+    byte-identical on stable keys to an uninterrupted serial run.
+    """
+    import os
+
+    from repro.core.fabric import FabricError, merge_campaign_dir
+    from repro.core.fabric.spec import SpecError, SweepSpec
+    from repro.core.orchestrator import Campaign
+    from repro.obs.campaign_report import render_stable, render_text
+
+    fabric_options = {}
+    if args.ttl is not None:
+        fabric_options["ttl"] = args.ttl
+    if args.shard_size is not None:
+        fabric_options["shard_size"] = args.shard_size
+
+    if args.resume:
+        fabric_dir = args.resume
+        try:
+            spec = SweepSpec.load(
+                os.path.join(fabric_dir, "spec.pkl"))
+        except SpecError as exc:
+            print(f"repro sweep: {exc}", file=sys.stderr)
+            return 2
+        configs = spec.configs
+        campaign = Campaign(spec.body, seed=spec.seed, lint=spec.lint)
+        telemetry, oracle, group = (spec.telemetry, spec.oracle,
+                                    spec.group)
+    else:
+        if not args.journal_dir:
+            print("repro sweep: give --journal-dir DIR (the campaign "
+                  "directory) or --resume DIR", file=sys.stderr)
+            return 2
+        fabric_dir = args.journal_dir
+        from repro.oracle.fuzz import (GMP_VARIANTS, pack_for,
+                                       prefixed_fuzz_body)
+        from repro.oracle.grammar import generate_script
+        if args.targets:
+            targets = [t.strip() for t in args.targets.split(",")
+                       if t.strip()]
+        elif args.protocol == "tcp":
+            from repro.tcp import VENDORS
+            targets = sorted(VENDORS)
+        else:
+            targets = list(GMP_VARIANTS) + ["fixed"]
+        import random as _random
+        configs = []
+        for target in targets:
+            for index in range(args.count):
+                script = generate_script(_random.Random(index),
+                                         args.protocol, index=index)
+                config = {"protocol": args.protocol, "target": target,
+                          "script": script.source,
+                          "init_script": script.init,
+                          "direction": script.direction}
+                if args.depth is not None:
+                    config["install_at"] = args.depth
+                configs.append(config)
+        campaign = Campaign(prefixed_fuzz_body, seed=args.seed)
+        telemetry, oracle, group = True, pack_for(args.protocol), True
+
+    workers = args.workers if args.workers == "auto" else int(args.workers)
+    try:
+        if args.backend == "sockets":
+            campaign.run(configs, workers=workers, telemetry=telemetry,
+                         oracle=oracle, group=group, backend="sockets",
+                         fabric_dir=fabric_dir,
+                         fabric_options=fabric_options or None)
+        else:
+            campaign.run(configs, workers=workers, telemetry=telemetry,
+                         oracle=oracle, group=group,
+                         fabric_dir=fabric_dir)
+    except FabricError as exc:
+        print(f"repro sweep: {exc}", file=sys.stderr)
+        return 3
+    summary = merge_campaign_dir(fabric_dir)
+    print(render_text(summary))
+    if args.stable:
+        print(render_stable(summary))
     return 0
 
 
@@ -790,6 +898,42 @@ def build_parser() -> argparse.ArgumentParser:
                       help="append a crash-safe JSONL flight record of "
                            "the sweep to FILE (repro tail / repro report "
                            "--campaign; docs/campaign-journal.md)")
+    sweep = sub.add_parser(
+        "sweep", help="distributed, resumable campaign sweeps over the "
+                      "fabric backends (docs/fabric.md)")
+    sweep.add_argument("--protocol", choices=["tcp", "gmp"],
+                       default="gmp")
+    sweep.add_argument("--targets", default="",
+                       help="comma list of targets (TCP vendor profiles "
+                            "or GMP variants; default: all)")
+    sweep.add_argument("--count", type=int, default=3,
+                       help="generated scripts per target (default 3)")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="campaign seed (default 0)")
+    sweep.add_argument("--depth", type=float, default=None, metavar="T",
+                       help="filter-install depth shared by every "
+                            "config (forms one prefix group per target)")
+    sweep.add_argument("--backend", choices=["local", "sockets"],
+                       default="local",
+                       help="execution backend (default local)")
+    sweep.add_argument("--workers", default="2",
+                       help="worker processes, or 'auto' (default 2)")
+    sweep.add_argument("--journal-dir", default="", metavar="DIR",
+                       help="campaign directory: sweep spec, shared "
+                            "result store, per-shard journals")
+    sweep.add_argument("--resume", default="", metavar="DIR",
+                       help="resume the sweep recorded in DIR (its "
+                            "spec.pkl); only rows missing from the "
+                            "result store execute")
+    sweep.add_argument("--ttl", type=float, default=None,
+                       help="lease heartbeat TTL in seconds "
+                            "(sockets backend; default 15)")
+    sweep.add_argument("--shard-size", type=int, default=None,
+                       help="configs per shard lease (default: sized "
+                            "from --workers)")
+    sweep.add_argument("--stable", action="store_true",
+                       help="also print the wall-clock-free stable "
+                            "scorecard (the chaos-test oracle)")
     explore = sub.add_parser(
         "explore", help="bounded delivery-order exploration from a "
                         "prefix checkpoint, oracle packs as verdict "
@@ -868,6 +1012,8 @@ def main(argv=None) -> int:
         return cmd_trace(args)
     elif args.command == "fuzz":
         return cmd_fuzz(args)
+    elif args.command == "sweep":
+        return cmd_sweep(args)
     elif args.command == "explore":
         return cmd_explore(args)
     else:

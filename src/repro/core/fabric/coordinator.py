@@ -1,0 +1,399 @@
+"""The fabric coordinator: leases, heartbeats, spawning, and the merge.
+
+One coordinator process owns a sweep attempt: it binds a socket, spawns
+(or admits) workers, serves the lease protocol from a
+:class:`~repro.core.fabric.shards.LeaseBoard`, and watches for loss --
+a disconnected worker's leases return to the pending queue immediately,
+a zombie's by TTL expiry.  All durable state lives *outside* the
+coordinator (the spec, the content-addressed store, append-only
+journals), so SIGKILLing the coordinator loses nothing: the next
+``--resume`` probes the store for completed rows and only the remainder
+is re-sharded.
+
+``state.json`` in the campaign directory is advisory observability --
+endpoint, coordinator pid, known worker pids, lease board snapshot --
+refreshed atomically; the chaos rig reads it to find victims to SIGKILL,
+and operators read it to see who holds what.  Nothing consumes it for
+correctness.
+
+When every worker is gone and shards remain, the coordinator aborts the
+attempt with :class:`FabricError` (``status="workers_lost"``) after
+journaling a ``campaign.end`` that says so -- it does not silently hang,
+and it does not respawn: the decision to retry belongs to the caller
+(``repro sweep --resume``), which is the resumability story, not a
+supervision tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.fabric.protocol import (ProtocolError, recv_message,
+                                        send_message)
+from repro.core.fabric.shards import LeaseBoard, partition_shards
+from repro.core.fabric.spec import SweepSpec
+from repro.core.fabric.store import ResultStore
+from repro.core.orchestrator import RunResult, _run_end_payload
+from repro.netsim import kinds as K
+from repro.obs.journal import Journal
+
+DEFAULT_TTL_S = 15.0
+DEFAULT_POLL_S = 0.05
+DRAIN_TIMEOUT_S = 10.0
+
+
+class FabricError(RuntimeError):
+    """A fabric sweep attempt that cannot make progress.
+
+    ``status`` mirrors the ``campaign.end`` journal payload --
+    ``"workers_lost"`` when every worker died mid-sweep (the remainder
+    is resumable), ``"spec_mismatch"`` when a resume directory holds a
+    different sweep.
+    """
+
+    def __init__(self, message: str, *, status: str = "failed"):
+        super().__init__(message)
+        self.status = status
+
+
+def _write_json(path: Path, payload: Dict[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def _worker_env() -> Dict[str, str]:
+    """Child env whose PYTHONPATH reproduces this process's sys.path.
+
+    Workers must unpickle the spec's body, which may live in a module
+    only importable through the parent's path entries (e.g. a test rig
+    under the repository root).
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    return env
+
+
+class FabricCoordinator:
+    """One sweep attempt over the sockets backend."""
+
+    def __init__(self, spec: SweepSpec, fabric_dir: Union[str, Path], *,
+                 workers: int = 2, ttl: float = DEFAULT_TTL_S,
+                 poll: float = DEFAULT_POLL_S, spawn: bool = True,
+                 host: str = "127.0.0.1",
+                 shard_size: Optional[int] = None):
+        if workers < 1:
+            raise ValueError(f"sockets backend needs workers >= 1, "
+                             f"got {workers}")
+        self._spec = spec
+        self._dir = Path(fabric_dir)
+        self._workers = workers
+        self._ttl = ttl
+        self._poll = poll
+        self._spawn = spawn
+        self._host = host
+        self._shard_size = shard_size
+        self._lock = threading.Lock()
+        self._board: Optional[LeaseBoard] = None
+        self._journal: Optional[Journal] = None
+        self._listener: Optional[socket.socket] = None
+        self._procs: List[subprocess.Popen] = []
+        self._connections = 0
+        self._worker_pids: Dict[str, int] = {}
+        self._aborted = False
+        self._port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # directory state
+    # ------------------------------------------------------------------
+
+    def _persist_spec(self) -> None:
+        spec_path = self._dir / "spec.pkl"
+        if spec_path.exists():
+            existing = SweepSpec.load(spec_path)
+            if existing.digest() != self._spec.digest():
+                raise FabricError(
+                    f"{self._dir} holds a different sweep "
+                    f"(spec {existing.digest()}, ours "
+                    f"{self._spec.digest()}); refusing to mix results",
+                    status="spec_mismatch")
+        else:
+            self._spec.save(spec_path)
+
+    def _write_state(self, status: str) -> None:
+        board = self._board
+        _write_json(self._dir / "state.json", {
+            "status": status,
+            "endpoint": ([self._host, self._port]
+                         if self._port is not None else None),
+            "coordinator_pid": os.getpid(),
+            "spec": self._spec.digest(),
+            "workers": dict(self._worker_pids),
+            "board": board.as_dict() if board is not None else None,
+        })
+
+    # ------------------------------------------------------------------
+    # protocol service
+    # ------------------------------------------------------------------
+
+    def _handle(self, state: Dict[str, Any],
+                message: Dict[str, Any]) -> Dict[str, Any]:
+        """One request → one reply, under the coordinator lock."""
+        kind = message.get("type")
+        board = self._board
+        journal = self._journal
+        now = time.monotonic()
+        if kind == "hello":
+            worker = str(message.get("worker", "?"))
+            state["worker"] = worker
+            claimed = message.get("spec")
+            if claimed is not None and claimed != self._spec.digest():
+                return {"type": "drain", "reason": "spec_mismatch"}
+            pid = message.get("pid")
+            if isinstance(pid, int):
+                self._worker_pids[worker] = pid
+                self._write_state("running")
+            return {"type": "welcome", "lease_ttl": self._ttl,
+                    "poll": self._poll}
+        worker = state.get("worker")
+        if worker is None:
+            raise ProtocolError(f"{kind!r} before hello")
+        if kind == "lease":
+            if self._aborted or board is None or board.done():
+                return {"type": "drain"}
+            shard = board.lease(worker, now)
+            if shard is None:
+                return {"type": "wait", "poll": self._poll}
+            self._write_state("running")
+            return {"type": "grant", "shard": shard.shard_id,
+                    "indices": list(shard.indices),
+                    "attempt": shard.attempts, "ttl": self._ttl}
+        if kind == "heartbeat":
+            ok = (board is not None
+                  and board.heartbeat(worker, int(message["shard"]), now))
+            return {"type": "ack", "ok": ok}
+        if kind == "done":
+            shard_id = int(message["shard"])
+            if message.get("error") is not None and journal is not None:
+                journal.record(K.CAMPAIGN_WORKER_ERROR, shard=shard_id,
+                               worker=worker,
+                               error=str(message["error"]))
+            if board is not None:
+                board.complete(worker, shard_id)
+            self._write_state("running")
+            return {"type": "ack", "ok": True}
+        raise ProtocolError(f"unknown message type {kind!r}")
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        state: Dict[str, Any] = {}
+        with self._lock:
+            self._connections += 1
+        try:
+            while True:
+                message = recv_message(conn)
+                if message is None:
+                    break
+                with self._lock:
+                    reply = self._handle(state, message)
+                send_message(conn, reply)
+        except (ProtocolError, OSError):
+            pass
+        finally:
+            with self._lock:
+                self._connections -= 1
+                worker = state.get("worker")
+                if worker is not None and self._board is not None:
+                    reclaimed = self._board.release_worker(worker)
+                    if reclaimed and self._journal is not None:
+                        self._journal.record(
+                            K.CAMPAIGN_WORKER_ERROR, worker=worker,
+                            reason="worker_disconnect",
+                            shards=[s.shard_id for s in reclaimed])
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while listener is not None:
+            try:
+                conn, _addr = listener.accept()
+            except OSError:
+                return  # listener closed: sweep over
+            threading.Thread(target=self._serve_connection,
+                             args=(conn,), daemon=True).start()
+
+    # ------------------------------------------------------------------
+    # worker processes
+    # ------------------------------------------------------------------
+
+    def _spawn_workers(self) -> None:
+        for number in range(1, self._workers + 1):
+            name = f"w{number}"
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.core.fabric.worker",
+                 "--connect", f"{self._host}:{self._port}",
+                 "--dir", str(self._dir), "--worker", name],
+                env=_worker_env())
+            self._procs.append(proc)
+
+    def _reap_workers(self) -> None:
+        deadline = time.monotonic() + DRAIN_TIMEOUT_S
+        for proc in self._procs:
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+    def _workers_lost(self) -> bool:
+        """True when no worker can ever lease again this attempt."""
+        if self._connections:
+            return False
+        if self._spawn:
+            return bool(self._procs) and all(
+                proc.poll() is not None for proc in self._procs)
+        return False
+
+    # ------------------------------------------------------------------
+    # the attempt
+    # ------------------------------------------------------------------
+
+    def run(self) -> List[RunResult]:
+        """Execute (or resume) the sweep; returns results in input order."""
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._persist_spec()
+        spec = self._spec
+        store = ResultStore(self._dir / "store")
+        keys = spec.store_keys(store)
+        todo = store.missing(keys)
+        journal = Journal(self._dir / "journals" / "coordinator.jsonl")
+        self._journal = journal
+        failed: Optional[BaseException] = None
+        status = "ok"
+        findings: Optional[int] = None
+        todo_set = set(todo)
+        try:
+            journal.start(
+                "campaign", backend="sockets", seed=spec.seed,
+                configs=len(spec.configs), workers=self._workers,
+                telemetry=spec.telemetry, lint=spec.lint,
+                oracle=getattr(spec.oracle, "__qualname__", None),
+                body=spec.body_label(), resumed=len(todo) < len(spec.configs),
+                **{k: v for k, v in spec.meta.items()
+                   if k not in ("backend", "seed", "configs", "workers")})
+            # re-journal completed rows so this attempt's record (the
+            # last campaign.start segment) is a full flight on its own
+            for index, key in enumerate(keys):
+                if index in todo_set:
+                    continue
+                cached = store.get(key)
+                if cached is not None:
+                    journal.record(K.CAMPAIGN_RUN_END,
+                                   **_run_end_payload(index, cached,
+                                                      cached_hit=True))
+            if todo:
+                self._run_leased(spec, store, keys, todo, journal)
+            remaining = store.missing(keys)
+            if remaining:
+                status = "workers_lost"
+                raise FabricError(
+                    f"all workers lost with {len(remaining)} of "
+                    f"{len(spec.configs)} configurations incomplete; "
+                    f"resume with: repro sweep --resume {self._dir}",
+                    status="workers_lost")
+            results = store.load_all(keys)
+            findings = sum(1 for result in results if not result.ok())
+            return results
+        except BaseException as err:
+            failed = err
+            raise
+        finally:
+            if failed is not None and status == "ok":
+                status = getattr(failed, "status", "failed")
+            executed = len(todo) - len(store.missing(keys))
+            payload: Dict[str, Any] = {
+                "status": status, "executed": executed,
+                "cached": len(spec.configs) - len(todo),
+                "stolen": (self._board.stolen
+                           if self._board is not None else 0),
+                "expired": (self._board.expired
+                            if self._board is not None else 0),
+            }
+            if findings is not None:
+                payload["findings"] = findings
+            journal.record(K.CAMPAIGN_END, **payload)
+            journal.close()
+            self._write_state(status)
+
+    def _run_leased(self, spec: SweepSpec, store: ResultStore,
+                    keys: List[str], todo: List[int],
+                    journal: Journal) -> None:
+        """Shard the remainder, serve leases, wait for the board."""
+        exec_keys = spec.execution_prefix_keys()
+        shards = partition_shards(
+            todo, exec_keys if exec_keys is not None
+            else [None] * len(spec.configs),
+            workers=self._workers, shard_size=self._shard_size)
+        self._board = LeaseBoard(shards, ttl=self._ttl)
+        self._listener = socket.create_server((self._host, 0),
+                                              backlog=self._workers * 2)
+        self._port = self._listener.getsockname()[1]
+        self._write_state("running")
+        accept = threading.Thread(target=self._accept_loop, daemon=True)
+        accept.start()
+        if self._spawn:
+            self._spawn_workers()
+        try:
+            with journal.phase("dispatch", shards=len(shards),
+                               workers=self._workers):
+                while True:
+                    with self._lock:
+                        if self._board.done():
+                            break
+                        expired = self._board.expire(time.monotonic())
+                        for shard in expired:
+                            journal.record(
+                                K.CAMPAIGN_WORKER_ERROR,
+                                shard=shard.shard_id,
+                                reason="lease_expired")
+                        if self._workers_lost():
+                            self._aborted = True
+                            break
+                    time.sleep(self._poll)
+        finally:
+            if not self._aborted:
+                self._reap_workers()
+            listener, self._listener = self._listener, None
+            if listener is not None:
+                try:
+                    listener.close()
+                except OSError:
+                    pass
+            if self._aborted:
+                for proc in self._procs:
+                    if proc.poll() is None:
+                        proc.kill()
+                        proc.wait()
+
+
+def run_sockets(spec: SweepSpec, fabric_dir: Union[str, Path], *,
+                workers: int = 2, ttl: float = DEFAULT_TTL_S,
+                poll: float = DEFAULT_POLL_S, spawn: bool = True,
+                shard_size: Optional[int] = None) -> List[RunResult]:
+    """One sockets-backend sweep attempt (see :class:`FabricCoordinator`)."""
+    coordinator = FabricCoordinator(
+        spec, fabric_dir, workers=workers, ttl=ttl, poll=poll,
+        spawn=spawn, shard_size=shard_size)
+    return coordinator.run()

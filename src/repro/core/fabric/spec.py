@@ -1,0 +1,167 @@
+"""The sweep specification a fabric run is addressed by.
+
+A :class:`SweepSpec` bundles everything a worker process needs to execute
+any slice of a campaign -- the body callable, the campaign seed, the full
+configuration list, and the telemetry/oracle/grouping options -- pickled
+once into the campaign directory (``spec.pkl``) so coordinator restarts
+and late-joining workers all read the identical sweep.  The same
+picklability rule as parallel :meth:`Campaign.run
+<repro.core.orchestrator.Campaign.run>` applies: body and oracle must be
+module-level callables.
+
+The spec also owns key derivation: :meth:`store_keys` reproduces the
+exact :meth:`RunCache.key <repro.core.orchestrator.RunCache.key>` the
+in-process campaign engine computes (including the static prefix digest
+for split bodies), which is what makes the fabric's
+:class:`~repro.core.fabric.store.ResultStore` interoperable with local
+``cache=`` sweeps -- a serial run that warmed a store resumes a fabric
+run incrementally, and vice versa.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.core.orchestrator import (PrefixedBody, RunCache, _hash_code,
+                                     _prefix_digest)
+
+
+class SpecError(ValueError):
+    """A spec that cannot serve a fabric run (unpicklable, mismatched)."""
+
+
+@dataclass
+class SweepSpec:
+    """One campaign sweep, self-contained and picklable."""
+
+    body: Callable
+    seed: int
+    configs: List[Dict[str, Any]]
+    telemetry: bool = True
+    oracle: Optional[Callable] = None
+    lint: str = "error"
+    group: bool = True
+    #: free-form labels carried into journals (protocol, target, ...)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.configs = [dict(config) for config in self.configs]
+
+    # ------------------------------------------------------------------
+    # derivations
+    # ------------------------------------------------------------------
+
+    @property
+    def split(self) -> bool:
+        return isinstance(self.body, PrefixedBody)
+
+    def prefix_keys(self) -> List[Optional[Any]]:
+        """Per-config prefix keys (all ``None`` for unsplit bodies).
+
+        Derived regardless of :attr:`group` -- store keys mix the prefix
+        digest in whenever the body is split, exactly as the in-process
+        cache pre-pass does, so grouped and ungrouped runs share one
+        store address space.
+        """
+        if not self.split:
+            return [None] * len(self.configs)
+        return [self.body.prefix_key(config) for config in self.configs]
+
+    def execution_prefix_keys(self) -> Optional[List[Optional[Any]]]:
+        """Prefix keys for grouped execution, or ``None`` to run cold."""
+        if not self.split or not self.group:
+            return None
+        keys = self.prefix_keys()
+        return keys if any(key is not None for key in keys) else None
+
+    def store_keys(self, store: RunCache) -> List[str]:
+        """The content address of every configuration's result."""
+        prefix_keys = self.prefix_keys()
+        keys = []
+        for index, config in enumerate(self.configs):
+            keys.append(store.key(
+                self.body, self.seed, config,
+                telemetry=self.telemetry, oracle=self.oracle,
+                checkpoint=(_prefix_digest(self.body, prefix_keys[index])
+                            if self.split and prefix_keys[index] is not None
+                            else None)))
+        return keys
+
+    def body_label(self) -> str:
+        return getattr(self.body, "__qualname__", repr(self.body))
+
+    def digest(self) -> str:
+        """Content identity of this spec (collision => same sweep).
+
+        Hashes canonical components -- body/oracle code the way
+        :meth:`RunCache.key <repro.core.orchestrator.RunCache.key>`
+        does, plus seed, options and config contents -- rather than the
+        spec's pickle bytes, whose memoization layout depends on string
+        object identity and therefore differs between a freshly built
+        spec and the same spec loaded back from disk.
+        """
+        digest = hashlib.sha256()
+        parts = getattr(self.body, "cache_parts", None)
+        for fn in ((*parts(), self.body.key) if callable(parts)
+                   else (self.body,)):
+            digest.update(getattr(fn, "__module__", "").encode())
+            digest.update(getattr(fn, "__qualname__", repr(fn)).encode())
+            code = getattr(fn, "__code__", None)
+            if code is not None:
+                _hash_code(digest, code)
+        if self.oracle is not None:
+            digest.update(getattr(self.oracle, "__module__", "").encode())
+            digest.update(getattr(self.oracle, "__qualname__",
+                                  repr(self.oracle)).encode())
+        digest.update(repr((self.seed, self.telemetry, self.lint,
+                            self.group)).encode())
+        digest.update(repr(sorted(self.meta.items())).encode())
+        for config in self.configs:
+            digest.update(repr(sorted(config.items())).encode())
+        return digest.hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def _dumps(self) -> bytes:
+        try:
+            return pickle.dumps(self)
+        except Exception as err:
+            raise SpecError(
+                f"sweep spec is not picklable (body and oracle must be "
+                f"module-level): {err}") from err
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Atomically write the spec; safe against a concurrent reader."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = self._dumps()
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SweepSpec":
+        path = Path(path)
+        try:
+            blob = path.read_bytes()
+        except OSError as err:
+            raise SpecError(
+                f"no sweep spec at {path} (nothing to resume): {err}"
+                ) from err
+        try:
+            spec = pickle.loads(blob)
+        except Exception as err:
+            raise SpecError(
+                f"undecodable sweep spec at {path}: {err}") from err
+        if not isinstance(spec, cls):
+            raise SpecError(
+                f"{path} holds {type(spec).__name__}, not a SweepSpec")
+        return spec

@@ -1,0 +1,258 @@
+"""The fabric worker: lease a shard, execute it, publish, repeat.
+
+``python -m repro.core.fabric.worker --connect HOST:PORT --dir DIR
+--worker NAME`` connects to a coordinator, loads the sweep spec from the
+campaign directory, and loops: request a lease, execute the granted
+shard one configuration at a time, ``put`` each result into the shared
+:class:`~repro.core.fabric.store.ResultStore` *before* journaling its
+``run_end`` and heartbeating -- so a SIGKILL at any byte offset loses at
+most the configuration in flight, never a row the journal claims done.
+
+Each lease gets its own journal file
+(``journals/shard-NNNN-tryA-WORKER.jsonl``): per-shard journals never
+share a writer, so worker loss cannot tear another worker's record, and
+the merge step (:mod:`repro.core.fabric.merge`) folds them by config
+index where duplicate rows from a stolen-but-finished shard are
+harmless -- determinism makes them byte-identical on stable keys.
+
+A heartbeat answered ``ok: false`` means the lease expired and was
+stolen; the worker abandons the rest of the shard immediately (the new
+holder owns it) and asks for fresh work.  A dead coordinator socket
+exits the worker with status 3 -- orphaned workers never spin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.fabric.protocol import (ProtocolError, recv_message,
+                                        request, send_message)
+from repro.core.fabric.spec import SweepSpec
+from repro.core.fabric.store import ResultStore
+from repro.core.orchestrator import (_capture_payload, _capture_prefix,
+                                     _config_label, _execute_config,
+                                     _execute_forked, _run_end_payload)
+from repro.netsim import kinds as K
+from repro.obs.journal import Journal
+
+#: worker exit statuses (asserted by the chaos rig)
+EXIT_DRAINED = 0
+EXIT_ERROR = 1
+EXIT_COORDINATOR_LOST = 3
+
+CONNECT_RETRIES = 50
+CONNECT_BACKOFF_S = 0.1
+
+
+def _connect(endpoint: Tuple[str, int]) -> socket.socket:
+    """Dial the coordinator, retrying while it finishes binding."""
+    last: Optional[Exception] = None
+    for _attempt in range(CONNECT_RETRIES):
+        try:
+            return socket.create_connection(endpoint, timeout=30.0)
+        except OSError as err:
+            last = err
+            time.sleep(CONNECT_BACKOFF_S)
+    raise ConnectionError(
+        f"could not reach coordinator at {endpoint[0]}:{endpoint[1]}: "
+        f"{last}")
+
+
+def _shard_journal_path(fabric_dir: Path, shard: int, attempt: int,
+                        worker: str) -> Path:
+    return (fabric_dir / "journals"
+            / f"shard-{shard:04d}-try{attempt}-{worker}.jsonl")
+
+
+class _LeaseLost(Exception):
+    """The coordinator declined our heartbeat: the shard was stolen."""
+
+
+def _execute_shard(spec: SweepSpec, store: ResultStore,
+                   store_keys: List[str],
+                   prefix_keys: Optional[List[Optional[Any]]],
+                   indices: List[int], journal: Journal,
+                   sock: socket.socket, shard: int) -> Tuple[int, int]:
+    """Run one leased shard config by config; returns (executed, cached).
+
+    Mirrors the orchestrator's grouped chunk executor
+    (:func:`repro.core.orchestrator._execute_chunk`) but persists and
+    journals after *every* configuration instead of after the chunk:
+    crash granularity is one config, and each completed row heartbeats
+    the lease so slow shards do not expire under a live worker.
+    """
+    from repro.core.checkpoint import CheckpointError
+    executed = cached = 0
+    checkpoint = None
+    current_key: Optional[Any] = None
+    for position, index in enumerate(indices):
+        config = spec.configs[index]
+        if store.has(store_keys[index]):
+            # another attempt (or a concurrent local run) already
+            # published this row; count it and keep the lease warm
+            cached += 1
+            result = store.get(store_keys[index])
+            if result is not None:
+                journal.record(K.CAMPAIGN_RUN_END,
+                               **_run_end_payload(index, result,
+                                                  cached_hit=True))
+            _heartbeat(sock, shard)
+            continue
+        key = prefix_keys[index] if prefix_keys is not None else None
+        journal.record(K.CAMPAIGN_RUN_START, index=index,
+                       label=_config_label(config))
+        try:
+            forked = False
+            if key is None:
+                checkpoint, current_key = None, None
+                result = _execute_config(
+                    spec.body, spec.seed, config,
+                    telemetry=spec.telemetry, oracle=spec.oracle)
+            else:
+                if key != current_key:
+                    current_key = key
+                    checkpoint = None
+                    group_size = sum(
+                        1 for i in indices[position:]
+                        if prefix_keys[i] == key
+                        and not store.has(store_keys[i]))
+                    if group_size > 1:
+                        try:
+                            checkpoint = _capture_prefix(spec.body,
+                                                         config, key)
+                        except CheckpointError:
+                            checkpoint = None
+                        else:
+                            journal.record(
+                                K.CAMPAIGN_CHECKPOINT_CAPTURE,
+                                **_capture_payload(key, checkpoint,
+                                                   group_size))
+                if checkpoint is not None:
+                    try:
+                        result = _execute_forked(
+                            spec.body, spec.seed, config, checkpoint,
+                            telemetry=spec.telemetry, oracle=spec.oracle)
+                        forked = True
+                    except CheckpointError:
+                        checkpoint = None
+                if not forked:
+                    result = _execute_config(
+                        spec.body, spec.seed, config,
+                        telemetry=spec.telemetry, oracle=spec.oracle)
+        except _LeaseLost:
+            raise
+        except Exception as err:
+            journal.record(K.CAMPAIGN_WORKER_ERROR, index=index,
+                           error=repr(err))
+            raise
+        store.put(store_keys[index], result)
+        journal.record(K.CAMPAIGN_RUN_END,
+                       **_run_end_payload(index, result, prefix=key,
+                                          forked=forked))
+        executed += 1
+        _heartbeat(sock, shard)
+    return executed, cached
+
+
+def _heartbeat(sock: socket.socket, shard: int) -> None:
+    reply = request(sock, {"type": "heartbeat", "shard": shard})
+    if not reply.get("ok", False):
+        raise _LeaseLost(f"lease on shard {shard} was reclaimed")
+
+
+def run_worker(endpoint: Tuple[str, int], fabric_dir: Path,
+               worker: str) -> int:
+    """The worker main loop; returns a process exit status."""
+    fabric_dir = Path(fabric_dir)
+    spec = SweepSpec.load(fabric_dir / "spec.pkl")
+    store = ResultStore(fabric_dir / "store")
+    store_keys = spec.store_keys(store)
+    prefix_keys = spec.execution_prefix_keys()
+    try:
+        sock = _connect(endpoint)
+    except ConnectionError as err:
+        print(f"fabric worker {worker}: {err}", file=sys.stderr)
+        return EXIT_COORDINATOR_LOST
+    try:
+        welcome = request(sock, {"type": "hello", "worker": worker,
+                                 "pid": os.getpid(),
+                                 "spec": spec.digest()})
+        if welcome.get("type") != "welcome":
+            print(f"fabric worker {worker}: unexpected handshake reply "
+                  f"{welcome!r}", file=sys.stderr)
+            return EXIT_ERROR
+        poll_s = float(welcome.get("poll", 0.05))
+        while True:
+            reply = request(sock, {"type": "lease"})
+            kind = reply.get("type")
+            if kind == "drain":
+                return EXIT_DRAINED
+            if kind == "wait":
+                time.sleep(float(reply.get("poll", poll_s)))
+                continue
+            if kind != "grant":
+                print(f"fabric worker {worker}: unexpected lease reply "
+                      f"{reply!r}", file=sys.stderr)
+                return EXIT_ERROR
+            shard = int(reply["shard"])
+            indices = [int(i) for i in reply["indices"]]
+            attempt = int(reply.get("attempt", 1))
+            journal = Journal(_shard_journal_path(fabric_dir, shard,
+                                                  attempt, worker))
+            try:
+                try:
+                    executed, cached = _execute_shard(
+                        spec, store, store_keys, prefix_keys, indices,
+                        journal, sock, shard)
+                except _LeaseLost:
+                    journal.record(K.CAMPAIGN_WORKER_ERROR, shard=shard,
+                                   worker=worker, reason="lease_lost")
+                    continue
+                except Exception as err:
+                    send_message(sock, {"type": "done", "shard": shard,
+                                        "error": repr(err)})
+                    recv_message(sock)
+                    raise
+            finally:
+                journal.close()
+            request(sock, {"type": "done", "shard": shard,
+                           "executed": executed, "cached": cached})
+    except (ProtocolError, OSError) as err:
+        # the coordinator vanished (SIGKILL, abort); exit distinctly so
+        # the chaos rig can tell orphaning from worker bugs
+        print(f"fabric worker {worker}: coordinator lost: {err}",
+              file=sys.stderr)
+        return EXIT_COORDINATOR_LOST
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-fabric-worker",
+        description="one fabric sweep worker (spawned by the "
+                    "coordinator; standalone for chaos tests)")
+    parser.add_argument("--connect", required=True,
+                        metavar="HOST:PORT")
+    parser.add_argument("--dir", required=True,
+                        help="campaign fabric directory (spec + store)")
+    parser.add_argument("--worker", default=None,
+                        help="worker name (default: w<pid>)")
+    args = parser.parse_args(argv)
+    host, _, port = args.connect.rpartition(":")
+    worker = args.worker or f"w{os.getpid()}"
+    return run_worker((host or "127.0.0.1", int(port)),
+                      Path(args.dir), worker)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
 from time import perf_counter
+from types import CodeType
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.distributions import DistributionSet, derive_seed
@@ -153,6 +154,25 @@ class RunResult:
         return not self.violations
 
 
+def _hash_code(digest, code) -> None:
+    """Mix a code object into ``digest``, process-stably.
+
+    Nested code objects (inner functions, comprehensions) are hashed
+    structurally -- name, bytecode, then their own consts -- instead of
+    through ``repr``, whose ``<code object ... at 0x...>`` form embeds a
+    memory address and would therefore derive a different key in every
+    process.  The fabric's shared result store depends on this: workers
+    and the coordinator must address the same row by the same key.
+    """
+    digest.update(code.co_name.encode())
+    digest.update(code.co_code)
+    for const in code.co_consts:
+        if isinstance(const, CodeType):
+            _hash_code(digest, const)
+        else:
+            digest.update(repr(const).encode())
+
+
 class RunCache:
     """Content-addressed store of pickled :class:`RunResult` objects.
 
@@ -193,8 +213,7 @@ class RunCache:
             digest.update(getattr(fn, "__qualname__", repr(fn)).encode())
             code = getattr(fn, "__code__", None)
             if code is not None:
-                digest.update(code.co_code)
-                digest.update(repr(code.co_consts).encode())
+                _hash_code(digest, code)
         digest.update(str(seed).encode())
         digest.update(b"telemetry" if telemetry else b"bare")
         if checkpoint is not None:
@@ -411,8 +430,7 @@ def _prefix_digest(body: PrefixedBody, key: Any) -> str:
     digest.update(getattr(fn, "__qualname__", repr(fn)).encode())
     code = getattr(fn, "__code__", None)
     if code is not None:
-        digest.update(code.co_code)
-        digest.update(repr(code.co_consts).encode())
+        _hash_code(digest, code)
     digest.update(repr(key).encode())
     return digest.hexdigest()[:16]
 
@@ -571,7 +589,10 @@ class Campaign:
             journal: Union[None, str, Path, Journal] = None,
             progress: Optional[Callable[[str], None]] = None,
             group: bool = True,
-            prefix_pool: Optional[Any] = None
+            prefix_pool: Optional[Any] = None,
+            backend: str = "local",
+            fabric_dir: Union[None, str, Path] = None,
+            fabric_options: Optional[Dict[str, Any]] = None
             ) -> List[RunResult]:
         """Execute the body once per configuration.
 
@@ -628,8 +649,52 @@ class Campaign:
         :class:`~repro.core.checkpoint.CheckpointPool`) carries
         captured prefixes across ``run`` calls in this process;
         omitted, each sweep uses a private pool.
+
+        ``backend`` selects the execution fabric
+        (:mod:`repro.core.fabric.backends`).  ``"local"`` -- the
+        default -- is everything described above, unchanged.
+        ``"sockets"`` runs the sweep as a coordinator plus worker
+        *processes* over the fabric protocol: it requires
+        ``fabric_dir`` (the campaign directory holding the sweep spec,
+        the shared result store and per-shard journals) and owns
+        caching and journaling itself, so ``cache=``/``journal=`` must
+        stay unset and ``progress`` is not served live.  Re-running the
+        same sweep against the same ``fabric_dir`` resumes it: only
+        configurations the store does not hold yet execute.
+        ``fabric_dir`` with the local backend joins the same resume
+        protocol in-process (the store becomes the cache, the journal
+        lands at the coordinator path), so serial runs and fabric runs
+        share completed rows.  ``fabric_options`` passes coordinator
+        tuning through (``ttl``, ``poll``, ``shard_size``, ...).
         """
+        from repro.core.fabric.backends import (resolve_backend,
+                                                run_sockets_campaign)
+        resolve_backend(backend)
         config_list = [dict(config) for config in configs]
+        if backend == "sockets":
+            if fabric_dir is None:
+                raise ValueError(
+                    'backend="sockets" needs fabric_dir= (the campaign '
+                    "directory shared by coordinator and workers)")
+            if cache is not None or journal is not None:
+                raise ValueError(
+                    'backend="sockets" owns caching and journaling '
+                    "(the result store and per-shard journals live in "
+                    "fabric_dir); pass fabric_dir= only")
+            results = run_sockets_campaign(
+                self, config_list, fabric_dir=fabric_dir,
+                workers=workers, telemetry=telemetry, oracle=oracle,
+                group=group, fabric_options=fabric_options)
+            if scorecard:
+                print(render_scorecard(results))
+            return results
+        if fabric_dir is not None:
+            from repro.core.fabric.store import ResultStore
+            fabric_path = Path(fabric_dir)
+            if cache is None:
+                cache = ResultStore(fabric_path / "store")
+            if journal is None:
+                journal = fabric_path / "journals" / "coordinator.jsonl"
         journal_obj, journal_owned = Journal.ensure(journal)
         try:
             return self._run_journaled(

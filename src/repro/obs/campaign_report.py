@@ -395,6 +395,35 @@ def render_text(summary: CampaignSummary, *, rank: int = 10) -> str:
     return "\n".join(lines)
 
 
+def render_stable(summary: CampaignSummary) -> str:
+    """The wall-clock-free scorecard: every deterministic row identity.
+
+    Renders only :meth:`RunRow.stable_key` material (rows sorted by
+    config index) plus the violation-code histogram -- no timestamps,
+    rates, phase spans or capture counts, all of which legitimately
+    differ between a serial run and a distributed or resumed one.  Two
+    sweeps of the same campaign agree on this text byte for byte
+    however they executed, which is the fabric's acceptance oracle
+    (``tests/fabric/``): serial == sockets == killed-and-resumed.
+    """
+    rows = sorted(summary.runs, key=lambda row: row.index)
+    lines = [f"stable scorecard: {len(rows)} rows, "
+             f"{sum(1 for row in rows if row.codes)} findings"]
+    for row in rows:
+        verdict = ",".join(row.codes) if row.codes else "conformant"
+        target = f" target={row.target}" if row.target else ""
+        outcome = f" outcome={row.outcome}" if row.outcome else ""
+        lines.append(
+            f"  [{row.index:>4}] {row.label:<36} {verdict:<24} "
+            f"viol={row.violations} +cov={row.new_coverage} "
+            f"corpus={int(row.corpus)} ok={int(row.ok)}"
+            f"{target}{outcome}")
+    histogram = summary.codes_histogram()
+    for code in sorted(histogram):
+        lines.append(f"  code {code}: {histogram[code]}")
+    return "\n".join(lines)
+
+
 def summary_to_json(summary: CampaignSummary, *, rank: int = 10
                     ) -> Dict[str, Any]:
     """Machine-readable summary (also the history store's row source)."""

@@ -1,0 +1,113 @@
+"""Wire-framing contract: torn connections surface, never corrupt."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.core.fabric import (MAX_FRAME_BYTES, ProtocolError,
+                               recv_message, request, send_message)
+
+
+def _pair():
+    return socket.socketpair()
+
+
+def test_roundtrip_preserves_message():
+    a, b = _pair()
+    try:
+        message = {"type": "grant", "shard": 3, "indices": [5, 6, 7],
+                   "nested": {"ok": True, "ratio": 0.5}}
+        send_message(a, message)
+        assert recv_message(b) == message
+    finally:
+        a.close()
+        b.close()
+
+
+def test_frames_are_ordered_and_delimited():
+    a, b = _pair()
+    try:
+        for index in range(5):
+            send_message(a, {"seq": index})
+        for index in range(5):
+            assert recv_message(b) == {"seq": index}
+    finally:
+        a.close()
+        b.close()
+
+
+def test_clean_eof_between_frames_is_none():
+    a, b = _pair()
+    send_message(a, {"type": "done"})
+    a.close()
+    try:
+        assert recv_message(b) == {"type": "done"}
+        assert recv_message(b) is None
+    finally:
+        b.close()
+
+
+def test_eof_mid_frame_raises():
+    a, b = _pair()
+    # a full length prefix promising 100 bytes, then death
+    a.sendall(struct.pack(">I", 100) + b'{"type":')
+    a.close()
+    try:
+        with pytest.raises(ProtocolError):
+            recv_message(b)
+    finally:
+        b.close()
+
+
+def test_oversize_length_prefix_rejected_without_allocation():
+    a, b = _pair()
+    a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+    try:
+        with pytest.raises(ProtocolError):
+            recv_message(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_undecodable_body_raises():
+    a, b = _pair()
+    body = b"\xff\xfe not json"
+    a.sendall(struct.pack(">I", len(body)) + body)
+    try:
+        with pytest.raises(ProtocolError):
+            recv_message(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_non_object_body_raises():
+    a, b = _pair()
+    body = b"[1, 2, 3]"
+    a.sendall(struct.pack(">I", len(body)) + body)
+    try:
+        with pytest.raises(ProtocolError):
+            recv_message(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_request_raises_when_peer_closes_without_reply():
+    a, b = _pair()
+
+    def peer():
+        recv_message(b)
+        b.close()
+
+    thread = threading.Thread(target=peer)
+    thread.start()
+    try:
+        with pytest.raises(ProtocolError):
+            request(a, {"type": "lease"})
+    finally:
+        thread.join()
+        a.close()

@@ -1,0 +1,77 @@
+"""`repro sweep` / `repro report --campaign DIR` end to end."""
+
+import json
+import subprocess
+import sys
+
+from tests.fabric.rig import REPO_ROOT, campaign_ends, rig_env
+
+
+def _repro(*argv, timeout=180):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv], cwd=str(REPO_ROOT),
+        env=rig_env(), capture_output=True, text=True, timeout=timeout)
+
+
+def _sweep(journal_dir, *extra):
+    return _repro("sweep", "--protocol", "gmp", "--targets", "fixed",
+                  "--count", "2", "--seed", "7", "--journal-dir",
+                  str(journal_dir), "--stable", *extra)
+
+
+def _stable_section(stdout):
+    lines = stdout.splitlines()
+    start = next(i for i, line in enumerate(lines)
+                 if line.startswith("stable scorecard:"))
+    return "\n".join(lines[start:])
+
+
+def test_sockets_sweep_matches_local_backend(tmp_path):
+    local = _sweep(tmp_path / "local", "--backend", "local")
+    assert local.returncode == 0, local.stderr
+    sockets = _sweep(tmp_path / "sockets", "--backend", "sockets",
+                     "--workers", "2")
+    assert sockets.returncode == 0, sockets.stderr
+    # the user-facing acceptance check: identical stable scorecards
+    assert _stable_section(sockets.stdout) \
+        == _stable_section(local.stdout)
+
+    # --resume performs zero new runs and reprints the same scorecard
+    resumed = _repro("sweep", "--resume", str(tmp_path / "sockets"),
+                     "--backend", "sockets", "--workers", "2",
+                     "--stable")
+    assert resumed.returncode == 0, resumed.stderr
+    assert _stable_section(resumed.stdout) \
+        == _stable_section(sockets.stdout)
+    end = campaign_ends(tmp_path / "sockets")[-1]
+    assert end["executed"] == 0 and end["cached"] == 2
+
+
+def test_report_campaign_accepts_fabric_directory(tmp_path):
+    sweep = _sweep(tmp_path / "fabric", "--backend", "sockets",
+                   "--workers", "2")
+    assert sweep.returncode == 0, sweep.stderr
+    report = _repro("report", "--campaign", str(tmp_path / "fabric"))
+    assert report.returncode == 0, report.stderr
+    assert "campaign" in report.stdout
+    assert "2" in report.stdout
+    # JSON mode merges the same rows
+    as_json = _repro("report", "--campaign", str(tmp_path / "fabric"),
+                     "--format", "json")
+    assert as_json.returncode == 0, as_json.stderr
+    payload = json.loads(as_json.stdout)
+    assert payload["executed"] == 2
+    assert len(payload["runs"]) == 2
+
+
+def test_sweep_requires_a_campaign_directory(tmp_path):
+    missing = _repro("sweep", "--protocol", "gmp", "--count", "1")
+    assert missing.returncode == 2
+    assert "--journal-dir" in missing.stderr
+
+
+def test_resume_nonexistent_directory_fails_cleanly(tmp_path):
+    gone = _repro("sweep", "--resume", str(tmp_path / "nowhere"),
+                  "--backend", "sockets")
+    assert gone.returncode == 2
+    assert "resume" in gone.stderr

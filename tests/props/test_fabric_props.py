@@ -1,0 +1,126 @@
+"""Backend equivalence: the fabric changes where work runs, not what
+it computes.
+
+One sweep, three execution paths -- legacy in-process ``Campaign.run``,
+the local backend writing through a fabric campaign directory, and the
+sockets backend (real coordinator + worker processes) -- must agree on
+``_stable`` results (configs, results, canonical traces, violation
+fingerprints, virtual-time telemetry) and on stable-key scorecards,
+across the real protocol rigs: every TCP vendor profile and every GMP
+bug variant.  Each protocol runs the sockets backend once over all its
+targets (one subprocess tree per protocol, not per case).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.export import VOLATILE_ATTRS, dump_trace
+from repro.core.fabric import merge_campaign_dir
+from repro.core.orchestrator import Campaign
+from repro.obs.campaign_report import summarize_journal
+from repro.oracle.fuzz import GMP_VARIANTS, pack_for, prefixed_fuzz_body
+from repro.oracle.grammar import generate_script
+from repro.tcp import VENDORS
+
+
+def canon(trace) -> str:
+    return dump_trace(trace, exclude_attrs=VOLATILE_ATTRS)
+
+
+def _config(protocol: str, target: str, index: int, depth=None):
+    script = generate_script(random.Random(index), protocol, index=index)
+    config = {"protocol": protocol, "target": target,
+              "script": script.source, "init_script": script.init,
+              "direction": script.direction}
+    if depth is not None:
+        config["install_at"] = depth
+    return config
+
+
+def _stable(results):
+    return [(r.config, r.result, canon(r.trace),
+             [v.fingerprint() for v in (r.violations or [])],
+             None if r.telemetry is None else
+             (r.telemetry.events, r.telemetry.virtual_s,
+              r.telemetry.trace_entries))
+            for r in results]
+
+
+def _sweep_configs(protocol):
+    if protocol == "tcp":
+        # depth 5.0 shares a mid-stream prefix per vendor
+        return [_config("tcp", vendor, index, depth=5.0)
+                for vendor in sorted(VENDORS) for index in range(2)]
+    return [_config("gmp", variant, index)
+            for variant in GMP_VARIANTS + ("fixed",)
+            for index in range(2)]
+
+
+def _scorecard(journal_or_dir, merged):
+    source = (merge_campaign_dir(journal_or_dir) if merged
+              else summarize_journal(journal_or_dir))
+    return [row.stable_key() for row in source.runs]
+
+
+@pytest.mark.parametrize("protocol", ("tcp", "gmp"))
+def test_backends_agree_on_results_and_scorecards(tmp_path, protocol):
+    configs = _sweep_configs(protocol)
+    seed, oracle = 42, pack_for(protocol)
+
+    legacy = Campaign(prefixed_fuzz_body, seed=seed).run(
+        configs, oracle=oracle, journal=tmp_path / "legacy.jsonl")
+
+    local_dir = tmp_path / "local"
+    local = Campaign(prefixed_fuzz_body, seed=seed).run(
+        configs, oracle=oracle, fabric_dir=local_dir)
+
+    sockets_dir = tmp_path / "sockets"
+    sockets = Campaign(prefixed_fuzz_body, seed=seed).run(
+        configs, workers=2, oracle=oracle, backend="sockets",
+        fabric_dir=sockets_dir)
+
+    assert _stable(local) == _stable(legacy)
+    assert _stable(sockets) == _stable(legacy)
+
+    baseline = _scorecard(tmp_path / "legacy.jsonl", merged=False)
+    assert len(baseline) == len(configs)
+    assert _scorecard(local_dir, merged=True) == baseline
+    assert _scorecard(sockets_dir, merged=True) == baseline
+
+
+def test_sockets_resume_adds_nothing_to_the_scorecard(tmp_path):
+    # resuming a completed sockets sweep re-reads the store: identical
+    # results, identical merged scorecard, zero new rows
+    configs = [_config("gmp", target, index)
+               for target in ("self_death", "fixed")
+               for index in range(2)]
+    seed, oracle = 7, pack_for("gmp")
+    fabric_dir = tmp_path / "fabric"
+
+    def run():
+        return Campaign(prefixed_fuzz_body, seed=seed).run(
+            configs, workers=2, oracle=oracle, backend="sockets",
+            fabric_dir=fabric_dir)
+
+    first = run()
+    scorecard = _scorecard(fabric_dir, merged=True)
+    again = run()
+    assert _stable(again) == _stable(first)
+    assert _scorecard(fabric_dir, merged=True) == scorecard
+
+
+def test_local_fabric_dir_warms_a_sockets_resume(tmp_path):
+    # the promoted ResultStore is one address space: a local-backend
+    # sweep through the campaign directory leaves the sockets backend
+    # nothing to execute
+    configs = [_config("gmp", "forward_param", index)
+               for index in range(2)]
+    seed, oracle = 3, pack_for("gmp")
+    fabric_dir = tmp_path / "fabric"
+    local = Campaign(prefixed_fuzz_body, seed=seed).run(
+        configs, oracle=oracle, fabric_dir=fabric_dir)
+    sockets = Campaign(prefixed_fuzz_body, seed=seed).run(
+        configs, workers=2, oracle=oracle, backend="sockets",
+        fabric_dir=fabric_dir)
+    assert _stable(sockets) == _stable(local)
